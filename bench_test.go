@@ -1,0 +1,64 @@
+// Package bench provides one testing.B benchmark per table and figure of
+// the paper's evaluation. Each benchmark regenerates its experiment end to
+// end at the quick scale (representative application subset, reduced request
+// counts); run the full-scale versions with cmd/dewrite-bench.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFigure14
+package bench
+
+import (
+	"testing"
+
+	"dewrite/internal/experiments"
+)
+
+// runExperiment drives one registered experiment per benchmark iteration
+// with a fresh suite, so memoization never hides work.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		suite := experiments.NewSuite(experiments.QuickOptions())
+		tables := e.Run(suite)
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkTableI(b *testing.B)    { runExperiment(b, "table1") }
+func BenchmarkFigure2(b *testing.B)   { runExperiment(b, "fig2") }
+func BenchmarkFigure4(b *testing.B)   { runExperiment(b, "fig4") }
+func BenchmarkFigure6(b *testing.B)   { runExperiment(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)   { runExperiment(b, "fig7") }
+func BenchmarkFigure12(b *testing.B)  { runExperiment(b, "fig12") }
+func BenchmarkFigure13(b *testing.B)  { runExperiment(b, "fig13") }
+func BenchmarkFigure14(b *testing.B)  { runExperiment(b, "fig14") }
+func BenchmarkFigure15(b *testing.B)  { runExperiment(b, "fig15") }
+func BenchmarkFigure16(b *testing.B)  { runExperiment(b, "fig16") }
+func BenchmarkFigure17(b *testing.B)  { runExperiment(b, "fig17") }
+func BenchmarkFigure18(b *testing.B)  { runExperiment(b, "fig18") }
+func BenchmarkFigure19(b *testing.B)  { runExperiment(b, "fig19") }
+func BenchmarkFigure20(b *testing.B)  { runExperiment(b, "fig20") }
+func BenchmarkFigure21(b *testing.B)  { runExperiment(b, "fig21") }
+func BenchmarkTableMeta(b *testing.B) { runExperiment(b, "tablemeta") }
+
+func BenchmarkAblationPNA(b *testing.B)        { runExperiment(b, "abl-pna") }
+func BenchmarkAblationHistory(b *testing.B)    { runExperiment(b, "abl-history") }
+func BenchmarkAblationRefWidth(b *testing.B)   { runExperiment(b, "abl-refwidth") }
+func BenchmarkAblationModes(b *testing.B)      { runExperiment(b, "abl-modes") }
+func BenchmarkAblationHashWidth(b *testing.B)  { runExperiment(b, "abl-hashwidth") }
+func BenchmarkAblationWearLevel(b *testing.B)  { runExperiment(b, "abl-wear") }
+func BenchmarkAblationPersist(b *testing.B)    { runExperiment(b, "abl-persist") }
+func BenchmarkAblationHierarchy(b *testing.B)  { runExperiment(b, "abl-hierarchy") }
+func BenchmarkAblationCacheScale(b *testing.B) { runExperiment(b, "abl-cachescale") }
+func BenchmarkAblationOpenLoop(b *testing.B)   { runExperiment(b, "abl-openloop") }
+func BenchmarkAblationBus(b *testing.B)        { runExperiment(b, "abl-bus") }
+func BenchmarkAblationPhases(b *testing.B)     { runExperiment(b, "abl-phases") }
+func BenchmarkAblationIntegrity(b *testing.B)  { runExperiment(b, "abl-integrity") }
+func BenchmarkAblationSeeds(b *testing.B)      { runExperiment(b, "abl-seeds") }
+func BenchmarkAblationRowPolicy(b *testing.B)  { runExperiment(b, "abl-rowpolicy") }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dewrite/internal/config"
+)
+
+func TestScanCountsDuplicates(t *testing.T) {
+	a := bytes.Repeat([]byte{0xaa}, config.LineSize)
+	b := bytes.Repeat([]byte{0xbb}, config.LineSize)
+	zero := make([]byte, config.LineSize)
+	var in bytes.Buffer
+	for _, l := range [][]byte{a, b, a, a, zero, zero, b} {
+		in.Write(l)
+	}
+	res, err := scan(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lines != 7 {
+		t.Fatalf("Lines = %d", res.Lines)
+	}
+	// a×3 (2 dups), b×2 (1 dup), zero×2 (1 dup) → 4 duplicates.
+	if res.Duplicates != 4 {
+		t.Fatalf("Duplicates = %d, want 4", res.Duplicates)
+	}
+	if res.ZeroLines != 2 {
+		t.Fatalf("ZeroLines = %d", res.ZeroLines)
+	}
+	if res.UniqueLines != 3 {
+		t.Fatalf("UniqueLines = %d", res.UniqueLines)
+	}
+	if res.Collisions != 0 {
+		t.Fatalf("Collisions = %d", res.Collisions)
+	}
+}
+
+func TestScanPadsTrailingPartialLine(t *testing.T) {
+	// A lone partial line padded with zeros is NOT the zero line unless its
+	// content was zero.
+	res, err := scan(strings.NewReader("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lines != 1 || res.ZeroLines != 0 {
+		t.Fatalf("partial line handling: %+v", res)
+	}
+	// All-zero partial input pads to the zero line.
+	res, err = scan(bytes.NewReader(make([]byte, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ZeroLines != 1 {
+		t.Fatalf("zero partial not detected: %+v", res)
+	}
+}
+
+func TestScanEmptyInput(t *testing.T) {
+	res, err := scan(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lines != 0 {
+		t.Fatalf("Lines = %d", res.Lines)
+	}
+}
+
+func TestScanLargeRepetitiveInput(t *testing.T) {
+	// A "memory image" with heavy redundancy: 90% of lines drawn from a
+	// 4-content pool.
+	var in bytes.Buffer
+	pool := make([][]byte, 4)
+	for i := range pool {
+		pool[i] = bytes.Repeat([]byte{byte(i + 1)}, config.LineSize)
+	}
+	for i := 0; i < 1000; i++ {
+		if i%10 == 9 {
+			unique := make([]byte, config.LineSize)
+			unique[0] = byte(i)
+			unique[1] = byte(i >> 8)
+			unique[100] = 0x5a
+			in.Write(unique)
+		} else {
+			in.Write(pool[i%4])
+		}
+	}
+	res, err := scan(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.Duplicates) / float64(res.Lines)
+	if frac < 0.85 {
+		t.Fatalf("duplicate fraction = %.2f, want ~0.9", frac)
+	}
+}

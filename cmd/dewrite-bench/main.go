@@ -1,0 +1,137 @@
+// Command dewrite-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dewrite-bench                 # run every experiment at full scale
+//	dewrite-bench -run fig14      # one experiment
+//	dewrite-bench -run fig14,fig16,fig17
+//	dewrite-bench -list           # list experiment IDs
+//	dewrite-bench -quick          # representative app subset, shorter runs
+//	dewrite-bench -requests 50000 # scale the per-app run length
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dewrite/internal/experiments"
+)
+
+// selectExperiments resolves a comma-separated ID list ("" = all).
+func selectExperiments(run string) ([]experiments.Experiment, error) {
+	if run == "" {
+		return experiments.All(), nil
+	}
+	var selected []experiments.Experiment
+	for _, id := range strings.Split(run, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q", id)
+		}
+		selected = append(selected, e)
+	}
+	return selected, nil
+}
+
+func main() {
+	var (
+		run      = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		quick    = flag.Bool("quick", false, "representative subset at reduced scale")
+		requests = flag.Int("requests", 0, "memory requests per (app, scheme) run")
+		warmup   = flag.Int("warmup", -1, "warmup requests excluded from measurement")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		format   = flag.String("format", "text", "output format: text|csv|json")
+		plotDir  = flag.String("plot", "", "also write gnuplot .dat files into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	if *requests > 0 {
+		opts.Requests = *requests
+	}
+	if *warmup >= 0 {
+		opts.Warmup = *warmup
+	}
+	opts.Seed = *seed
+	if opts.Warmup >= opts.Requests {
+		fmt.Fprintf(os.Stderr, "dewrite-bench: warmup %d must be below requests %d\n", opts.Warmup, opts.Requests)
+		os.Exit(2)
+	}
+
+	selected, err := selectExperiments(*run)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dewrite-bench: %v (use -list)\n", err)
+		os.Exit(2)
+	}
+
+	suite := experiments.NewSuite(opts)
+	fmt.Printf("dewrite-bench: %d experiment(s), %d requests/app (%d warmup), seed %d\n\n",
+		len(selected), opts.Requests, opts.Warmup, opts.Seed)
+	if *plotDir != "" {
+		if err := os.MkdirAll(*plotDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		tables := e.Run(suite)
+		for ti, tb := range tables {
+			if *plotDir != "" {
+				name := e.ID
+				if len(tables) > 1 {
+					name = fmt.Sprintf("%s-%d", e.ID, ti)
+				}
+				path := filepath.Join(*plotDir, name+".dat")
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dewrite-bench: %v\n", err)
+					os.Exit(1)
+				}
+				if err := tb.WriteDAT(f); err != nil {
+					fmt.Fprintf(os.Stderr, "dewrite-bench: %v\n", err)
+					os.Exit(1)
+				}
+				f.Close()
+			}
+			switch *format {
+			case "text":
+				fmt.Println(tb.String())
+			case "csv":
+				fmt.Printf("# %s\n", tb.Title)
+				if err := tb.WriteCSV(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "dewrite-bench: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			case "json":
+				if err := tb.WriteJSON(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "dewrite-bench: %v\n", err)
+					os.Exit(1)
+				}
+			default:
+				fmt.Fprintf(os.Stderr, "dewrite-bench: unknown format %q\n", *format)
+				os.Exit(2)
+			}
+		}
+		if *format == "text" {
+			fmt.Printf("[%s finished in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestSelectExperimentsAll(t *testing.T) {
+	all, err := selectExperiments("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 16 {
+		t.Fatalf("selected %d experiments, want the full registry", len(all))
+	}
+}
+
+func TestSelectExperimentsSubset(t *testing.T) {
+	sel, err := selectExperiments("fig14, fig16 ,fig17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 3 {
+		t.Fatalf("selected %d, want 3", len(sel))
+	}
+	if sel[0].ID != "fig14" || sel[2].ID != "fig17" {
+		t.Fatalf("wrong order: %v %v", sel[0].ID, sel[2].ID)
+	}
+}
+
+func TestSelectExperimentsUnknown(t *testing.T) {
+	if _, err := selectExperiments("fig14,nonsense"); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,187 @@
+// Command dewrite-sim runs one application workload against one secure-NVM
+// scheme and prints a detailed report.
+//
+// Usage:
+//
+//	dewrite-sim -app lbm -scheme dewrite
+//	dewrite-sim -app blackscholes -scheme securenvm -requests 50000
+//	dewrite-sim -apps                      # list application profiles
+//	dewrite-sim -app mcf -scheme dewrite -hierarchy   # CPU caches in front
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dewrite/internal/cache"
+	"dewrite/internal/config"
+	"dewrite/internal/core"
+	"dewrite/internal/sim"
+	"dewrite/internal/workload"
+)
+
+var schemes = map[string]sim.Scheme{
+	"dewrite":   sim.SchemeDeWrite,
+	"direct":    sim.SchemeDirect,
+	"parallel":  sim.SchemeParallel,
+	"securenvm": sim.SchemeSecureNVM,
+	"shredder":  sim.SchemeShredder,
+}
+
+// resolveProfile maps an application name ("worstcase" and "custom" are
+// synthetic; "custom" starts from a neutral mid-range profile meant to be
+// shaped with the override flags) to its profile.
+func resolveProfile(app string) (workload.Profile, error) {
+	switch app {
+	case "worstcase":
+		return workload.WorstCase(), nil
+	case "custom":
+		return workload.Profile{
+			Name: "custom", Suite: "SYNTH",
+			DupRatio: 0.5, ZeroRatio: 0.1, StateSame: 0.92,
+			WriteFrac: 0.5, WorkingSetLines: 1 << 14, Locality: 0.8,
+			RewriteWords: 6, Threads: 1, MemGap: 30,
+		}, nil
+	}
+	prof, ok := workload.ByName(app)
+	if !ok {
+		return workload.Profile{}, fmt.Errorf("unknown app %q", app)
+	}
+	return prof, nil
+}
+
+// overrides carries the optional profile-field overrides; negative or zero
+// sentinel values mean "keep the profile's value".
+type overrides struct {
+	dup, zero, writeFrac, memGap float64
+	workset                      uint64
+	threads                      int
+}
+
+// applyOverrides returns prof with any explicitly set override applied.
+func applyOverrides(prof workload.Profile, o overrides) workload.Profile {
+	if o.dup >= 0 {
+		prof.DupRatio = o.dup
+	}
+	if o.zero >= 0 {
+		prof.ZeroRatio = o.zero
+	}
+	if o.writeFrac >= 0 {
+		prof.WriteFrac = o.writeFrac
+	}
+	if o.memGap >= 0 {
+		prof.MemGap = o.memGap
+	}
+	if o.workset > 0 {
+		prof.WorkingSetLines = o.workset
+	}
+	if o.threads > 0 {
+		prof.Threads = o.threads
+	}
+	return prof
+}
+
+// resolveScheme maps a scheme name to its identifier, case-insensitively.
+func resolveScheme(name string) (sim.Scheme, error) {
+	sch, ok := schemes[strings.ToLower(name)]
+	if !ok {
+		return 0, fmt.Errorf("unknown scheme %q", name)
+	}
+	return sch, nil
+}
+
+func main() {
+	var (
+		app       = flag.String("app", "lbm", "application profile (or 'worstcase')")
+		scheme    = flag.String("scheme", "dewrite", "dewrite|direct|parallel|securenvm|shredder")
+		requests  = flag.Int("requests", 30000, "memory requests to drive")
+		warmup    = flag.Int("warmup", 6000, "warmup requests excluded from measurement")
+		seed      = flag.Uint64("seed", 42, "workload seed")
+		listApps  = flag.Bool("apps", false, "list application profiles and exit")
+		hierarchy = flag.Bool("hierarchy", false, "interpose the 4-level CPU cache hierarchy")
+
+		// Custom-profile overrides: set -app custom (or override a named
+		// profile's fields individually).
+		dupRatio  = flag.Float64("dup", -1, "override duplicate-write ratio [0,1]")
+		zeroRatio = flag.Float64("zero", -1, "override zero-line ratio [0,1]")
+		writeFrac = flag.Float64("writefrac", -1, "override write fraction of memory requests")
+		workset   = flag.Uint64("workset", 0, "override working-set lines")
+		threads   = flag.Int("threads", 0, "override hardware thread count")
+		memgap    = flag.Float64("memgap", -1, "override mean instructions between memory requests")
+	)
+	flag.Parse()
+
+	if *listApps {
+		for _, p := range workload.Profiles() {
+			fmt.Println(p.String())
+		}
+		fmt.Println(workload.WorstCase().String())
+		return
+	}
+
+	prof, err := resolveProfile(*app)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dewrite-sim: %v (use -apps)\n", err)
+		os.Exit(2)
+	}
+	prof = applyOverrides(prof, overrides{
+		dup: *dupRatio, zero: *zeroRatio, writeFrac: *writeFrac,
+		workset: *workset, threads: *threads, memGap: *memgap,
+	})
+	sch, err := resolveScheme(*scheme)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dewrite-sim: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := config.Default()
+	cfg.NVM.Ranks = 2
+	cfg.NVM.BanksPerRank = 4
+
+	opts := sim.Options{Requests: *requests, Warmup: *warmup, Seed: *seed}
+	if *hierarchy {
+		opts.Hierarchy = cache.NewHierarchy(cfg.Hierarchy)
+	}
+
+	mem := sim.NewMemory(sch, prof.WorkingSetLines, cfg)
+	res := sim.Run(prof.Name, sch.String(), mem, prof, opts)
+
+	fmt.Printf("app           %s (%s)\n", res.App, prof.Suite)
+	fmt.Printf("scheme        %s\n", res.Scheme)
+	fmt.Printf("requests      %d measured (writes %d, reads %d)\n", res.Requests, res.MemWrites, res.MemReads)
+	fmt.Printf("ground truth  %.1f%% duplicate writes, %.1f%% zero lines\n",
+		pct(res.Gen.Duplicates, res.Gen.Writes), pct(res.Gen.ZeroWrites, res.Gen.Writes))
+	fmt.Printf("write latency mean %v, P99 %v (sum %v)\n", res.MeanWriteLat, res.P99WriteLat, res.WriteLatSum)
+	fmt.Printf("read latency  mean %v, P99 %v (sum %v)\n", res.MeanReadLat, res.P99ReadLat, res.ReadLatSum)
+	fmt.Printf("IPC           %.3f (%d instructions, %d cycles)\n", res.IPC, res.Instructions, res.Cycles)
+	fmt.Printf("device        %d reads (%d row hits), %d writes\n",
+		res.Device.Reads, res.Device.RowHits, res.Device.Writes)
+	fmt.Printf("energy        %.1f uJ\n", res.EnergyPJ/1e6)
+	fmt.Printf("bit flips     %.1f%% of written cells\n", pct(res.Device.BitsFlipped, res.Device.BitsWritten))
+
+	if ctrl, ok := mem.(*core.Controller); ok {
+		r := ctrl.Report()
+		fmt.Printf("\ncontroller (%s, whole run including warmup):\n", r.Mode)
+		fmt.Printf("  writes eliminated    %d / %d (%.1f%%)\n", r.DupEliminated, r.Writes,
+			pct(r.DupEliminated, r.Writes))
+		fmt.Printf("  missed by PNA        %d, by saturation %d\n", r.MissedByPNA, r.MissedBySat)
+		fmt.Printf("  prediction accuracy  %.1f%%\n", r.PredAccuracy*100)
+		fmt.Printf("  AES line ops         %d (%d wasted), metadata ops %d\n",
+			r.AESLineOps, r.AESWasted, r.AESMetaOps)
+		fmt.Printf("  metadata NVM traffic %d reads, %d writes\n", r.MetaNVMReads, r.MetaNVMWrites)
+		fmt.Printf("  dedup state          %d live lines, %d mapped away, %d collisions\n",
+			r.Dedup.LiveLines, r.Dedup.MappedAway, r.Dedup.Collisions)
+		for _, mc := range ctrl.MetaCaches() {
+			fmt.Printf("  %-8s cache       %.2f%% hit rate\n", mc.Name(), mc.HitRate()*100)
+		}
+	}
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
+}

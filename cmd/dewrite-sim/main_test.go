@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"dewrite/internal/sim"
+)
+
+func TestResolveProfile(t *testing.T) {
+	p, err := resolveProfile("lbm")
+	if err != nil || p.Name != "lbm" {
+		t.Fatalf("lbm: %v %v", p.Name, err)
+	}
+	wc, err := resolveProfile("worstcase")
+	if err != nil || wc.DupRatio != 0 {
+		t.Fatalf("worstcase: %+v %v", wc, err)
+	}
+	if _, err := resolveProfile("doom"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestResolveScheme(t *testing.T) {
+	for name, want := range map[string]sim.Scheme{
+		"dewrite": sim.SchemeDeWrite, "DeWrite": sim.SchemeDeWrite,
+		"SECURENVM": sim.SchemeSecureNVM, "shredder": sim.SchemeShredder,
+	} {
+		got, err := resolveScheme(name)
+		if err != nil || got != want {
+			t.Fatalf("%s: %v %v", name, got, err)
+		}
+	}
+	if _, err := resolveScheme("magic"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestResolveCustomProfile(t *testing.T) {
+	p, err := resolveProfile("custom")
+	if err != nil || p.Name != "custom" {
+		t.Fatalf("custom: %+v %v", p, err)
+	}
+}
+
+func TestApplyOverrides(t *testing.T) {
+	base, _ := resolveProfile("custom")
+	got := applyOverrides(base, overrides{dup: 0.9, zero: 0.2, writeFrac: 0.3,
+		memGap: 50, workset: 4096, threads: 4})
+	if got.DupRatio != 0.9 || got.ZeroRatio != 0.2 || got.WriteFrac != 0.3 ||
+		got.MemGap != 50 || got.WorkingSetLines != 4096 || got.Threads != 4 {
+		t.Fatalf("overrides not applied: %+v", got)
+	}
+	// Sentinels leave fields untouched.
+	same := applyOverrides(base, overrides{dup: -1, zero: -1, writeFrac: -1, memGap: -1})
+	if same.DupRatio != base.DupRatio || same.ZeroRatio != base.ZeroRatio ||
+		same.WriteFrac != base.WriteFrac || same.MemGap != base.MemGap ||
+		same.WorkingSetLines != base.WorkingSetLines || same.Threads != base.Threads {
+		t.Fatalf("sentinels modified the profile: %+v", same)
+	}
+}

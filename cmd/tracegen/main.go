@@ -1,0 +1,86 @@
+// Command tracegen materializes a synthetic memory trace for one application
+// profile into a file (or summarizes an existing trace file).
+//
+// Usage:
+//
+//	tracegen -app lbm -n 100000 -o lbm.trace
+//	tracegen -summarize lbm.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dewrite/internal/trace"
+	"dewrite/internal/workload"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "lbm", "application profile (or 'worstcase')")
+		n         = flag.Int("n", 100000, "number of requests")
+		out       = flag.String("o", "", "output file (required unless -summarize)")
+		seed      = flag.Uint64("seed", 42, "workload seed")
+		summarize = flag.String("summarize", "", "summarize an existing trace file and exit")
+	)
+	flag.Parse()
+
+	if *summarize != "" {
+		f, err := os.Open(*summarize)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		tr, err := trace.ReadTrace(f)
+		if err != nil {
+			fail(err)
+		}
+		s := tr.Summarize()
+		fmt.Printf("trace   %s (%d logical lines)\n", tr.Name, tr.Lines)
+		fmt.Printf("requests %d (writes %d, reads %d)\n", s.Requests, s.Writes, s.Reads)
+		fmt.Printf("threads  %d, max address %d\n", s.Threads, s.MaxAddr)
+		return
+	}
+
+	if *out == "" {
+		fail(fmt.Errorf("missing -o output file"))
+	}
+	tr, err := buildTrace(*app, *seed, *n)
+	if err != nil {
+		fail(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	written, err := tr.WriteTo(f)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d requests (%d bytes) for %s to %s\n", *n, written, tr.Name, *out)
+}
+
+// buildTrace materializes n requests of the named application profile.
+func buildTrace(app string, seed uint64, n int) (*trace.Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("request count %d must be positive", n)
+	}
+	var prof workload.Profile
+	if app == "worstcase" {
+		prof = workload.WorstCase()
+	} else {
+		var ok bool
+		prof, ok = workload.ByName(app)
+		if !ok {
+			return nil, fmt.Errorf("unknown app %q", app)
+		}
+	}
+	return workload.Generate(prof, seed, n), nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dewrite/internal/trace"
+)
+
+func TestBuildTrace(t *testing.T) {
+	tr, err := buildTrace("mcf", 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "mcf" || len(tr.Requests) != 500 {
+		t.Fatalf("trace = %s/%d", tr.Name, len(tr.Requests))
+	}
+	if _, err := buildTrace("nope", 1, 10); err == nil {
+		t.Fatal("expected error for unknown app")
+	}
+	if _, err := buildTrace("mcf", 1, 0); err == nil {
+		t.Fatal("expected error for zero count")
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	tr, err := buildTrace("worstcase", 7, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	got, err := trace.ReadTrace(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Requests) != len(tr.Requests) {
+		t.Fatalf("requests = %d, want %d", len(got.Requests), len(tr.Requests))
+	}
+	for i := range tr.Requests {
+		a, b := tr.Requests[i], got.Requests[i]
+		if a.Op != b.Op || a.Addr != b.Addr || !bytes.Equal(a.Data, b.Data) {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a DeWrite secure-NVM controller, write a few cache
+// lines (some duplicate, some unique), read them back, and inspect what the
+// deduplicating encrypted memory actually did.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"dewrite/internal/config"
+	"dewrite/internal/core"
+	"dewrite/internal/units"
+)
+
+func main() {
+	// A controller over 4096 logical lines (1 MB) with the paper's default
+	// configuration: counter-mode AES encryption, CRC-32 dedup detection,
+	// 3-bit duplication predictor, colocated metadata.
+	ctrl := core.New(core.Options{DataLines: 4096})
+
+	payload := func(s string) []byte {
+		line := make([]byte, config.LineSize)
+		copy(line, s)
+		return line
+	}
+
+	var now units.Time
+
+	// Write the same content to three different logical lines. The first
+	// write stores it; the next two are detected as duplicates and never
+	// reach the NVM array.
+	shared := payload("hello, non-volatile world")
+	for _, addr := range []uint64{10, 20, 30} {
+		now = ctrl.Write(now, addr, shared)
+	}
+
+	// A unique line is encrypted and written normally.
+	now = ctrl.Write(now, 40, payload("something else entirely"))
+
+	// Reads resolve the address mapping and decrypt transparently.
+	for _, addr := range []uint64{10, 20, 30, 40} {
+		data, done := ctrl.Read(now, addr)
+		now = done
+		fmt.Printf("line %2d reads %q\n", addr, bytes.TrimRight(data, "\x00"))
+	}
+
+	// The device holds ciphertext, not plaintext.
+	raw := ctrl.Device().Peek(10)
+	if bytes.Equal(raw, shared) {
+		log.Fatal("plaintext leaked to the device!")
+	}
+	fmt.Printf("\nNVM cell contents of line 10 start with % x... (encrypted)\n", raw[:8])
+
+	r := ctrl.Report()
+	fmt.Printf("\nreport:\n")
+	fmt.Printf("  CPU writes          %d\n", r.Writes)
+	fmt.Printf("  eliminated as dup   %d\n", r.DupEliminated)
+	fmt.Printf("  NVM array writes    %d\n", r.Device.Writes)
+	fmt.Printf("  mean write latency  %v\n", r.MeanWriteLat)
+	fmt.Printf("  mean read latency   %v\n", r.MeanReadLat)
+	fmt.Printf("  energy              %.1f nJ\n", r.Device.EnergyPJ/1000)
+
+	if r.DupEliminated != 2 {
+		log.Fatalf("expected 2 duplicate writes eliminated, got %d", r.DupEliminated)
+	}
+	fmt.Println("\nquickstart OK: 2 of 4 writes were deduplicated away")
+}

@@ -1,0 +1,126 @@
+// securekv: a tiny persistent key-value store running on top of the DeWrite
+// secure NVM, demonstrating how line-level deduplication absorbs the
+// redundancy real storage workloads carry (repeated values, zero padding)
+// while everything in the NVM stays encrypted.
+//
+// The store maps fixed keys onto line addresses (one 256 B line per value
+// slot) and writes through the controller, so every put pays the secure-NVM
+// write path and every get the read path. It then loads a workload in which
+// many users share a handful of configuration blobs — the cross-user
+// redundancy dedup thrives on — and compares against the traditional
+// secure NVM.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"dewrite/internal/baseline"
+	"dewrite/internal/config"
+	"dewrite/internal/core"
+	"dewrite/internal/rng"
+	"dewrite/internal/units"
+)
+
+// kv is a fixed-capacity key-value store over a line-addressable memory.
+type kv struct {
+	write func(now units.Time, line uint64, data []byte) units.Time
+	read  func(now units.Time, line uint64) ([]byte, units.Time)
+
+	slots map[string]uint64
+	next  uint64
+	cap   uint64
+	now   units.Time
+}
+
+func newKV(capLines uint64,
+	write func(units.Time, uint64, []byte) units.Time,
+	read func(units.Time, uint64) ([]byte, units.Time)) *kv {
+	return &kv{write: write, read: read, slots: make(map[string]uint64), cap: capLines}
+}
+
+// Put stores a value (at most one line) under key.
+func (s *kv) Put(key string, value []byte) {
+	if len(value) > config.LineSize {
+		log.Fatalf("value for %q exceeds one line", key)
+	}
+	slot, ok := s.slots[key]
+	if !ok {
+		if s.next >= s.cap {
+			log.Fatal("kv store full")
+		}
+		slot = s.next
+		s.next++
+		s.slots[key] = slot
+	}
+	line := make([]byte, config.LineSize)
+	copy(line, value)
+	s.now = s.write(s.now, slot, line)
+}
+
+// Get returns the value stored under key.
+func (s *kv) Get(key string) ([]byte, bool) {
+	slot, ok := s.slots[key]
+	if !ok {
+		return nil, false
+	}
+	line, done := s.read(s.now, slot)
+	s.now = done
+	return bytes.TrimRight(line, "\x00"), true
+}
+
+func main() {
+	const users = 2000
+
+	// Shared configuration blobs: most users run one of four presets.
+	presets := [][]byte{
+		[]byte(`{"theme":"dark","lang":"en","notifications":true}`),
+		[]byte(`{"theme":"light","lang":"en","notifications":true}`),
+		[]byte(`{"theme":"dark","lang":"de","notifications":false}`),
+		[]byte(`{"theme":"light","lang":"fr","notifications":true}`),
+	}
+
+	run := func(name string,
+		write func(units.Time, uint64, []byte) units.Time,
+		read func(units.Time, uint64) ([]byte, units.Time),
+		stats func() (deviceWrites uint64, energyPJ float64)) {
+
+		store := newKV(4096, write, read)
+		src := rng.New(2024)
+		for u := 0; u < users; u++ {
+			key := fmt.Sprintf("user:%04d:config", u)
+			if src.Bool(0.9) {
+				store.Put(key, presets[src.Intn(len(presets))])
+			} else {
+				// A customized config, unique per user.
+				store.Put(key, []byte(fmt.Sprintf(`{"theme":"custom-%d","seed":%d}`, u, src.Uint64())))
+			}
+		}
+		// Read a sample back and verify.
+		got, ok := store.Get("user:0007:config")
+		if !ok || len(got) == 0 {
+			log.Fatalf("%s: lost user 7's config", name)
+		}
+		w, e := stats()
+		fmt.Printf("%-10s %5d puts -> %5d NVM writes, energy %8.1f nJ, sample read: %s\n",
+			name, users, w, e/1000, got)
+	}
+
+	dw := core.New(core.Options{DataLines: 4096})
+	run("DeWrite", dw.Write, dw.Read, func() (uint64, float64) {
+		st := dw.Device().Stats()
+		return st.Writes, st.EnergyPJ
+	})
+
+	base := baseline.NewSecureNVM(4096, config.Default())
+	run("SecureNVM", base.Write, base.Read, func() (uint64, float64) {
+		st := base.Device().Stats()
+		return st.Writes, st.EnergyPJ
+	})
+
+	r := dw.Report()
+	fmt.Printf("\nDeWrite eliminated %d of %d writes (%.0f%%): the four shared presets\n",
+		r.DupEliminated, r.Writes, float64(r.DupEliminated)/float64(r.Writes)*100)
+	fmt.Println("are each stored once, no matter how many users select them.")
+}

@@ -1,0 +1,49 @@
+// worstcase: the paper's Section IV-C4 adversarial experiment — a workload
+// with no duplicate lines at all (randomized values inserted into a
+// two-dimensional array and then traversed). DeWrite's prediction-based
+// parallel scheme keeps detection off the critical path, so performance
+// tracks the traditional secure NVM within a few percent.
+package main
+
+import (
+	"fmt"
+
+	"dewrite/internal/config"
+	"dewrite/internal/sim"
+	"dewrite/internal/workload"
+)
+
+func main() {
+	prof := workload.WorstCase()
+	cfg := config.Default()
+	cfg.NVM.Ranks = 2
+	cfg.NVM.BanksPerRank = 4
+	opts := sim.Options{Requests: 24000, Warmup: 6000, Seed: 99}
+
+	dw, _ := sim.RunScheme(sim.SchemeDeWrite, prof, cfg, opts)
+	base, _ := sim.RunScheme(sim.SchemeSecureNVM, prof, cfg, opts)
+
+	if dw.Gen.Duplicates != 0 {
+		panic("worst-case workload produced duplicates")
+	}
+
+	fmt.Println("Worst case: zero duplicate writes (DeWrite can eliminate nothing).")
+	fmt.Printf("%-18s %12s %12s %10s\n", "metric", "DeWrite", "SecureNVM", "ratio")
+	fmt.Printf("%-18s %12v %12v %9.3f\n", "mean write lat", dw.MeanWriteLat, base.MeanWriteLat,
+		float64(dw.MeanWriteLat)/float64(base.MeanWriteLat))
+	fmt.Printf("%-18s %12v %12v %9.3f\n", "mean read lat", dw.MeanReadLat, base.MeanReadLat,
+		float64(dw.MeanReadLat)/float64(base.MeanReadLat))
+	fmt.Printf("%-18s %12.3f %12.3f %9.3f\n", "IPC", dw.IPC, base.IPC, sim.RelativeIPC(dw, base))
+	fmt.Printf("%-18s %10.1funJ %10.1funJ %9.3f\n", "energy", dw.EnergyPJ/1000, base.EnergyPJ/1000,
+		sim.RelativeEnergy(dw, base))
+	fmt.Printf("%-18s %12d %12d %9.3f\n", "device writes", dw.Device.Writes, base.Device.Writes,
+		float64(dw.Device.Writes)/float64(base.Device.Writes))
+
+	rel := sim.RelativeIPC(dw, base)
+	if rel > 0.9 {
+		fmt.Printf("\nDeWrite retains %.1f%% of baseline IPC with zero exploitable duplication\n", rel*100)
+		fmt.Println("(the paper reports less than 3% degradation in this case).")
+	} else {
+		fmt.Printf("\nWARNING: worst-case degradation larger than expected (%.3f)\n", rel)
+	}
+}

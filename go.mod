@@ -1,0 +1,3 @@
+module dewrite
+
+go 1.22

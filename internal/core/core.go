@@ -1,0 +1,774 @@
+// Package core implements the DeWrite controller, the paper's contribution:
+// an NVM memory controller that eliminates duplicate cache-line writes with
+// light-weight in-line deduplication and integrates the dedup pipeline with
+// counter-mode encryption.
+//
+// The write path (Section III):
+//
+//  1. The 3-bit history-window predictor guesses whether the incoming line is
+//     a duplicate. Predicted non-duplicates start AES encryption in parallel
+//     with detection (the "parallel way"); predicted duplicates defer AES
+//     until detection rules out a duplicate (the "direct way"), saving the
+//     encryption energy.
+//  2. Detection computes the CRC-32 of the line (15 ns) and probes the hash
+//     table through the metadata cache. A cache miss normally costs an NVM
+//     round trip, but the prediction-based NVM access (PNA) rule skips the
+//     in-NVM probe when the predictor says non-duplicate, trading a small
+//     number of missed duplicates for detection latency.
+//  3. A fingerprint match is confirmed by reading the candidate line (75 ns,
+//     exploiting the read/write asymmetry of NVM) and byte-comparing. On
+//     confirmation the write is cancelled: only the address-mapping,
+//     reference-count and free-space metadata change.
+//  4. Otherwise the line is placed (own slot if free, else a free location
+//     from the FSM table), encrypted under (location, counter), and written.
+//
+// The read path resolves the logical address through the address-mapping
+// table, fetches the per-line counter from its colocated slot, and overlaps
+// OTP generation with the NVM array read.
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"dewrite/internal/cme"
+	"dewrite/internal/config"
+	"dewrite/internal/dedup"
+	"dewrite/internal/hashes"
+	"dewrite/internal/integrity"
+	"dewrite/internal/metacache"
+	"dewrite/internal/nvm"
+	"dewrite/internal/predict"
+	"dewrite/internal/stats"
+	"dewrite/internal/units"
+)
+
+// Mode selects how duplication detection and encryption interleave on the
+// write path (Figure 3 of the paper).
+type Mode int
+
+const (
+	// ModeDeWrite predicts per write: parallel for predicted non-duplicates,
+	// direct for predicted duplicates. This is the paper's scheme.
+	ModeDeWrite Mode = iota
+	// ModeDirect always detects first and encrypts after (Figure 3a).
+	ModeDirect
+	// ModeParallel always encrypts concurrently with detection (Figure 3b),
+	// discarding the ciphertext when a duplicate is found.
+	ModeParallel
+)
+
+// String returns the mode's display name.
+func (m Mode) String() string {
+	switch m {
+	case ModeDeWrite:
+		return "DeWrite"
+	case ModeDirect:
+		return "Direct"
+	case ModeParallel:
+		return "Parallel"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// PersistMode selects how deduplication/encryption metadata survives a
+// power failure (the Section V discussion: Silent Shredder uses a
+// battery-backed cache, Liu et al. add explicit write-backs, SecPM writes
+// counters through).
+type PersistMode int
+
+const (
+	// PersistBatteryBacked models a battery-backed (or non-volatile)
+	// metadata cache: dirty metadata only reaches NVM on eviction. This is
+	// the paper's default assumption.
+	PersistBatteryBacked PersistMode = iota
+	// PersistWriteThrough writes every metadata update to NVM immediately
+	// (SecPM-style): crash consistent without a battery, at the cost of
+	// extra metadata write traffic off the critical path.
+	PersistWriteThrough
+)
+
+// String returns the mode's display name.
+func (p PersistMode) String() string {
+	switch p {
+	case PersistBatteryBacked:
+		return "battery-backed"
+	case PersistWriteThrough:
+		return "write-through"
+	default:
+		return fmt.Sprintf("PersistMode(%d)", int(p))
+	}
+}
+
+// Options configures a Controller.
+type Options struct {
+	// DataLines is the number of 256 B logical lines the memory exposes.
+	DataLines uint64
+	// Config is the machine description; zero-value fields take defaults.
+	Config config.Config
+	// Mode selects the detection/encryption interleaving. Default ModeDeWrite.
+	Mode Mode
+	// Key is the 16-byte memory-encryption key. Defaults to a fixed key.
+	Key []byte
+	// Persist selects the metadata persistence scheme. Default
+	// PersistBatteryBacked (the paper's assumption).
+	Persist PersistMode
+	// Integrity enables the Merkle integrity tree over the data lines (an
+	// extension beyond the paper's confidentiality-only threat model).
+	// Reads verify their line's path; unique writes update it; eliminated
+	// duplicate writes need no tree maintenance at all.
+	Integrity bool
+}
+
+// Controller is a DeWrite secure-NVM memory controller. Not safe for
+// concurrent use; the simulator is single-threaded over simulated time.
+type Controller struct {
+	cfg     config.Config
+	mode    Mode
+	persist PersistMode
+	dev     *nvm.Device
+	tables  *dedup.Tables
+	layout  dedup.Layout
+	enc     *cme.Engine
+	ctrs    *cme.CounterStore
+	pred    *predict.Predictor
+
+	hashCache *metacache.Cache
+	addrCache *metacache.Cache
+	invCache  *metacache.Cache
+	fsmCache  *metacache.Cache
+
+	// Optional integrity tree (nil when disabled).
+	tree        *integrity.Tree
+	treeCache   *metacache.Cache
+	treeBase    uint64 // first NVM line of the tree-node region
+	treeLines   uint64
+	treeUpdates stats.Counter
+	treeChecks  stats.Counter
+	treeFailed  stats.Counter
+
+	// Prefetch widths in metadata lines, derived from the configured
+	// prefetch granularity in entries (Section IV-E2 sweeps this).
+	pfAddr int
+	pfInv  int
+	pfFSM  int
+
+	// hashMask truncates fingerprints to the configured width (the hash
+	// width ablation: narrower fingerprints shrink the hash table but raise
+	// the collision-triggered verify-read rate).
+	hashMask uint32
+
+	// Statistics.
+	writes        stats.Counter // CPU write requests
+	reads         stats.Counter // CPU read requests
+	dupEliminated stats.Counter // writes cancelled by dedup
+	missedByPNA   stats.Counter // duplicates written because PNA skipped the probe
+	missedBySat   stats.Counter // duplicates written due to refcount saturation
+	aesLineOps    stats.Counter // counter-mode line encryptions performed
+	aesWasted     stats.Counter // encryptions whose result was discarded
+	aesMetaOps    stats.Counter // direct (de/en)cryptions of metadata lines
+	crcOps        stats.Counter
+	compareOps    stats.Counter
+	metaNVMReads  stats.Counter
+	metaNVMWrites stats.Counter
+	writeLat      stats.Latency
+	readLat       stats.Latency
+}
+
+var defaultKey = []byte("dewrite-sim-key!")
+
+// New returns a controller over a fresh NVM device sized to hold DataLines
+// data lines plus the metadata region.
+func New(opts Options) *Controller {
+	if opts.DataLines == 0 {
+		panic("core: zero DataLines")
+	}
+	cfg := opts.Config
+	if cfg.Timing == (config.Timing{}) {
+		cfg = config.Default()
+	}
+	key := opts.Key
+	if key == nil {
+		key = defaultKey
+	}
+	layout := dedup.NewLayout(opts.DataLines)
+	// The device inherits the configured organization (banks, rows,
+	// channels); only the capacity is resized to data + metadata (+ the
+	// integrity-tree node region when enabled).
+	geom := cfg.NVM
+	totalLines := layout.TotalLines
+	var tree *integrity.Tree
+	var treeLines uint64
+	if opts.Integrity {
+		tree = integrity.New(opts.DataLines, key)
+		// 8-byte digests, 32 per NVM line; every level lives in the region.
+		var nodes uint64
+		n := opts.DataLines
+		for {
+			nodes += n
+			if n == 1 {
+				break
+			}
+			n = (n + integrity.Arity - 1) / integrity.Arity
+		}
+		treeLines = (nodes + treeNodesPerLine - 1) / treeNodesPerLine
+		totalLines += treeLines
+	}
+	geom.CapacityBytes = totalLines * config.LineSize
+	mc := cfg.MetaCache
+	c := &Controller{
+		cfg:       cfg,
+		mode:      opts.Mode,
+		persist:   opts.Persist,
+		dev:       nvm.New(geom, cfg.Timing, cfg.Energy),
+		tables:    dedup.NewTables(opts.DataLines, cfg.Dedup.MaxReference),
+		layout:    layout,
+		enc:       cme.MustNewEngine(key),
+		ctrs:      cme.NewCounterStore(),
+		pred:      predict.New(cfg.Dedup.HistoryBits),
+		hashCache: metacache.New("hash", mc.HashBytes, mc.BlockBytes, mc.Ways),
+		addrCache: metacache.New("addrmap", mc.AddrMapBytes, mc.BlockBytes, mc.Ways),
+		invCache:  metacache.New("invhash", mc.InvHashBytes, mc.BlockBytes, mc.Ways),
+		fsmCache:  metacache.New("fsm", mc.FSMBytes, mc.BlockBytes, mc.Ways),
+		pfAddr:    prefetchLines(mc.PrefetchEnts, dedup.AddrMapEntriesPerLine),
+		pfInv:     prefetchLines(mc.PrefetchEnts, dedup.InvHashEntriesPerLine),
+		pfFSM:     prefetchLines(mc.PrefetchEnts, dedup.FSMEntriesPerLine),
+		hashMask:  hashMaskFor(cfg.Dedup.HashSizeBits),
+	}
+	if opts.Integrity {
+		c.tree = tree
+		c.treeBase = layout.TotalLines
+		c.treeLines = treeLines
+		c.treeCache = metacache.New("tree", mc.TreeBytes, mc.BlockBytes, mc.Ways)
+	}
+	return c
+}
+
+// treeNodesPerLine is how many 8-byte tree nodes pack into one NVM line.
+const treeNodesPerLine = config.LineSize / integrity.DigestSize
+
+// treeAccess models touching the integrity-tree path: one tree-cache access
+// per level (NVM fill on miss) plus one MAC computation per level.
+func (c *Controller) treeAccess(now units.Time, leaf uint64, write bool) units.Time {
+	done := now
+	idx := leaf
+	var levelBase uint64
+	n := c.layout.DataLines
+	for lvl := 0; lvl < c.tree.Levels(); lvl++ {
+		nodeLine := c.treeBase + (levelBase+idx)/treeNodesPerLine
+		if nodeLine >= c.treeBase+c.treeLines {
+			nodeLine = c.treeBase + c.treeLines - 1
+		}
+		if c.treeCache.Lookup(nodeLine, write) {
+			done = done.Add(c.cfg.Timing.MetaCache)
+		} else {
+			_, rd := c.dev.ReadBypass(done, nodeLine)
+			c.metaNVMReads.Inc()
+			done = rd
+			ev, evicted := c.treeCache.Insert(nodeLine, write)
+			if evicted && ev.Dirty {
+				c.writebackMeta(done, ev.Block)
+			}
+		}
+		done = done.Add(c.cfg.Timing.MAC)
+		levelBase += n
+		idx /= integrity.Arity
+		n = (n + integrity.Arity - 1) / integrity.Arity
+	}
+	return done
+}
+
+// verifyRead checks the integrity path for the line just read; a failure
+// indicates tampering (counted, never expected in simulation).
+func (c *Controller) verifyRead(now units.Time, loc uint64, ct []byte) units.Time {
+	if c.tree == nil {
+		return now
+	}
+	d := c.tree.LeafDigest(loc, c.ctrs.Get(loc), ct)
+	if !c.tree.Verify(loc, d) {
+		c.treeFailed.Inc()
+	}
+	c.treeChecks.Inc()
+	return c.treeAccess(now, loc, false)
+}
+
+// updateTree refreshes the integrity path after a unique write.
+func (c *Controller) updateTree(now units.Time, loc, counter uint64, ct []byte) units.Time {
+	if c.tree == nil {
+		return now
+	}
+	c.tree.Update(loc, c.tree.LeafDigest(loc, counter, ct))
+	c.treeUpdates.Inc()
+	return c.treeAccess(now, loc, true)
+}
+
+// hashMaskFor returns the fingerprint truncation mask for a width in bits.
+func hashMaskFor(bits int) uint32 {
+	if bits <= 0 || bits >= 32 {
+		return ^uint32(0)
+	}
+	return (1 << uint(bits)) - 1
+}
+
+// prefetchLines converts a prefetch granularity in table entries to whole
+// metadata lines, at least one.
+func prefetchLines(entries, perLine int) int {
+	n := entries / perLine
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Device exposes the underlying NVM device for statistics.
+func (c *Controller) Device() *nvm.Device { return c.dev }
+
+// Tables exposes the dedup metadata for statistics.
+func (c *Controller) Tables() *dedup.Tables { return c.tables }
+
+// Predictor exposes the duplication predictor for statistics.
+func (c *Controller) Predictor() *predict.Predictor { return c.pred }
+
+// Layout exposes the metadata layout.
+func (c *Controller) Layout() dedup.Layout { return c.layout }
+
+// MetaCaches returns the four metadata-cache partitions
+// (hash, address-mapping, inverted-hash, FSM).
+func (c *Controller) MetaCaches() [4]*metacache.Cache {
+	return [4]*metacache.Cache{c.hashCache, c.addrCache, c.invCache, c.fsmCache}
+}
+
+func (c *Controller) checkLine(data []byte) {
+	if len(data) != config.LineSize {
+		panic(fmt.Sprintf("core: line of %d bytes, want %d", len(data), config.LineSize))
+	}
+}
+
+// metaAccess models one access to a metadata table entry through its
+// partition cache and returns the time at which the entry is available.
+// On a miss it reads the metadata line from NVM (direct-encrypted, so the
+// AES decryption cannot overlap the array access), prefetches the following
+// prefetch-1 lines, and inserts them; dirty evictions are written back to
+// NVM off the critical path but still occupy banks and count as writes.
+func (c *Controller) metaAccess(now units.Time, cache *metacache.Cache, line uint64, write bool, prefetch int) units.Time {
+	if cache.Lookup(line, write) {
+		return now.Add(c.cfg.Timing.MetaCache)
+	}
+	// Demand miss: NVM read + direct decryption.
+	_, done := c.dev.ReadBypass(now, line)
+	c.metaNVMReads.Inc()
+	done = done.Add(c.cfg.Timing.AESLine)
+	c.aesMetaOps.Inc()
+	c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
+
+	if prefetch < 1 {
+		prefetch = 1
+	}
+	for i := 0; i < prefetch; i++ {
+		pfLine := line + uint64(i)
+		if pfLine >= c.layout.TotalLines {
+			break
+		}
+		if i > 0 {
+			// Prefetched neighbours stream in behind the demand line: they
+			// occupy the bank (and are row hits) but do not extend the
+			// demand access's critical path.
+			c.dev.ReadBypass(done, pfLine)
+			c.metaNVMReads.Inc()
+		}
+		ev, evicted := cache.Insert(pfLine, write && i == 0)
+		if evicted && ev.Dirty {
+			c.writebackMeta(done, ev.Block)
+		}
+	}
+	return done.Add(c.cfg.Timing.MetaCache)
+}
+
+// writebackMeta writes a dirty metadata line back to NVM. The writeback
+// happens off the demand path (buffered), but it occupies the bank and is
+// direct-encrypted first.
+func (c *Controller) writebackMeta(now units.Time, line uint64) {
+	c.dev.Write(now, line, zeroLine[:])
+	c.metaNVMWrites.Inc()
+	c.aesMetaOps.Inc()
+	c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
+}
+
+var zeroLine [config.LineSize]byte
+
+// metaUpdate is a write access to a metadata entry: write-allocate through
+// the partition cache. Under write-through persistence the updated line is
+// also written to NVM immediately (buffered, off the critical path), so a
+// crash never loses dedup or counter state.
+func (c *Controller) metaUpdate(now units.Time, cache *metacache.Cache, line uint64, prefetch int) units.Time {
+	if c.persist == PersistWriteThrough {
+		// The NVM copy is updated immediately, so the cached copy stays
+		// clean and evictions never need a write-back.
+		done := c.metaAccess(now, cache, line, false, prefetch)
+		c.writebackMeta(done, line)
+		return done
+	}
+	return c.metaAccess(now, cache, line, true, prefetch)
+}
+
+// Write performs one timed cache-line write of data to the logical line
+// address and returns the completion time. Writes are on the critical path
+// of execution (persistent-memory ordering), so the caller stalls until the
+// returned time.
+func (c *Controller) Write(now units.Time, logical uint64, data []byte) units.Time {
+	c.checkLine(data)
+	c.writes.Inc()
+	t := c.cfg.Timing
+
+	predictedDup := c.pred.Predict()
+	parallelAES := c.mode == ModeParallel || (c.mode == ModeDeWrite && !predictedDup)
+
+	// CRC-32 fingerprint (always computed; the detection front end).
+	detect := now.Add(t.CRC32)
+	c.crcOps.Inc()
+	c.dev.AddEnergy(c.cfg.Energy.CRC32Line)
+	h := hashes.CRC32(data) & c.hashMask
+
+	// Hash-table probe through the metadata cache, with the PNA rule on a
+	// miss: only a predicted-duplicate justifies the in-NVM probe.
+	hashLine := c.layout.HashLine(h)
+	var candidates []uint64
+	probed := false
+	if c.hashCache.Lookup(hashLine, false) {
+		detect = detect.Add(t.MetaCache)
+		candidates = c.tables.Candidates(h)
+		probed = true
+	} else if !c.cfg.Dedup.PNAEnabled || c.mode != ModeDeWrite || predictedDup {
+		// In-NVM hash-table probe (and fill the cache). The PNA shortcut is
+		// part of DeWrite's prediction machinery; the plain direct/parallel
+		// ways always pay the in-NVM probe on a cache miss.
+		detect = c.metaAccess(detect, c.hashCache, hashLine, false, 1)
+		candidates = c.tables.Candidates(h)
+		probed = true
+	} else {
+		// PNA skip: treat as non-duplicate without the NVM probe. If it was
+		// a duplicate after all, the write reduction is lost (Section IV-B's
+		// ~1.5 % miss) — record it.
+		if len(c.tables.Candidates(h)) > 0 {
+			c.missedByPNA.Inc()
+		}
+	}
+
+	// Confirm duplication: read each candidate and byte-compare. A matching
+	// candidate whose reference count is saturated cannot absorb another
+	// duplicate (Section III-B2), but a previous saturation fallback may
+	// have stored an unsaturated copy of the same content later in the
+	// chain, so the scan continues past saturated matches.
+	duplicate := false
+	sawSaturated := false
+	var target uint64
+	incomingZero := isZeroLine(data)
+	if probed {
+		for _, cand := range candidates {
+			// The hash-table entry carries the reference count, so a
+			// saturated candidate is skipped without reading its line —
+			// unless it is the writer's own line (a silent store needs no
+			// new reference).
+			if !c.tables.Acceptable(cand) && !c.tables.IsSelfDuplicate(logical, cand) {
+				sawSaturated = true
+				continue
+			}
+			// Zero fast path: the hash entry flags the all-zero line and the
+			// incoming line's zero-ness is a combinational check, so the
+			// verify read is unnecessary (this subsumes Silent Shredder).
+			if incomingZero && c.tables.IsZeroLocation(cand) {
+				detect = detect.Add(t.Compare)
+				c.compareOps.Inc()
+				duplicate = true
+				target = cand
+				break
+			}
+			if incomingZero != c.tables.IsZeroLocation(cand) {
+				continue // a zero line cannot match a non-zero candidate
+			}
+			line, done := c.dev.ReadBypass(detect, cand)
+			// Decrypt the candidate under its own (location, counter) pad;
+			// OTP generation overlaps the array read when the counter is
+			// cached, so it extends the path only past the read itself.
+			ctrDone := c.metaAccess(detect, c.addrCache, c.layout.AddrMapLine(cand), false, c.pfAddr)
+			otpDone := ctrDone.Add(t.AESLine)
+			done = units.Max(done, otpDone).Add(t.XOR + t.Compare)
+			c.compareOps.Inc()
+			c.dev.AddEnergy(c.cfg.Energy.CompareLine)
+			plain := make([]byte, config.LineSize)
+			c.enc.DecryptLine(plain, line, cand, c.ctrs.Get(cand))
+			detect = done
+			if !bytes.Equal(plain, data) {
+				c.tables.NoteCollision()
+				continue
+			}
+			duplicate = true
+			target = cand
+			break
+		}
+	}
+	if sawSaturated && !duplicate {
+		c.tables.NoteSaturatedSkip()
+		c.missedBySat.Inc()
+	}
+
+	var completed units.Time
+	if duplicate {
+		if parallelAES {
+			// The speculative encryption already ran; its result is thrown
+			// away but the energy is spent — the cost the prediction scheme
+			// exists to avoid (Figure 20).
+			c.aesLineOps.Inc()
+			c.aesWasted.Inc()
+			c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
+		}
+		completed = c.writeDuplicate(detect, logical, target)
+	} else {
+		completed = c.writeUnique(now, detect, logical, data, h, parallelAES)
+	}
+
+	// Record the true outcome in the history window.
+	c.pred.Observe(duplicate)
+	if duplicate {
+		c.dupEliminated.Inc()
+	}
+	c.writeLat.Observe(completed.Sub(now))
+	return completed
+}
+
+// writeDuplicate cancels the data write and updates the mapping metadata.
+func (c *Controller) writeDuplicate(detect units.Time, logical, target uint64) units.Time {
+	// Capture pre-state to account the stale-metadata traffic.
+	oldLoc, hadLoc := c.tables.LocationOf(logical)
+	if hadLoc && oldLoc == target {
+		// Silent store: the mapping already points at the matching data, so
+		// no metadata changes at all — the write vanishes after detection.
+		c.tables.MapDuplicate(logical, target)
+		return detect
+	}
+	var staleHash uint32
+	if hadLoc && c.tables.Refs(oldLoc) == 1 {
+		staleHash, _ = c.tables.HashOf(oldLoc)
+	}
+
+	freed, didFree := c.tables.MapDuplicate(logical, target)
+
+	// Address-mapping update for the written logical line.
+	done := c.metaUpdate(detect, c.addrCache, c.layout.AddrMapLine(logical), c.pfAddr)
+	// Reference-count bump lives in the hash table.
+	done = c.metaUpdate(done, c.hashCache, c.layout.HashLine(mustHash(c.tables, target)), 1)
+	if didFree {
+		// Stale-hash cleaning and free-space update for the freed location.
+		done = c.metaUpdate(done, c.hashCache, c.layout.HashLine(staleHash), 1)
+		done = c.metaUpdate(done, c.invCache, c.layout.InvHashLine(freed), c.pfInv)
+		done = c.metaUpdate(done, c.fsmCache, c.layout.FSMLine(freed), c.pfFSM)
+	}
+	return done
+}
+
+// writeUnique encrypts and writes the line, allocating a location and
+// updating all four tables.
+func (c *Controller) writeUnique(now, detect units.Time, logical uint64, data []byte, h uint32, parallelAES bool) units.Time {
+	t := c.cfg.Timing
+
+	// Capture pre-state for stale-metadata accounting. The release inside
+	// PlaceUnique removes the old data's fingerprint whenever this logical
+	// line held its last reference — including when the freed slot is
+	// immediately re-chosen — so the stale-hash cleaning is accounted from
+	// the pre-state, not from didFree.
+	oldLoc, hadLoc := c.tables.LocationOf(logical)
+	var staleHash uint32
+	staleRemoved := false
+	if hadLoc && c.tables.Refs(oldLoc) == 1 {
+		staleHash, _ = c.tables.HashOf(oldLoc)
+		staleRemoved = true
+	}
+
+	chosen, freed, didFree := c.tables.PlaceUnique(logical, h)
+	if isZeroLine(data) {
+		c.tables.SetZeroFlag(chosen)
+	}
+	counter := c.ctrs.Bump(chosen)
+
+	// Encryption: in parallel mode AES started at request arrival; in direct
+	// mode it starts once detection has ruled out a duplicate.
+	var encDone units.Time
+	if parallelAES {
+		encDone = now.Add(t.AESLine)
+	} else {
+		encDone = detect.Add(t.AESLine)
+	}
+	c.aesLineOps.Inc()
+	c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
+
+	ct := make([]byte, config.LineSize)
+	c.enc.EncryptLine(ct, data, chosen, counter)
+
+	// Metadata updates. The counter update is colocated: for a
+	// non-deduplicated line it lands in the address-mapping entry just
+	// touched, for a displaced line in the inverted-hash slot updated below,
+	// so it costs no extra table access (Section III-C).
+	done := units.Max(detect, encDone)
+	done = c.metaUpdate(done, c.addrCache, c.layout.AddrMapLine(logical), c.pfAddr)
+	if chosen != logical {
+		// Displaced allocation: clear the chosen location's free flag.
+		done = c.metaUpdate(done, c.fsmCache, c.layout.FSMLine(chosen), c.pfFSM)
+	}
+	done = c.metaUpdate(done, c.invCache, c.layout.InvHashLine(chosen), c.pfInv)
+	done = c.metaUpdate(done, c.hashCache, c.layout.HashLine(h), 1)
+	if staleRemoved {
+		done = c.metaUpdate(done, c.hashCache, c.layout.HashLine(staleHash), 1)
+	}
+	if didFree {
+		done = c.metaUpdate(done, c.invCache, c.layout.InvHashLine(freed), c.pfInv)
+		done = c.metaUpdate(done, c.fsmCache, c.layout.FSMLine(freed), c.pfFSM)
+	}
+
+	// The array write, then (when enabled) the integrity-path update.
+	done = c.dev.Write(done, chosen, ct)
+	return c.updateTree(done, chosen, counter, ct)
+}
+
+func mustHash(t *dedup.Tables, loc uint64) uint32 {
+	h, ok := t.HashOf(loc)
+	if !ok {
+		panic(fmt.Sprintf("core: live location %#x has no hash", loc))
+	}
+	return h
+}
+
+// Read performs one timed cache-line read of the logical line address and
+// returns the plaintext and the completion time.
+func (c *Controller) Read(now units.Time, logical uint64) ([]byte, units.Time) {
+	if logical >= c.layout.DataLines {
+		panic(fmt.Sprintf("core: read of %#x beyond %d data lines", logical, c.layout.DataLines))
+	}
+	c.reads.Inc()
+	t := c.cfg.Timing
+
+	// Resolve the logical address through the address-mapping table. The
+	// counter of a non-deduplicated line is colocated in the same entry.
+	mapDone := c.metaAccess(now, c.addrCache, c.layout.AddrMapLine(logical), false, c.pfAddr)
+
+	loc, written := c.tables.LocationOf(logical)
+	if !written {
+		// Architecturally undefined read; the device still performs an array
+		// read of the line's own slot and the simulator returns zeros.
+		_, done := c.dev.Read(mapDone, logical)
+		out := make([]byte, config.LineSize)
+		done = done.Add(t.XOR)
+		c.readLat.Observe(done.Sub(now))
+		return out, done
+	}
+
+	ctrDone := mapDone
+	if loc != logical {
+		// Deduplicated (or displaced): the counter lives with the real
+		// location's metadata.
+		ctrDone = c.metaAccess(mapDone, c.addrCache, c.layout.AddrMapLine(loc), false, c.pfAddr)
+	}
+
+	// OTP generation overlaps the array read.
+	ct, readDone := c.dev.Read(ctrDone, loc)
+	otpDone := ctrDone.Add(t.AESLine)
+	done := units.Max(readDone, otpDone).Add(t.XOR)
+	c.aesLineOps.Inc()
+	c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
+	done = c.verifyRead(done, loc, ct)
+
+	plain := make([]byte, config.LineSize)
+	c.enc.DecryptLine(plain, ct, loc, c.ctrs.Get(loc))
+	c.readLat.Observe(done.Sub(now))
+	return plain, done
+}
+
+// Report is a snapshot of the controller's statistics.
+type Report struct {
+	Mode          string
+	Writes        uint64
+	Reads         uint64
+	DupEliminated uint64
+	MissedByPNA   uint64
+	MissedBySat   uint64
+	AESLineOps    uint64
+	AESWasted     uint64
+	AESMetaOps    uint64
+	CRCOps        uint64
+	CompareOps    uint64
+	MetaNVMReads  uint64
+	MetaNVMWrites uint64
+	TreeUpdates   uint64
+	TreeChecks    uint64
+	TreeFailed    uint64
+	MeanWriteLat  units.Duration
+	MeanReadLat   units.Duration
+	WriteLatSum   units.Duration
+	ReadLatSum    units.Duration
+	PredAccuracy  float64
+	Dedup         dedup.Stats
+	Device        nvm.Stats
+}
+
+// Persist returns the configured metadata-persistence scheme.
+func (c *Controller) Persist() PersistMode { return c.persist }
+
+// FlushMetadata writes every dirty metadata line back to NVM — the ordered
+// shutdown (or battery-drain) path for the battery-backed scheme. It
+// returns the number of lines flushed; under write-through persistence the
+// caches are always clean and it returns 0.
+func (c *Controller) FlushMetadata(now units.Time) int {
+	flushed := 0
+	for _, cache := range c.MetaCaches() {
+		for _, line := range cache.FlushAll() {
+			c.writebackMeta(now, line)
+			flushed++
+		}
+	}
+	return flushed
+}
+
+// Report returns the current statistics snapshot.
+func (c *Controller) Report() Report {
+	return Report{
+		Mode:          c.mode.String(),
+		Writes:        c.writes.Value(),
+		Reads:         c.reads.Value(),
+		DupEliminated: c.dupEliminated.Value(),
+		MissedByPNA:   c.missedByPNA.Value(),
+		MissedBySat:   c.missedBySat.Value(),
+		AESLineOps:    c.aesLineOps.Value(),
+		AESWasted:     c.aesWasted.Value(),
+		AESMetaOps:    c.aesMetaOps.Value(),
+		CRCOps:        c.crcOps.Value(),
+		CompareOps:    c.compareOps.Value(),
+		MetaNVMReads:  c.metaNVMReads.Value(),
+		MetaNVMWrites: c.metaNVMWrites.Value(),
+		TreeUpdates:   c.treeUpdates.Value(),
+		TreeChecks:    c.treeChecks.Value(),
+		TreeFailed:    c.treeFailed.Value(),
+		MeanWriteLat:  c.writeLat.Mean(),
+		MeanReadLat:   c.readLat.Mean(),
+		WriteLatSum:   c.writeLat.Sum(),
+		ReadLatSum:    c.readLat.Sum(),
+		PredAccuracy:  c.pred.Accuracy(),
+		Dedup:         c.tables.Snapshot(),
+		Device:        c.dev.Stats(),
+	}
+}
+
+// WriteReduction returns the fraction of CPU writes eliminated by dedup.
+func (r Report) WriteReduction() float64 {
+	return stats.Ratio(r.DupEliminated, r.Writes)
+}
+
+// isZeroLine reports whether every byte of data is zero — the combinational
+// check the zero fast path uses.
+func isZeroLine(data []byte) bool {
+	for _, b := range data {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dewrite/internal/config"
+	"dewrite/internal/core"
+	"dewrite/internal/units"
+)
+
+// Example shows the minimal write/read/dedup flow through the controller.
+func Example() {
+	ctrl := core.New(core.Options{DataLines: 1024})
+
+	line := make([]byte, config.LineSize)
+	copy(line, "the same payload")
+
+	var now units.Time
+	now = ctrl.Write(now, 1, line) // stored (encrypted)
+	now = ctrl.Write(now, 2, line) // duplicate: eliminated
+	now = ctrl.Write(now, 3, line) // duplicate: eliminated
+
+	data, _ := ctrl.Read(now, 3)
+	fmt.Printf("line 3 starts with %q\n", data[:16])
+
+	r := ctrl.Report()
+	fmt.Printf("%d of %d writes eliminated, %d array writes\n",
+		r.DupEliminated, r.Writes, r.Device.Writes)
+	// Output:
+	// line 3 starts with "the same payload"
+	// 2 of 3 writes eliminated, 1 array writes
+}

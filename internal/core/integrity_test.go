@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"dewrite/internal/config"
+	"dewrite/internal/rng"
+	"dewrite/internal/units"
+)
+
+func integrityController() *Controller {
+	cfg := config.Default()
+	cfg.NVM = config.SmallNVM(1 * units.MB)
+	return New(Options{DataLines: 2048, Config: cfg, Integrity: true})
+}
+
+func TestIntegrityRoundTrip(t *testing.T) {
+	c := integrityController()
+	src := rng.New(61)
+	shadow := map[uint64][]byte{}
+	var now units.Time
+	for i := 0; i < 500; i++ {
+		addr := src.Uint64n(256)
+		line := fillLine(src)
+		now = c.Write(now, addr, line)
+		shadow[addr] = line
+	}
+	for addr, want := range shadow {
+		got, done := c.Read(now, addr)
+		now = done
+		if !bytes.Equal(got, want) {
+			t.Fatalf("line %d wrong under integrity", addr)
+		}
+	}
+	r := c.Report()
+	if r.TreeChecks == 0 || r.TreeUpdates == 0 {
+		t.Fatalf("tree idle: %+v", r)
+	}
+	if r.TreeFailed != 0 {
+		t.Fatalf("%d spurious verification failures", r.TreeFailed)
+	}
+}
+
+func TestIntegrityDetectsDeviceTampering(t *testing.T) {
+	c := integrityController()
+	src := rng.New(62)
+	line := fillLine(src)
+	now := c.Write(0, 9, line)
+
+	// Tamper with the stored ciphertext behind the controller's back.
+	raw := c.Device().Peek(9)
+	raw[0] ^= 0xff
+	c.Device().Poke(9, raw)
+
+	c.Read(now, 9)
+	if c.Report().TreeFailed == 0 {
+		t.Fatal("tampered line read without a verification failure")
+	}
+}
+
+func TestDuplicatesSkipTreeUpdates(t *testing.T) {
+	// The dedup synergy: an eliminated write changes no line, so the tree
+	// is untouched.
+	c := integrityController()
+	src := rng.New(63)
+	line := fillLine(src)
+	var now units.Time
+	now = c.Write(now, 1, line)
+	updatesAfterFirst := c.Report().TreeUpdates
+	for i := uint64(2); i < 20; i++ {
+		now = c.Write(now, i, line) // all duplicates
+	}
+	r := c.Report()
+	if r.TreeUpdates != updatesAfterFirst {
+		t.Fatalf("duplicate writes performed %d tree updates", r.TreeUpdates-updatesAfterFirst)
+	}
+	if r.DupEliminated != 18 {
+		t.Fatalf("DupEliminated = %d", r.DupEliminated)
+	}
+}
+
+func TestIntegrityCostsLatency(t *testing.T) {
+	plainLat := func(integrityOn bool) units.Duration {
+		cfg := config.Default()
+		cfg.NVM = config.SmallNVM(1 * units.MB)
+		c := New(Options{DataLines: 2048, Config: cfg, Integrity: integrityOn})
+		src := rng.New(64)
+		var now units.Time
+		var sum units.Duration
+		const n = 200
+		for i := 0; i < n; i++ {
+			line := fillLine(src)
+			done := c.Write(now, uint64(i), line)
+			sum += done.Sub(now)
+			now = done
+		}
+		return sum / n
+	}
+	off := plainLat(false)
+	on := plainLat(true)
+	if on <= off {
+		t.Fatalf("integrity should cost write latency: %v vs %v", on, off)
+	}
+	// The tree walk is a handful of cached node touches + MACs, not another
+	// NVM write; overhead must stay moderate.
+	if on > off*2 {
+		t.Fatalf("integrity overhead implausibly high: %v vs %v", on, off)
+	}
+}
+
+func TestIntegrityDisabledByDefault(t *testing.T) {
+	c := smallController(ModeDeWrite)
+	src := rng.New(65)
+	now := c.Write(0, 1, fillLine(src))
+	c.Read(now, 1)
+	if r := c.Report(); r.TreeChecks != 0 || r.TreeUpdates != 0 {
+		t.Fatal("tree active without Integrity option")
+	}
+}

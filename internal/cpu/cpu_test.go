@@ -1,0 +1,100 @@
+package cpu
+
+import (
+	"testing"
+
+	"dewrite/internal/units"
+)
+
+func TestExecuteAdvancesAtOneIPC(t *testing.T) {
+	m := NewMachine(1)
+	m.Execute(0, 1000)
+	if m.Instructions() != 1000 {
+		t.Fatalf("instructions = %d", m.Instructions())
+	}
+	if m.Cycles() != 1000 {
+		t.Fatalf("cycles = %d", m.Cycles())
+	}
+	if got := m.IPC(); got != 1 {
+		t.Fatalf("IPC = %v", got)
+	}
+}
+
+func TestWriteStallLowersIPC(t *testing.T) {
+	m := NewMachine(1)
+	m.Execute(0, 1000) // 500 ns at 2 GHz
+	// A write completing 300 ns later: 600 stall cycles.
+	done := m.Now(0).Add(300 * units.Nanosecond)
+	m.CompleteWrite(0, done)
+	if m.Instructions() != 1001 {
+		t.Fatalf("instructions = %d", m.Instructions())
+	}
+	if m.Cycles() != 1600 {
+		t.Fatalf("cycles = %d", m.Cycles())
+	}
+	if ipc := m.IPC(); ipc >= 1 {
+		t.Fatalf("IPC = %v, want < 1 after stall", ipc)
+	}
+	if m.MeanWriteStall() != 300*units.Nanosecond {
+		t.Fatalf("MeanWriteStall = %v", m.MeanWriteStall())
+	}
+}
+
+func TestReadStallAccounting(t *testing.T) {
+	m := NewMachine(1)
+	done := m.Now(0).Add(75 * units.Nanosecond)
+	m.CompleteRead(0, done)
+	if m.MeanReadStall() != 75*units.Nanosecond {
+		t.Fatalf("MeanReadStall = %v", m.MeanReadStall())
+	}
+}
+
+func TestMultiThreadElapsedIsMax(t *testing.T) {
+	m := NewMachine(4)
+	m.Execute(0, 100)
+	m.Execute(1, 500)
+	m.Execute(2, 50)
+	if m.Cycles() != 500 {
+		t.Fatalf("cycles = %d, want slowest thread's 500", m.Cycles())
+	}
+	// Aggregate IPC exceeds 1 with parallel threads.
+	if ipc := m.IPC(); ipc <= 1 {
+		t.Fatalf("IPC = %v, want > 1", ipc)
+	}
+}
+
+func TestMemStallFraction(t *testing.T) {
+	m := NewMachine(1)
+	m.Execute(0, 200) // 100 ns
+	m.CompleteWrite(0, m.Now(0).Add(100*units.Nanosecond))
+	got := m.MemStallFraction()
+	if got < 0.49 || got > 0.51 {
+		t.Fatalf("stall fraction = %v, want ~0.5", got)
+	}
+}
+
+func TestCompletionBeforeIssuePanics(t *testing.T) {
+	m := NewMachine(1)
+	m.Execute(0, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.CompleteWrite(0, 0)
+}
+
+func TestZeroThreadsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMachine(0)
+}
+
+func TestIPCZeroCycles(t *testing.T) {
+	if NewMachine(1).IPC() != 0 {
+		t.Fatal("fresh machine IPC not 0")
+	}
+}

@@ -1,0 +1,35 @@
+package dedup_test
+
+import (
+	"fmt"
+
+	"dewrite/internal/dedup"
+)
+
+// Example walks the metadata operations a controller performs: placing
+// unique data, mapping a duplicate onto it, and the reference bookkeeping a
+// rewrite triggers.
+func Example() {
+	t := dedup.NewTables(64, 255)
+
+	// Logical line 10 stores unique content with fingerprint 0xabcd.
+	loc, _, _ := t.PlaceUnique(10, 0xabcd)
+	fmt.Println("stored at its own slot:", loc == 10)
+
+	// Logical line 20 writes the same content: the fingerprint probe finds
+	// the candidate and the mapping is redirected.
+	cands := t.Candidates(0xabcd)
+	t.MapDuplicate(20, cands[0])
+	fmt.Println("references on the shared line:", t.Refs(loc))
+
+	// Line 10 rewrites: its old data is still referenced by 20, so the new
+	// data is displaced to a free slot.
+	newLoc, _, _ := t.PlaceUnique(10, 0x1111)
+	fmt.Println("rewrite displaced:", newLoc != 10)
+	fmt.Println("old data still live for line 20:", t.IsLive(loc))
+	// Output:
+	// stored at its own slot: true
+	// references on the shared line: 2
+	// rewrite displaced: true
+	// old data still live for line 20: true
+}

@@ -1,0 +1,106 @@
+package dedup
+
+import (
+	"fmt"
+
+	"dewrite/internal/config"
+)
+
+// Layout maps metadata-table entries onto NVM line addresses, placing the
+// four tables in a metadata region after the data region (the paper stores
+// metadata in the same encrypted NVM that existing secure-NVM designs use
+// for counters). The timed layer uses it to decide which NVM line a metadata
+// access touches, which drives both the metadata cache and the queueing
+// model.
+//
+// Entry packing per 256 B metadata line follows Section IV-E1:
+//
+//   - address mapping table: 4 B realAddr (+1 flag bit) per logical line → 64
+//     entries per line (the flag bits ride in the same line);
+//   - inverted hash table: 4 B hash (+1 flag bit) per location → 64 per line;
+//   - hash table: 9 B entries (4 B hash, 4 B addr, 1 B reference) → 28 per
+//     line, bucketed by hash;
+//   - FSM table: 1 bit per location → 2048 per line.
+type Layout struct {
+	DataLines uint64
+
+	AddrMapBase uint64 // first NVM line of the address mapping table
+	InvHashBase uint64
+	HashBase    uint64
+	FSMBase     uint64
+	TotalLines  uint64 // data + metadata
+}
+
+// Entries per metadata line for each table.
+const (
+	AddrMapEntriesPerLine = config.LineSize / 4 // 64
+	InvHashEntriesPerLine = config.LineSize / 4 // 64
+	HashEntriesPerLine    = config.LineSize / 9 // 28
+	FSMEntriesPerLine     = config.LineSize * 8 // 2048
+)
+
+// NewLayout computes the metadata layout for a device with dataLines logical
+// lines. The hash table is provisioned with one bucket per data line (a live
+// location always fits).
+func NewLayout(dataLines uint64) Layout {
+	if dataLines == 0 {
+		panic("dedup: layout over zero lines")
+	}
+	l := Layout{DataLines: dataLines}
+	cursor := dataLines
+	l.AddrMapBase = cursor
+	cursor += ceilDiv(dataLines, AddrMapEntriesPerLine)
+	l.InvHashBase = cursor
+	cursor += ceilDiv(dataLines, InvHashEntriesPerLine)
+	l.HashBase = cursor
+	cursor += ceilDiv(dataLines, HashEntriesPerLine)
+	l.FSMBase = cursor
+	cursor += ceilDiv(dataLines, FSMEntriesPerLine)
+	l.TotalLines = cursor
+	return l
+}
+
+func ceilDiv(a, b uint64) uint64 { return (a + b - 1) / b }
+
+// AddrMapLine returns the NVM line holding logical's address-mapping entry.
+func (l Layout) AddrMapLine(logical uint64) uint64 {
+	l.check(logical)
+	return l.AddrMapBase + logical/AddrMapEntriesPerLine
+}
+
+// InvHashLine returns the NVM line holding the inverted-hash entry of a
+// storage location.
+func (l Layout) InvHashLine(loc uint64) uint64 {
+	l.check(loc)
+	return l.InvHashBase + loc/InvHashEntriesPerLine
+}
+
+// HashLine returns the NVM line holding the hash-table bucket for hash.
+// Buckets are distributed over the data-line count.
+func (l Layout) HashLine(hash uint32) uint64 {
+	bucket := uint64(hash) % l.DataLines
+	return l.HashBase + bucket/HashEntriesPerLine
+}
+
+// FSMLine returns the NVM line holding the free-space flag of a location.
+func (l Layout) FSMLine(loc uint64) uint64 {
+	l.check(loc)
+	return l.FSMBase + loc/FSMEntriesPerLine
+}
+
+func (l Layout) check(a uint64) {
+	if a >= l.DataLines {
+		panic(fmt.Sprintf("dedup: layout address %#x beyond %d data lines", a, l.DataLines))
+	}
+}
+
+// MetadataLines returns the number of NVM lines the metadata region occupies.
+func (l Layout) MetadataLines() uint64 { return l.TotalLines - l.DataLines }
+
+// OverheadFraction returns metadata bytes / data bytes — the paper's ≈6.25 %
+// storage-overhead figure (Section IV-E1), achieved because counters are
+// colocated in the null slots of the address-mapping and inverted-hash
+// tables rather than stored in a table of their own.
+func (l Layout) OverheadFraction() float64 {
+	return float64(l.MetadataLines()) / float64(l.DataLines)
+}

@@ -1,0 +1,92 @@
+package dedup
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLayoutRegionsDisjointAndOrdered(t *testing.T) {
+	l := NewLayout(1 << 20) // 1M lines = 256 MB data
+	if l.AddrMapBase != l.DataLines {
+		t.Fatal("address map must start right after data")
+	}
+	if !(l.AddrMapBase < l.InvHashBase && l.InvHashBase < l.HashBase &&
+		l.HashBase < l.FSMBase && l.FSMBase < l.TotalLines) {
+		t.Fatalf("regions out of order: %+v", l)
+	}
+}
+
+func TestLayoutOverheadNearPaperFigure(t *testing.T) {
+	// Section IV-E1: (4B + 4B + 8B + 3bit)/256B ≈ 6.25 %. Our hash table is
+	// provisioned at 9 B per data line, so expect ~6.7 %, within a point.
+	l := NewLayout(1 << 22)
+	got := l.OverheadFraction()
+	if got < 0.055 || got > 0.075 {
+		t.Fatalf("overhead = %.4f, want ≈ 0.0625", got)
+	}
+}
+
+func TestEntryPacking(t *testing.T) {
+	if AddrMapEntriesPerLine != 64 || InvHashEntriesPerLine != 64 {
+		t.Fatal("4-byte entries should pack 64 per line")
+	}
+	if HashEntriesPerLine != 28 {
+		t.Fatalf("hash entries per line = %d, want 28", HashEntriesPerLine)
+	}
+	if FSMEntriesPerLine != 2048 {
+		t.Fatalf("FSM entries per line = %d, want 2048", FSMEntriesPerLine)
+	}
+}
+
+func TestLineMappings(t *testing.T) {
+	l := NewLayout(1000)
+	if got := l.AddrMapLine(0); got != l.AddrMapBase {
+		t.Fatalf("AddrMapLine(0) = %d", got)
+	}
+	if got := l.AddrMapLine(63); got != l.AddrMapBase {
+		t.Fatal("entries 0-63 should share a line")
+	}
+	if got := l.AddrMapLine(64); got != l.AddrMapBase+1 {
+		t.Fatal("entry 64 should be on the second line")
+	}
+	if got := l.FSMLine(999); got != l.FSMBase {
+		t.Fatalf("FSMLine(999) = %d, want %d (1000 bits fit one line)", got, l.FSMBase)
+	}
+}
+
+func TestHashLineWithinRegion(t *testing.T) {
+	l := NewLayout(5000)
+	f := func(h uint32) bool {
+		line := l.HashLine(h)
+		return line >= l.HashBase && line < l.FSMBase
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllMetadataLinesWithinDevice(t *testing.T) {
+	l := NewLayout(777) // deliberately non-round
+	f := func(aRaw uint16) bool {
+		a := uint64(aRaw) % l.DataLines
+		for _, line := range []uint64{l.AddrMapLine(a), l.InvHashLine(a), l.FSMLine(a)} {
+			if line < l.DataLines || line >= l.TotalLines {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutChecksBounds(t *testing.T) {
+	l := NewLayout(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.AddrMapLine(100)
+}

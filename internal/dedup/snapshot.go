@@ -1,0 +1,223 @@
+package dedup
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshotting: the tables can be serialized and restored, the software
+// equivalent of the recovery walk a real controller performs over the
+// in-NVM metadata region after a clean shutdown (Section V: the metadata is
+// persistent; only the cached copies need flushing). A restored Tables is
+// behaviourally identical to the original.
+
+const snapshotMagic = "DWDT1\n"
+
+// WriteTo serializes the tables in a compact, deterministic binary format.
+func (t *Tables) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if err := count(bw.WriteString(snapshotMagic)); err != nil {
+		return n, err
+	}
+	var b8 [8]byte
+	writeU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		return count(bw.Write(b8[:]))
+	}
+	if err := writeU64(t.lines); err != nil {
+		return n, err
+	}
+	if err := writeU64(uint64(t.maxRef)); err != nil {
+		return n, err
+	}
+	if err := writeU64(t.freshScan); err != nil {
+		return n, err
+	}
+
+	// Mappings, sorted for determinism.
+	logicals := make([]uint64, 0, len(t.real))
+	for l := range t.real {
+		logicals = append(logicals, l)
+	}
+	sort.Slice(logicals, func(i, j int) bool { return logicals[i] < logicals[j] })
+	if err := writeU64(uint64(len(logicals))); err != nil {
+		return n, err
+	}
+	for _, l := range logicals {
+		if err := writeU64(l); err != nil {
+			return n, err
+		}
+		if err := writeU64(t.real[l]); err != nil {
+			return n, err
+		}
+	}
+
+	// Live locations (hash, refs, zero flag), sorted.
+	locs := make([]uint64, 0, len(t.loc))
+	for a := range t.loc {
+		locs = append(locs, a)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	if err := writeU64(uint64(len(locs))); err != nil {
+		return n, err
+	}
+	for _, a := range locs {
+		l := t.loc[a]
+		if err := writeU64(a); err != nil {
+			return n, err
+		}
+		if err := writeU64(uint64(l.hash)); err != nil {
+			return n, err
+		}
+		if err := writeU64(uint64(l.refs)); err != nil {
+			return n, err
+		}
+		z := uint64(0)
+		if l.isZero {
+			z = 1
+		}
+		if err := writeU64(z); err != nil {
+			return n, err
+		}
+	}
+
+	// Free list, compacted: the in-memory list keeps stale entries (slots
+	// re-claimed via own-slot preference) that allocate() filters lazily;
+	// the snapshot stores only the genuinely free, de-duplicated tail.
+	var freed []uint64
+	seen := make(map[uint64]bool)
+	for _, a := range t.freed {
+		if t.loc[a] == nil && !seen[a] {
+			freed = append(freed, a)
+			seen[a] = true
+		}
+	}
+	if err := writeU64(uint64(len(freed))); err != nil {
+		return n, err
+	}
+	for _, a := range freed {
+		if err := writeU64(a); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTables deserializes a snapshot written by WriteTo. The hash index is
+// rebuilt from the live locations (the recovery walk), and the result
+// satisfies CheckInvariants.
+func ReadTables(r io.Reader) (*Tables, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dedup: reading magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("dedup: bad snapshot magic %q", magic)
+	}
+	var b8 [8]byte
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, b8[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b8[:]), nil
+	}
+
+	lines, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	maxRef, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	if lines == 0 || maxRef == 0 {
+		return nil, fmt.Errorf("dedup: corrupt snapshot header (lines=%d maxRef=%d)", lines, maxRef)
+	}
+	t := NewTables(lines, uint(maxRef))
+	if t.freshScan, err = readU64(); err != nil {
+		return nil, err
+	}
+
+	nMap, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	if nMap > lines {
+		return nil, fmt.Errorf("dedup: snapshot claims %d mappings over %d lines", nMap, lines)
+	}
+	for i := uint64(0); i < nMap; i++ {
+		logical, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		locAddr, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		if logical >= lines || locAddr >= lines {
+			return nil, fmt.Errorf("dedup: snapshot mapping %#x->%#x out of range", logical, locAddr)
+		}
+		t.real[logical] = locAddr
+	}
+
+	nLoc, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	if nLoc > lines {
+		return nil, fmt.Errorf("dedup: snapshot claims %d live locations over %d lines", nLoc, lines)
+	}
+	for i := uint64(0); i < nLoc; i++ {
+		addr, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		h, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		refs, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		z, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		if addr >= lines {
+			return nil, fmt.Errorf("dedup: snapshot location %#x out of range", addr)
+		}
+		l := &location{hash: uint32(h), refs: uint(refs), isZero: z == 1}
+		t.loc[addr] = l
+		t.hash[l.hash] = append(t.hash[l.hash], addr)
+	}
+
+	nFree, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	if nFree > lines {
+		return nil, fmt.Errorf("dedup: snapshot claims %d freed locations", nFree)
+	}
+	for i := uint64(0); i < nFree; i++ {
+		a, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		t.freed = append(t.freed, a)
+	}
+
+	if err := t.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("dedup: snapshot inconsistent: %w", err)
+	}
+	return t, nil
+}

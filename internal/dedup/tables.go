@@ -1,0 +1,394 @@
+// Package dedup implements the four metadata structures from Section III-B2
+// of the paper — the address mapping table, the hash table, the inverted hash
+// table and the free-space-management (FSM) table — together with the
+// reference-counting rules that keep them consistent.
+//
+// This package is the functional layer: it answers "where does logical line
+// X's data live", "which locations hold data with this fingerprint", and
+// maintains liveness/refcounts. The timed layer (internal/core) decides when
+// each metadata access pays an on-chip cache hit or an NVM round trip, using
+// the Layout type in this package to map table entries onto NVM metadata
+// lines.
+//
+// Terminology: a *logical* address (the paper's initAddr) is the line number
+// the CPU addresses; a *location* (the paper's realAddr) is the physical line
+// slot in the device that stores data. Deduplication makes the mapping
+// many-to-one.
+package dedup
+
+import (
+	"fmt"
+
+	"dewrite/internal/stats"
+)
+
+// Tables holds the deduplication metadata for a device with a fixed number
+// of data lines. Not safe for concurrent use.
+type Tables struct {
+	lines  uint64
+	maxRef uint
+
+	real map[uint64]uint64    // logical → location, absent means never written
+	loc  map[uint64]*location // location → live state, absent means free
+	hash map[uint32][]uint64  // fingerprint → live locations with that fingerprint
+
+	freed     []uint64 // freed locations available for reuse (LIFO)
+	freshScan uint64   // cursor over never-allocated locations
+
+	refHist    stats.Histogram
+	duplicates stats.Counter // writes eliminated as duplicates
+	selfDups   stats.Counter // duplicates of the line's own current data
+	uniques    stats.Counter // writes stored as unique data
+	collisions stats.Counter // fingerprint matches whose data differed
+	saturated  stats.Counter // duplicates skipped due to refcount saturation
+	displaced  stats.Counter // unique writes placed away from their own slot
+	frees      stats.Counter // locations returned to the free pool
+}
+
+type location struct {
+	hash   uint32
+	refs   uint
+	isZero bool
+}
+
+// NewTables returns empty metadata for a device with the given number of
+// data lines. maxRef is the saturating reference-count limit (255 in the
+// paper); a location at the limit no longer accepts new duplicates.
+func NewTables(lines uint64, maxRef uint) *Tables {
+	if lines == 0 {
+		panic("dedup: zero data lines")
+	}
+	if maxRef < 1 {
+		panic("dedup: maxRef must be at least 1")
+	}
+	return &Tables{
+		lines:  lines,
+		maxRef: maxRef,
+		real:   make(map[uint64]uint64),
+		loc:    make(map[uint64]*location),
+		hash:   make(map[uint32][]uint64),
+	}
+}
+
+// Lines returns the number of data lines the tables cover.
+func (t *Tables) Lines() uint64 { return t.lines }
+
+func (t *Tables) checkAddr(a uint64) {
+	if a >= t.lines {
+		panic(fmt.Sprintf("dedup: address %#x beyond %d lines", a, t.lines))
+	}
+}
+
+// LocationOf returns the storage location of logical's data. The second
+// result is false if the line has never been written (then it has no data;
+// reads of it are architecturally undefined and the simulator returns zero).
+func (t *Tables) LocationOf(logical uint64) (uint64, bool) {
+	t.checkAddr(logical)
+	l, ok := t.real[logical]
+	return l, ok
+}
+
+// IsDeduplicated reports whether logical's data lives at a location shared
+// with (or belonging to) another logical line, i.e. it was written as a
+// duplicate. Displaced unique lines (own slot occupied) also map away from
+// their slot but carry refs == 1.
+func (t *Tables) IsDeduplicated(logical uint64) bool {
+	t.checkAddr(logical)
+	l, ok := t.real[logical]
+	return ok && t.loc[l] != nil && t.loc[l].refs > 1
+}
+
+// IsLive reports whether the storage location holds current data.
+func (t *Tables) IsLive(loc uint64) bool {
+	t.checkAddr(loc)
+	return t.loc[loc] != nil
+}
+
+// HashOf returns the fingerprint of the live data at loc. The second result
+// is false if the location is free.
+func (t *Tables) HashOf(loc uint64) (uint32, bool) {
+	t.checkAddr(loc)
+	if l := t.loc[loc]; l != nil {
+		return l.hash, true
+	}
+	return 0, false
+}
+
+// Refs returns the reference count of the live data at loc (0 if free).
+func (t *Tables) Refs(loc uint64) uint {
+	t.checkAddr(loc)
+	if l := t.loc[loc]; l != nil {
+		return l.refs
+	}
+	return 0
+}
+
+// Candidates returns the live locations whose data carries the given
+// fingerprint — the hash-table probe of the duplication-detection path. The
+// returned slice is owned by the tables and must not be mutated.
+func (t *Tables) Candidates(hash uint32) []uint64 {
+	return t.hash[hash]
+}
+
+// Acceptable reports whether loc can absorb one more duplicate reference,
+// i.e. it is live and below the saturation limit (Section III-B2: a line at
+// the limit is "highly referenced" and new duplicates of it are written as
+// unique data instead).
+func (t *Tables) Acceptable(loc uint64) bool {
+	l := t.loc[loc]
+	return l != nil && l.refs < t.maxRef
+}
+
+// NoteSaturatedSkip records that a true duplicate was processed as unique
+// because its target's reference count was saturated.
+func (t *Tables) NoteSaturatedSkip() { t.saturated.Inc() }
+
+// NoteCollision records a fingerprint match whose byte-compare failed.
+func (t *Tables) NoteCollision() { t.collisions.Inc() }
+
+// IsSelfDuplicate reports whether target is already the storage location of
+// logical's current data, i.e. the write is a line-level silent store and
+// nothing needs to change.
+func (t *Tables) IsSelfDuplicate(logical, target uint64) bool {
+	l, ok := t.real[logical]
+	return ok && l == target
+}
+
+// MapDuplicate redirects logical to the live location target, releasing
+// logical's previous mapping. It must only be called when Acceptable(target)
+// is true and the caller has byte-verified the data. It returns the location
+// freed by the release, if any, so the timed layer can account the FSM
+// update.
+func (t *Tables) MapDuplicate(logical, target uint64) (freed uint64, didFree bool) {
+	t.checkAddr(logical)
+	t.checkAddr(target)
+	l := t.loc[target]
+	if l == nil {
+		panic(fmt.Sprintf("dedup: MapDuplicate to free location %#x", target))
+	}
+	if t.IsSelfDuplicate(logical, target) {
+		// A silent store: no reference change, so saturation is irrelevant.
+		t.selfDups.Inc()
+		t.duplicates.Inc()
+		return 0, false
+	}
+	if l.refs >= t.maxRef {
+		panic(fmt.Sprintf("dedup: MapDuplicate to saturated location %#x", target))
+	}
+	freed, didFree = t.release(logical)
+	if didFree && freed == target {
+		panic(fmt.Sprintf("dedup: released target %#x of MapDuplicate", target))
+	}
+	t.real[logical] = target
+	l.refs++
+	t.duplicates.Inc()
+	return freed, didFree
+}
+
+// IsZeroLocation reports whether the live data at loc is flagged as the
+// all-zero line. Hash entries carry this flag so a zero write can be matched
+// without the verify read (the dedup logic knows a line is zero when it
+// inserts it, and the incoming line's zero-ness is a combinational check).
+func (t *Tables) IsZeroLocation(loc uint64) bool {
+	l := t.loc[loc]
+	return l != nil && l.isZero
+}
+
+// SetZeroFlag marks the live data at loc as the all-zero line. The caller
+// (the controller) sets it right after placing a zero line.
+func (t *Tables) SetZeroFlag(loc uint64) {
+	if l := t.loc[loc]; l != nil {
+		l.isZero = true
+	}
+}
+
+// PlaceUnique chooses and claims a storage location for new unique data
+// written to logical, releasing logical's previous mapping first. It prefers
+// logical's own slot when that slot is free (or becomes free by the
+// release); otherwise it allocates a free location (the paper's FSM path).
+// It returns the chosen location and the location freed by the release, if
+// any and if different from the chosen one.
+func (t *Tables) PlaceUnique(logical uint64, hash uint32) (chosen uint64, freed uint64, didFree bool) {
+	t.checkAddr(logical)
+	freed, didFree = t.release(logical)
+
+	if t.loc[logical] == nil {
+		chosen = logical
+	} else {
+		chosen = t.allocate()
+		t.displaced.Inc()
+	}
+	if didFree && freed == chosen {
+		didFree = false
+	}
+
+	t.loc[chosen] = &location{hash: hash, refs: 1}
+	t.hash[hash] = append(t.hash[hash], chosen)
+	t.real[logical] = chosen
+	t.uniques.Inc()
+	return chosen, freed, didFree
+}
+
+// release detaches logical from its current data, decrementing the reference
+// count of the location that held it and freeing the location when the count
+// reaches zero (which also cleans the stale fingerprint, the inverted-hash-
+// table operation of Section III-B2). Lines never written release nothing.
+func (t *Tables) release(logical uint64) (freed uint64, didFree bool) {
+	locAddr, ok := t.real[logical]
+	if !ok {
+		return 0, false // never written
+	}
+	l := t.loc[locAddr]
+	if l == nil {
+		panic(fmt.Sprintf("dedup: logical %#x mapped to free location %#x", logical, locAddr))
+	}
+	if l.refs == 0 {
+		panic(fmt.Sprintf("dedup: zero refcount on live location %#x", locAddr))
+	}
+	l.refs--
+	delete(t.real, logical)
+	if l.refs > 0 {
+		return 0, false
+	}
+	// Last reference gone: clean the stale hash and free the location.
+	t.removeHash(l.hash, locAddr)
+	delete(t.loc, locAddr)
+	t.freed = append(t.freed, locAddr)
+	t.frees.Inc()
+	return locAddr, true
+}
+
+func (t *Tables) removeHash(h uint32, locAddr uint64) {
+	list := t.hash[h]
+	for i, a := range list {
+		if a == locAddr {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			if len(list) == 0 {
+				delete(t.hash, h)
+			} else {
+				t.hash[h] = list
+			}
+			return
+		}
+	}
+	panic(fmt.Sprintf("dedup: stale hash %#x for location %#x not found", h, locAddr))
+}
+
+// allocate returns a free location. A free location always exists when
+// allocate is called: it is only reached from PlaceUnique after the writing
+// logical line has been released, so live locations < logical lines.
+func (t *Tables) allocate() uint64 {
+	for len(t.freed) > 0 {
+		a := t.freed[len(t.freed)-1]
+		t.freed = t.freed[:len(t.freed)-1]
+		if t.loc[a] == nil {
+			return a
+		}
+		// Stale entry: the location was re-claimed via own-slot preference.
+	}
+	for ; t.freshScan < t.lines; t.freshScan++ {
+		if t.loc[t.freshScan] == nil {
+			a := t.freshScan
+			t.freshScan++
+			return a
+		}
+	}
+	panic("dedup: no free location (refcount accounting broken)")
+}
+
+// ObserveRefs samples the current reference count of every live location
+// into the reference histogram (Figure 7).
+func (t *Tables) ObserveRefs() {
+	for _, l := range t.loc {
+		t.refHist.Observe(uint64(l.refs))
+	}
+}
+
+// RefHistogram returns the sampled reference-count histogram.
+func (t *Tables) RefHistogram() *stats.Histogram { return &t.refHist }
+
+// Stats is a snapshot of the dedup counters.
+type Stats struct {
+	Duplicates uint64 // writes eliminated (including self-duplicates)
+	SelfDups   uint64
+	Uniques    uint64
+	Collisions uint64
+	Saturated  uint64
+	Displaced  uint64
+	Frees      uint64
+	LiveLines  uint64
+	MappedAway uint64 // logical lines whose data lives at a foreign location
+}
+
+// Snapshot returns the current counters.
+func (t *Tables) Snapshot() Stats {
+	var mapped uint64
+	for logical, loc := range t.real {
+		if logical != loc {
+			mapped++
+		}
+	}
+	return Stats{
+		Duplicates: t.duplicates.Value(),
+		SelfDups:   t.selfDups.Value(),
+		Uniques:    t.uniques.Value(),
+		Collisions: t.collisions.Value(),
+		Saturated:  t.saturated.Value(),
+		Displaced:  t.displaced.Value(),
+		Frees:      t.frees.Value(),
+		LiveLines:  uint64(len(t.loc)),
+		MappedAway: mapped,
+	}
+}
+
+// CheckInvariants validates the cross-table consistency rules and returns a
+// descriptive error on the first violation. Tests call it after random
+// operation sequences; it is O(lines + live) and not meant for inner loops.
+func (t *Tables) CheckInvariants() error {
+	// Census of mappings per location.
+	refCount := make(map[uint64]uint)
+	for logical, locAddr := range t.real {
+		if t.loc[locAddr] == nil {
+			return fmt.Errorf("logical %#x maps to free location %#x", logical, locAddr)
+		}
+		refCount[locAddr]++
+	}
+	// Reference counts match the mapping census.
+	for locAddr, l := range t.loc {
+		if l.refs == 0 {
+			return fmt.Errorf("live location %#x has zero refs", locAddr)
+		}
+		if refCount[locAddr] != l.refs {
+			return fmt.Errorf("location %#x refs=%d but %d logical lines map to it",
+				locAddr, l.refs, refCount[locAddr])
+		}
+		if l.refs > t.maxRef {
+			return fmt.Errorf("location %#x refs=%d exceeds max %d", locAddr, l.refs, t.maxRef)
+		}
+		// Its hash entry must list it.
+		found := false
+		for _, a := range t.hash[l.hash] {
+			if a == locAddr {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("live location %#x missing from hash chain %#x", locAddr, l.hash)
+		}
+	}
+	// Hash chains only list live locations with that hash.
+	for h, list := range t.hash {
+		for _, a := range list {
+			l := t.loc[a]
+			if l == nil {
+				return fmt.Errorf("hash chain %#x lists free location %#x", h, a)
+			}
+			if l.hash != h {
+				return fmt.Errorf("hash chain %#x lists location %#x with hash %#x", h, a, l.hash)
+			}
+		}
+	}
+	return nil
+}

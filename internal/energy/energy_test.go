@@ -1,0 +1,65 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"dewrite/internal/config"
+)
+
+func TestComputeCategories(t *testing.T) {
+	e := config.DefaultEnergy()
+	b := Compute(Counts{
+		NVMReads:   10,
+		NVMWrites:  5,
+		AESLineOps: 3,
+		AESMetaOps: 1,
+		CRCOps:     7,
+		CompareOps: 2,
+	}, e)
+	if b.NVMRead != 10*e.NVMReadLine {
+		t.Fatalf("NVMRead = %v", b.NVMRead)
+	}
+	if b.NVMWrite != 5*e.NVMWriteLine {
+		t.Fatalf("NVMWrite = %v", b.NVMWrite)
+	}
+	wantAES := 4 * e.AESBlock * config.AESBlocksPerLine
+	if b.AES != wantAES {
+		t.Fatalf("AES = %v, want %v", b.AES, wantAES)
+	}
+	wantDedup := 7*e.CRC32Line + 2*e.CompareLine
+	if b.Dedup != wantDedup {
+		t.Fatalf("Dedup = %v, want %v", b.Dedup, wantDedup)
+	}
+	if b.Total() != b.NVMRead+b.NVMWrite+b.AES+b.Dedup {
+		t.Fatal("Total inconsistent")
+	}
+}
+
+func TestAESDominatesWrites(t *testing.T) {
+	// The premise behind the prediction scheme's energy savings: one line
+	// encryption (16 AES blocks) costs more than one line write.
+	e := config.DefaultEnergy()
+	aesLine := e.AESBlock * config.AESBlocksPerLine
+	if aesLine <= e.NVMWriteLine {
+		t.Fatalf("AES per line (%v pJ) should exceed NVM write (%v pJ)", aesLine, e.NVMWriteLine)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	a := Breakdown{NVMWrite: 50}
+	b := Breakdown{NVMWrite: 100}
+	if got := Ratio(a, b); got != 0.5 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	if Ratio(a, Breakdown{}) != 0 {
+		t.Fatal("empty base should give 0")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Breakdown{NVMRead: 2000, AES: 3000}.String()
+	if !strings.Contains(s, "total=5") || !strings.Contains(s, "aes=3") {
+		t.Fatalf("String = %q", s)
+	}
+}

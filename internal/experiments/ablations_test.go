@@ -1,0 +1,83 @@
+package experiments
+
+import "testing"
+
+func TestAblationPNA(t *testing.T) {
+	tb := AblationPNA(quickSuite())[0]
+	// Rows alternate on/off per app; with PNA off, missed-by-PNA is zero.
+	for r := 0; r < tb.NumRows(); r++ {
+		if tb.Cell(r, 1) == "off" {
+			if missed := cell(t, tb, r, 3); missed != 0 {
+				t.Fatalf("row %d: PNA off but missed %v%%", r, missed)
+			}
+		}
+	}
+}
+
+func TestAblationHistorySweep(t *testing.T) {
+	tb := AblationHistory(quickSuite())[0]
+	// Accuracy must stay in a sane band for every window length.
+	for r := 0; r < tb.NumRows(); r++ {
+		acc := cell(t, tb, r, 2)
+		if acc < 75 || acc > 100 {
+			t.Fatalf("row %d: accuracy %v%% out of band", r, acc)
+		}
+	}
+}
+
+func TestAblationRefWidth(t *testing.T) {
+	tb := AblationRefWidth(quickSuite())[0]
+	// Saturation misses must not increase with wider counters (per app the
+	// rows are printed in increasing width order).
+	for r := 0; r+1 < tb.NumRows(); r++ {
+		if tb.Cell(r, 0) != tb.Cell(r+1, 0) {
+			continue // next app
+		}
+		a := cell(t, tb, r, 3)
+		b := cell(t, tb, r+1, 3)
+		if b > a+0.2 {
+			t.Fatalf("%s: wider counters increased saturation misses (%v -> %v)",
+				tb.Cell(r, 0), a, b)
+		}
+	}
+}
+
+func TestAblationModes(t *testing.T) {
+	tb := AblationModes(quickSuite())[0]
+	if tb.NumRows()%3 != 0 {
+		t.Fatalf("expected 3 rows per app, got %d total", tb.NumRows())
+	}
+	// Direct never wastes AES; within each app triple, parallel's energy is
+	// the highest.
+	for r := 0; r < tb.NumRows(); r += 3 {
+		dirE := cell(t, tb, r, 4)
+		parE := cell(t, tb, r+1, 4)
+		dwE := cell(t, tb, r+2, 4)
+		if parE < dirE || parE < dwE {
+			t.Fatalf("%s: parallel energy (%v) not the maximum (%v, %v)",
+				tb.Cell(r, 0), parE, dirE, dwE)
+		}
+	}
+}
+
+func TestAblationOpenLoopMagnitudes(t *testing.T) {
+	tb := AblationOpenLoop(quickSuite())[0]
+	vals := map[string][2]float64{}
+	for r := 0; r < tb.NumRows()-1; r++ {
+		vals[tb.Cell(r, 0)] = [2]float64{cell(t, tb, r, 1), cell(t, tb, r, 2)}
+	}
+	// Open loop restores the paper's regime: high-dup apps in the multi-x
+	// range, low-dup apps modest, ordering monotone.
+	if vals["lbm"][0] < 4 {
+		t.Fatalf("lbm open-loop write speedup = %v, want > 4", vals["lbm"][0])
+	}
+	if vals["lbm"][1] < 3 {
+		t.Fatalf("lbm open-loop read speedup = %v, want > 3", vals["lbm"][1])
+	}
+	if !(vals["blackscholes"][0] > vals["mcf"][0] && vals["mcf"][0] > vals["vips"][0]) {
+		t.Fatalf("open-loop write speedups not monotone: %v", vals)
+	}
+	if vals["vips"][0] < 1 {
+		t.Fatalf("vips open-loop speedup = %v, want >= 1", vals["vips"][0])
+	}
+}

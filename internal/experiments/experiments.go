@@ -1,0 +1,242 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (Section IV). Each runner regenerates the corresponding
+// rows/series — write reductions, speedups, IPC, energy, prediction
+// accuracy, collision rates, cache sweeps — over the 20 synthetic
+// application profiles that stand in for SPEC CPU2006 and PARSEC 2.1.
+//
+// Scale note: the paper simulates 4 billion instructions per application on
+// a 16 GB device with 64 banks. This reproduction runs tens of thousands of
+// memory requests per application over working sets of 2^14–2^16 lines, and
+// scales the device to 16 banks so the lines-per-bank ratio (and therefore
+// the queueing behaviour) is preserved. Relative shapes, not absolute
+// numbers, are the reproduction target.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dewrite/internal/config"
+	"dewrite/internal/core"
+	"dewrite/internal/sim"
+	"dewrite/internal/stats"
+	"dewrite/internal/trace"
+	"dewrite/internal/units"
+	"dewrite/internal/workload"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Requests per (application, scheme) run.
+	Requests int
+	// Warmup requests excluded from measurements (cache/metadata warmup,
+	// mirroring the paper's 10 M-instruction warmup).
+	Warmup int
+	// Seed for the workload generators.
+	Seed uint64
+	// Quick restricts the application set to a small representative subset
+	// so benchmarks stay fast.
+	Quick bool
+}
+
+// DefaultOptions returns the full-suite configuration.
+func DefaultOptions() Options {
+	return Options{Requests: 30000, Warmup: 6000, Seed: 42}
+}
+
+// QuickOptions returns the reduced configuration used by testing.B benches.
+func QuickOptions() Options {
+	return Options{Requests: 15000, Warmup: 5000, Seed: 42, Quick: true}
+}
+
+// quickApps is the representative subset used when Quick is set: it spans
+// the duplication range (min, low, mid, high, max) and both suites.
+var quickApps = map[string]bool{
+	"vips": true, "bzip2": true, "mcf": true, "lbm": true, "blackscholes": true,
+}
+
+// Profiles returns the application set for the options.
+func (o Options) Profiles() []workload.Profile {
+	all := workload.Profiles()
+	if !o.Quick {
+		return all
+	}
+	var out []workload.Profile
+	for _, p := range all {
+		if quickApps[p.Name] {
+			// Shrink large working sets so the short quick runs reach steady
+			// state after warmup.
+			if p.WorkingSetLines > 1<<13 {
+				p.WorkingSetLines = 1 << 13
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Config returns the experiment machine configuration: the paper's timing
+// and energy constants over a bank count scaled to the reduced working sets
+// (see the package comment).
+func (o Options) Config() config.Config {
+	cfg := config.Default()
+	// Scale the bank count with the reduced working sets so per-bank
+	// pressure (and therefore queueing) resembles the full-size system.
+	cfg.NVM.Ranks = 2
+	cfg.NVM.BanksPerRank = 4
+	return cfg
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string // e.g. "fig14"
+	Title string // paper caption, abbreviated
+	Run   func(*Suite) []*stats.Table
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Table I: hash functions and detection latency", Run: TableI},
+		{ID: "fig2", Title: "Figure 2: percentage of duplicate lines", Run: Figure2},
+		{ID: "fig4", Title: "Figure 4: duplication-state prediction accuracy", Run: Figure4},
+		{ID: "fig6", Title: "Figure 6: CRC-32 collision probability", Run: Figure6},
+		{ID: "fig7", Title: "Figure 7: reference-count distribution", Run: Figure7},
+		{ID: "fig12", Title: "Figure 12: write reduction", Run: Figure12},
+		{ID: "fig13", Title: "Figure 13: bit flips per write", Run: Figure13},
+		{ID: "fig14", Title: "Figure 14: write speedup", Run: Figure14},
+		{ID: "fig15", Title: "Figure 15: write latency of direct/parallel/DeWrite", Run: Figure15},
+		{ID: "fig16", Title: "Figure 16: read speedup", Run: Figure16},
+		{ID: "fig17", Title: "Figure 17: relative IPC", Run: Figure17},
+		{ID: "fig18", Title: "Figure 18: worst-case performance", Run: Figure18},
+		{ID: "fig19", Title: "Figure 19: energy consumption", Run: Figure19},
+		{ID: "fig20", Title: "Figure 20: energy of direct/DeWrite/parallel", Run: Figure20},
+		{ID: "fig21", Title: "Figure 21: metadata cache hit rate sweeps", Run: Figure21},
+		{ID: "tablemeta", Title: "Section IV-E1: metadata storage overhead", Run: TableMeta},
+		{ID: "abl-pna", Title: "Ablation: prediction-based NVM access on/off", Run: AblationPNA},
+		{ID: "abl-history", Title: "Ablation: predictor history window sweep", Run: AblationHistory},
+		{ID: "abl-refwidth", Title: "Ablation: reference-count width sweep", Run: AblationRefWidth},
+		{ID: "abl-modes", Title: "Ablation: direct/parallel/DeWrite head to head", Run: AblationModes},
+		{ID: "abl-hashwidth", Title: "Ablation: fingerprint width sweep", Run: AblationHashWidth},
+		{ID: "abl-wear", Title: "Ablation: dedup vs Start-Gap wear leveling", Run: AblationWearLevel},
+		{ID: "abl-persist", Title: "Ablation: metadata persistence schemes", Run: AblationPersist},
+		{ID: "abl-hierarchy", Title: "Ablation: CPU cache hierarchy interposed", Run: AblationHierarchy},
+		{ID: "abl-cachescale", Title: "Ablation: metadata-cache coverage vs the Figure 15 gap", Run: AblationCacheScale},
+		{ID: "abl-openloop", Title: "Ablation: open-loop (trace-driven) speedups", Run: AblationOpenLoop},
+		{ID: "abl-bus", Title: "Ablation: shared channel bus", Run: AblationBus},
+		{ID: "abl-phases", Title: "Ablation: phased workload behaviour", Run: AblationPhases},
+		{ID: "abl-integrity", Title: "Ablation: Merkle integrity tree (extension)", Run: AblationIntegrity},
+		{ID: "abl-seeds", Title: "Ablation: seed sensitivity", Run: AblationSeeds},
+		{ID: "abl-rowpolicy", Title: "Ablation: open vs closed row-buffer policy", Run: AblationRowPolicy},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs, sorted.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Suite memoizes (application, scheme) runs so the performance figures that
+// share underlying simulations (14–17, 19, 20) run each simulation once.
+type Suite struct {
+	Opts    Options
+	cfg     config.Config
+	runs    map[string]sim.Result
+	reports map[string]core.Report
+}
+
+// NewSuite returns a suite for the options.
+func NewSuite(opts Options) *Suite {
+	if opts.Requests <= 0 {
+		opts = DefaultOptions()
+	}
+	return &Suite{
+		Opts:    opts,
+		cfg:     opts.Config(),
+		runs:    make(map[string]sim.Result),
+		reports: make(map[string]core.Report),
+	}
+}
+
+// CoreReport returns the memoized full controller report of the DeWrite run
+// on the profile (controller-internal statistics sim.Result does not carry).
+func (s *Suite) CoreReport(prof workload.Profile) core.Report {
+	if r, ok := s.reports[prof.Name]; ok {
+		return r
+	}
+	ctrl := core.New(core.Options{DataLines: prof.WorkingSetLines, Config: s.cfg})
+	gen := workload.NewGenerator(prof, s.Opts.Seed)
+	var now units.Time
+	for i := 0; i < s.Opts.Requests; i++ {
+		req := gen.Next()
+		if req.Op == trace.Write {
+			now = ctrl.Write(now, req.Addr, req.Data)
+		} else {
+			_, now = ctrl.Read(now, req.Addr)
+		}
+	}
+	r := ctrl.Report()
+	s.reports[prof.Name] = r
+	return r
+}
+
+// Config returns the suite's machine configuration.
+func (s *Suite) Config() config.Config { return s.cfg }
+
+// Run returns the memoized result of running scheme on the profile.
+func (s *Suite) Run(scheme sim.Scheme, prof workload.Profile) sim.Result {
+	key := fmt.Sprintf("%s/%s", prof.Name, scheme)
+	if r, ok := s.runs[key]; ok {
+		return r
+	}
+	res, _ := sim.RunScheme(scheme, prof, s.cfg, sim.Options{
+		Requests: s.Opts.Requests,
+		Warmup:   s.Opts.Warmup,
+		Seed:     s.Opts.Seed,
+	})
+	s.runs[key] = res
+	return res
+}
+
+// geoMean returns the geometric mean of vs, 0 if empty or any v <= 0.
+func geoMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		prod *= v
+	}
+	return math.Pow(prod, 1/float64(len(vs)))
+}
+
+// mean returns the arithmetic mean of vs, 0 if empty.
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}

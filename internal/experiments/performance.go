@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"dewrite/internal/sim"
+	"dewrite/internal/stats"
+)
+
+// Figure14 reproduces Figure 14: the memory write speedup of DeWrite over
+// the traditional secure NVM (total write latency ratio), per application.
+func Figure14(s *Suite) []*stats.Table {
+	t := stats.NewTable("Figure 14: write speedup over SecureNVM (x)",
+		"app", "speedup", "DeWrite mean write", "SecureNVM mean write")
+	var speedups []float64
+	for _, prof := range s.Opts.Profiles() {
+		dw := s.Run(sim.SchemeDeWrite, prof)
+		base := s.Run(sim.SchemeSecureNVM, prof)
+		sp := sim.WriteSpeedup(dw, base)
+		t.AddRow(prof.Name, sp, dw.MeanWriteLat.String(), base.MeanWriteLat.String())
+		speedups = append(speedups, sp)
+	}
+	t.AddRow("average", mean(speedups), "", "")
+	t.AddRow("geomean", geoMean(speedups), "", "")
+	return []*stats.Table{t}
+}
+
+// Figure15 reproduces Figure 15: the write latency of the direct way, the
+// parallel way and DeWrite's prediction-based hybrid, normalized to the
+// direct way. DeWrite should track the parallel way closely.
+func Figure15(s *Suite) []*stats.Table {
+	t := stats.NewTable("Figure 15: write latency normalized to the direct way",
+		"app", "direct", "parallel", "DeWrite")
+	var par, dw []float64
+	for _, prof := range s.Opts.Profiles() {
+		direct := s.Run(sim.SchemeDirect, prof)
+		parallel := s.Run(sim.SchemeParallel, prof)
+		dewr := s.Run(sim.SchemeDeWrite, prof)
+		if direct.WriteLatSum == 0 {
+			continue
+		}
+		np := float64(parallel.WriteLatSum) / float64(direct.WriteLatSum)
+		nd := float64(dewr.WriteLatSum) / float64(direct.WriteLatSum)
+		t.AddRow(prof.Name, 1.0, np, nd)
+		par = append(par, np)
+		dw = append(dw, nd)
+	}
+	t.AddRow("average", 1.0, mean(par), mean(dw))
+	return []*stats.Table{t}
+}
+
+// Figure16 reproduces Figure 16: the memory read speedup of DeWrite over the
+// traditional secure NVM, per application.
+func Figure16(s *Suite) []*stats.Table {
+	t := stats.NewTable("Figure 16: read speedup over SecureNVM (x)",
+		"app", "speedup", "DeWrite mean read", "SecureNVM mean read")
+	var speedups []float64
+	for _, prof := range s.Opts.Profiles() {
+		dw := s.Run(sim.SchemeDeWrite, prof)
+		base := s.Run(sim.SchemeSecureNVM, prof)
+		sp := sim.ReadSpeedup(dw, base)
+		t.AddRow(prof.Name, sp, dw.MeanReadLat.String(), base.MeanReadLat.String())
+		speedups = append(speedups, sp)
+	}
+	t.AddRow("average", mean(speedups), "", "")
+	t.AddRow("geomean", geoMean(speedups), "", "")
+	return []*stats.Table{t}
+}
+
+// Figure17 reproduces Figure 17: system IPC relative to the traditional
+// secure NVM, per application.
+func Figure17(s *Suite) []*stats.Table {
+	t := stats.NewTable("Figure 17: IPC relative to SecureNVM",
+		"app", "relative IPC", "DeWrite IPC", "SecureNVM IPC")
+	var rels []float64
+	for _, prof := range s.Opts.Profiles() {
+		dw := s.Run(sim.SchemeDeWrite, prof)
+		base := s.Run(sim.SchemeSecureNVM, prof)
+		rel := sim.RelativeIPC(dw, base)
+		t.AddRow(prof.Name, rel, dw.IPC, base.IPC)
+		rels = append(rels, rel)
+	}
+	t.AddRow("average", mean(rels), "", "")
+	return []*stats.Table{t}
+}
+
+// Figure19 reproduces the energy comparison (Section IV-D): DeWrite's total
+// memory-system energy (NVM array, AES, dedup logic) relative to the
+// traditional secure NVM.
+func Figure19(s *Suite) []*stats.Table {
+	t := stats.NewTable("Figure 19: energy relative to SecureNVM",
+		"app", "relative energy", "DeWrite nJ", "SecureNVM nJ")
+	var rels []float64
+	for _, prof := range s.Opts.Profiles() {
+		dw := s.Run(sim.SchemeDeWrite, prof)
+		base := s.Run(sim.SchemeSecureNVM, prof)
+		rel := sim.RelativeEnergy(dw, base)
+		t.AddRow(prof.Name, rel, dw.EnergyPJ/1000, base.EnergyPJ/1000)
+		rels = append(rels, rel)
+	}
+	t.AddRow("average", mean(rels), "", "")
+	return []*stats.Table{t}
+}
+
+// Figure20 reproduces Figure 20: total energy of the direct way, DeWrite,
+// and the parallel way, normalized to the parallel way. DeWrite should track
+// the direct way closely (it only encrypts writes predicted non-duplicate).
+func Figure20(s *Suite) []*stats.Table {
+	t := stats.NewTable("Figure 20: energy normalized to the parallel way",
+		"app", "direct", "DeWrite", "parallel")
+	var dir, dw []float64
+	for _, prof := range s.Opts.Profiles() {
+		direct := s.Run(sim.SchemeDirect, prof)
+		parallel := s.Run(sim.SchemeParallel, prof)
+		dewr := s.Run(sim.SchemeDeWrite, prof)
+		if parallel.EnergyPJ == 0 {
+			continue
+		}
+		ndir := direct.EnergyPJ / parallel.EnergyPJ
+		ndw := dewr.EnergyPJ / parallel.EnergyPJ
+		t.AddRow(prof.Name, ndir, ndw, 1.0)
+		dir = append(dir, ndir)
+		dw = append(dw, ndw)
+	}
+	t.AddRow("average", mean(dir), mean(dw), 1.0)
+	return []*stats.Table{t}
+}

@@ -1,0 +1,21 @@
+package hashes_test
+
+import (
+	"fmt"
+
+	"dewrite/internal/hashes"
+)
+
+// Example shows the three fingerprint functions DeWrite's design compares.
+func Example() {
+	line := []byte("256-byte cache line contents...")
+	fmt.Printf("CRC-32: %08x\n", hashes.CRC32(line))
+	sha := hashes.SHA1(line)
+	md := hashes.MD5(line)
+	fmt.Printf("SHA-1:  %x...\n", sha[:4])
+	fmt.Printf("MD5:    %x...\n", md[:4])
+	// Output:
+	// CRC-32: b6813053
+	// SHA-1:  209447e9...
+	// MD5:    816bc3d7...
+}

@@ -1,0 +1,191 @@
+package hashes
+
+import (
+	"bytes"
+	stdmd5 "crypto/md5"
+	stdsha1 "crypto/sha1"
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+
+	"dewrite/internal/rng"
+)
+
+func TestCRC32KnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint32
+	}{
+		{"", 0x00000000},
+		{"a", 0xe8b7be43},
+		{"abc", 0x352441c2},
+		{"123456789", 0xcbf43926},
+		{"The quick brown fox jumps over the lazy dog", 0x414fa339},
+	}
+	for _, c := range cases {
+		if got := CRC32([]byte(c.in)); got != c.want {
+			t.Errorf("CRC32(%q) = %#08x, want %#08x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	src := rng.New(1)
+	f := func(n uint16) bool {
+		b := make([]byte, int(n)%1024)
+		src.Fill(b)
+		return CRC32(b) == crc32.ChecksumIEEE(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC32LineSized(t *testing.T) {
+	// The dedup logic always hashes 256 B lines; verify against stdlib on
+	// many line-sized inputs including edge patterns.
+	src := rng.New(2)
+	line := make([]byte, 256)
+	for i := 0; i < 500; i++ {
+		src.Fill(line)
+		if CRC32(line) != crc32.ChecksumIEEE(line) {
+			t.Fatalf("mismatch on random line %d", i)
+		}
+	}
+	zero := make([]byte, 256)
+	if CRC32(zero) != crc32.ChecksumIEEE(zero) {
+		t.Fatal("mismatch on zero line")
+	}
+	ones := bytes.Repeat([]byte{0xff}, 256)
+	if CRC32(ones) != crc32.ChecksumIEEE(ones) {
+		t.Fatal("mismatch on all-ones line")
+	}
+}
+
+func TestCRC32SensitiveToSingleBit(t *testing.T) {
+	line := make([]byte, 256)
+	base := CRC32(line)
+	for i := 0; i < 256; i++ {
+		line[i] ^= 1
+		if CRC32(line) == base {
+			t.Fatalf("flipping byte %d did not change CRC", i)
+		}
+		line[i] ^= 1
+	}
+}
+
+func TestSHA1KnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+		{"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"},
+		{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+			"84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+	}
+	for _, c := range cases {
+		got := SHA1([]byte(c.in))
+		if hex(got[:]) != c.want {
+			t.Errorf("SHA1(%q) = %s, want %s", c.in, hex(got[:]), c.want)
+		}
+	}
+}
+
+func TestSHA1MatchesStdlib(t *testing.T) {
+	src := rng.New(3)
+	f := func(n uint16) bool {
+		b := make([]byte, int(n)%2048)
+		src.Fill(b)
+		got := SHA1(b)
+		want := stdsha1.Sum(b)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMD5KnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", "d41d8cd98f00b204e9800998ecf8427e"},
+		{"a", "0cc175b9c0f1b6a831c399e269772661"},
+		{"abc", "900150983cd24fb0d6963f7d28e17f72"},
+		{"message digest", "f96b697d7cb7938d525a2f31aaf161d0"},
+		{"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"},
+	}
+	for _, c := range cases {
+		got := MD5([]byte(c.in))
+		if hex(got[:]) != c.want {
+			t.Errorf("MD5(%q) = %s, want %s", c.in, hex(got[:]), c.want)
+		}
+	}
+}
+
+func TestMD5MatchesStdlib(t *testing.T) {
+	src := rng.New(4)
+	f := func(n uint16) bool {
+		b := make([]byte, int(n)%2048)
+		src.Fill(b)
+		got := MD5(b)
+		want := stdmd5.Sum(b)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaddingBoundaries(t *testing.T) {
+	// Lengths around the 55/56/64-byte padding boundaries are the classic
+	// Merkle–Damgård bug sites.
+	for _, n := range []int{54, 55, 56, 57, 63, 64, 65, 119, 120, 128} {
+		b := bytes.Repeat([]byte{0xa5}, n)
+		if SHA1(b) != stdsha1.Sum(b) {
+			t.Errorf("SHA1 mismatch at length %d", n)
+		}
+		if MD5(b) != stdmd5.Sum(b) {
+			t.Errorf("MD5 mismatch at length %d", n)
+		}
+	}
+}
+
+func hex(b []byte) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 2*len(b))
+	for i, x := range b {
+		out[2*i] = digits[x>>4]
+		out[2*i+1] = digits[x&0xf]
+	}
+	return string(out)
+}
+
+func BenchmarkCRC32Line(b *testing.B) {
+	line := make([]byte, 256)
+	rng.New(5).Fill(line)
+	b.SetBytes(256)
+	for i := 0; i < b.N; i++ {
+		CRC32(line)
+	}
+}
+
+func BenchmarkSHA1Line(b *testing.B) {
+	line := make([]byte, 256)
+	rng.New(6).Fill(line)
+	b.SetBytes(256)
+	for i := 0; i < b.N; i++ {
+		SHA1(line)
+	}
+}
+
+func BenchmarkMD5Line(b *testing.B) {
+	line := make([]byte, 256)
+	rng.New(7).Fill(line)
+	b.SetBytes(256)
+	for i := 0; i < b.N; i++ {
+		MD5(line)
+	}
+}

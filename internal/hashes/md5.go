@@ -1,0 +1,97 @@
+package hashes
+
+// MD5 (RFC 1321), the other cryptographic fingerprint traditional
+// deduplication systems use; Table I of the paper compares its 312 ns
+// hardware latency against CRC-32's 15 ns.
+
+var md5Shifts = [64]uint{
+	7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+	5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+	4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+	6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+}
+
+var md5K = [64]uint32{
+	0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee,
+	0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+	0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+	0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+	0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+	0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+	0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+	0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+	0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+	0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+	0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05,
+	0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+	0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039,
+	0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+	0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+	0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+}
+
+// MD5 returns the 128-bit MD5 digest of data.
+func MD5(data []byte) [16]byte {
+	a0, b0, c0, d0 := uint32(0x67452301), uint32(0xefcdab89), uint32(0x98badcfe), uint32(0x10325476)
+
+	msg := padMD5(data)
+	var m [16]uint32
+	for block := 0; block < len(msg); block += 64 {
+		chunk := msg[block : block+64]
+		for i := 0; i < 16; i++ {
+			m[i] = uint32(chunk[4*i]) | uint32(chunk[4*i+1])<<8 |
+				uint32(chunk[4*i+2])<<16 | uint32(chunk[4*i+3])<<24
+		}
+		a, b, c, d := a0, b0, c0, d0
+		for i := 0; i < 64; i++ {
+			var f uint32
+			var g int
+			switch {
+			case i < 16:
+				f = (b & c) | (^b & d)
+				g = i
+			case i < 32:
+				f = (d & b) | (^d & c)
+				g = (5*i + 1) % 16
+			case i < 48:
+				f = b ^ c ^ d
+				g = (3*i + 5) % 16
+			default:
+				f = c ^ (b | ^d)
+				g = (7 * i) % 16
+			}
+			f += a + md5K[i] + m[g]
+			a = d
+			d = c
+			c = b
+			s := md5Shifts[i]
+			b += f<<s | f>>(32-s)
+		}
+		a0 += a
+		b0 += b
+		c0 += c
+		d0 += d
+	}
+
+	var out [16]byte
+	for i, v := range [4]uint32{a0, b0, c0, d0} {
+		out[4*i] = byte(v)
+		out[4*i+1] = byte(v >> 8)
+		out[4*i+2] = byte(v >> 16)
+		out[4*i+3] = byte(v >> 24)
+	}
+	return out
+}
+
+// padMD5 applies MD5's padding: like SHA-1's but with a little-endian length.
+func padMD5(data []byte) []byte {
+	n := len(data)
+	padded := make([]byte, ((n+8)/64+1)*64)
+	copy(padded, data)
+	padded[n] = 0x80
+	bits := uint64(n) * 8
+	for i := 0; i < 8; i++ {
+		padded[len(padded)-8+i] = byte(bits >> (8 * i))
+	}
+	return padded
+}

@@ -1,0 +1,27 @@
+package memctrl_test
+
+import (
+	"fmt"
+
+	"dewrite/internal/memctrl"
+	"dewrite/internal/units"
+)
+
+// Example shows a read queueing behind a write under FCFS and jumping it
+// under read-priority scheduling.
+func Example() {
+	ns := func(v uint64) units.Time { return units.Time(v) * units.Time(units.Nanosecond) }
+	reqs := []memctrl.Request{
+		{Arrive: ns(0), Op: memctrl.Write, Addr: 0},
+		{Arrive: ns(1), Op: memctrl.Write, Addr: 1},
+		{Arrive: ns(2), Op: memctrl.Read, Addr: 2},
+	}
+	cfg := memctrl.DefaultConfig()
+	for _, policy := range []memctrl.Policy{memctrl.FCFS, memctrl.ReadFirst} {
+		cs := memctrl.Simulate(reqs, cfg, policy)
+		fmt.Printf("%-9s read latency %v\n", policy, cs[2].Latency())
+	}
+	// Output:
+	// FCFS      read latency 613ns
+	// ReadFirst read latency 313ns
+}

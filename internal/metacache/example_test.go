@@ -1,0 +1,27 @@
+package metacache_test
+
+import (
+	"fmt"
+
+	"dewrite/internal/metacache"
+)
+
+// Example shows the miss-fill-hit cycle and a dirty eviction, the traffic
+// pattern the controller's metadata accesses follow.
+func Example() {
+	// A tiny 2-set × 2-way cache of 256 B metadata lines.
+	c := metacache.New("demo", 4*256, 256, 2)
+
+	fmt.Println("first access hits:", c.Lookup(10, false))
+	c.Insert(10, false)                                    // fill after the miss
+	fmt.Println("second access hits:", c.Lookup(10, true)) // and dirties it
+
+	// Fill the set (blocks 10, 12, 14 share set 0) until 10 is evicted.
+	c.Insert(12, false)
+	ev, evicted := c.Insert(14, false)
+	fmt.Printf("evicted block %d dirty=%v (must be written back)\n", ev.Block, evicted && ev.Dirty)
+	// Output:
+	// first access hits: false
+	// second access hits: true
+	// evicted block 10 dirty=true (must be written back)
+}

@@ -1,0 +1,183 @@
+// Package metacache models the on-chip write-back metadata cache that secure
+// NVM controllers already carry for encryption counters (Section III-B1) and
+// that DeWrite reuses for deduplication metadata.
+//
+// The cache is set-associative with true-LRU replacement, tracked at the
+// granularity of one metadata block (one NVM line, 256 B). It stores presence
+// and dirtiness only: the functional contents of the metadata tables live in
+// the dedup structures, while this model decides whether an access hits
+// on-chip or must pay an NVM round trip, and which dirty metadata lines get
+// written back on eviction — the "on average 2.6 % extra writes" effect from
+// Section IV-B.
+package metacache
+
+import (
+	"fmt"
+
+	"dewrite/internal/stats"
+)
+
+// Cache is one partition of the metadata cache (hash, address mapping,
+// inverted hash or FSM). Not safe for concurrent use.
+type Cache struct {
+	name string
+	sets [][]entry
+	ways int
+	tick uint64
+
+	hits       stats.Counter
+	misses     stats.Counter
+	writebacks stats.Counter
+	inserts    stats.Counter
+}
+
+type entry struct {
+	block uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+// New returns a cache with the given capacity, block size and associativity.
+// The set count is capacity / (blockBytes * ways) and must be at least 1.
+func New(name string, capacityBytes, blockBytes, ways int) *Cache {
+	if capacityBytes <= 0 || blockBytes <= 0 || ways <= 0 {
+		panic("metacache: non-positive geometry")
+	}
+	blocks := capacityBytes / blockBytes
+	if blocks < ways {
+		panic(fmt.Sprintf("metacache: %s: capacity %dB holds %d blocks, fewer than %d ways",
+			name, capacityBytes, blocks, ways))
+	}
+	nsets := blocks / ways
+	sets := make([][]entry, nsets)
+	for i := range sets {
+		sets[i] = make([]entry, ways)
+	}
+	return &Cache{name: name, sets: sets, ways: ways}
+}
+
+// Name returns the partition name given at construction.
+func (c *Cache) Name() string { return c.name }
+
+// Blocks returns the total number of blocks the cache can hold.
+func (c *Cache) Blocks() int { return len(c.sets) * c.ways }
+
+func (c *Cache) set(block uint64) []entry {
+	return c.sets[block%uint64(len(c.sets))]
+}
+
+// Lookup probes for block without modifying miss statistics side effects
+// beyond the hit/miss counters. On a hit the entry is touched (LRU) and, if
+// write is set, marked dirty. It reports whether the block was present.
+func (c *Cache) Lookup(block uint64, write bool) bool {
+	c.tick++
+	set := c.set(block)
+	for i := range set {
+		if set[i].valid && set[i].block == block {
+			set[i].used = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			c.hits.Inc()
+			return true
+		}
+	}
+	c.misses.Inc()
+	return false
+}
+
+// Contains reports whether block is cached, without touching LRU state or
+// statistics.
+func (c *Cache) Contains(block uint64) bool {
+	set := c.set(block)
+	for i := range set {
+		if set[i].valid && set[i].block == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Eviction describes a block displaced by an Insert.
+type Eviction struct {
+	Block uint64
+	Dirty bool
+}
+
+// Insert places block into the cache (after a miss was serviced from NVM)
+// and returns the eviction it caused, if any. Inserting a block that is
+// already present just touches it (and ORs in dirty).
+func (c *Cache) Insert(block uint64, dirty bool) (Eviction, bool) {
+	c.tick++
+	c.inserts.Inc()
+	set := c.set(block)
+	// Already present: refresh.
+	for i := range set {
+		if set[i].valid && set[i].block == block {
+			set[i].used = c.tick
+			set[i].dirty = set[i].dirty || dirty
+			return Eviction{}, false
+		}
+	}
+	// Free way.
+	for i := range set {
+		if !set[i].valid {
+			set[i] = entry{block: block, valid: true, dirty: dirty, used: c.tick}
+			return Eviction{}, false
+		}
+	}
+	// Evict LRU.
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	ev := Eviction{Block: set[victim].block, Dirty: set[victim].dirty}
+	if ev.Dirty {
+		c.writebacks.Inc()
+	}
+	set[victim] = entry{block: block, valid: true, dirty: dirty, used: c.tick}
+	return ev, true
+}
+
+// FlushAll marks every cached block clean and returns the blocks that were
+// dirty, modelling a full metadata writeback (e.g. at power-down).
+func (c *Cache) FlushAll() []uint64 {
+	var dirty []uint64
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid && c.sets[s][i].dirty {
+				dirty = append(dirty, c.sets[s][i].block)
+				c.sets[s][i].dirty = false
+			}
+		}
+	}
+	c.writebacks.Add(uint64(len(dirty)))
+	return dirty
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+	Inserts    uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:       c.hits.Value(),
+		Misses:     c.misses.Value(),
+		Writebacks: c.writebacks.Value(),
+		Inserts:    c.inserts.Value(),
+	}
+}
+
+// HitRate returns hits / (hits + misses), 0 when unused.
+func (c *Cache) HitRate() float64 {
+	total := c.hits.Value() + c.misses.Value()
+	return stats.Ratio(c.hits.Value(), total)
+}

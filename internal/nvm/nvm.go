@@ -1,0 +1,313 @@
+// Package nvm models the PCM main-memory device: a set of independent banks
+// with asymmetric read/write latencies, a sparse backing store holding real
+// line contents, per-line wear counters, and per-operation energy accounting.
+//
+// The timing model is the first-order one the paper's analysis relies on:
+// each bank services requests FCFS, so a request issued at time t to a bank
+// busy until time b starts at max(t, b) and occupies the bank for the array
+// read or write latency. Writes occupying a bank for 300 ns are what make
+// eliminated duplicate writes speed up *other* reads and writes to the same
+// bank (Section I) — that queueing effect falls directly out of this model.
+package nvm
+
+import (
+	"fmt"
+
+	"dewrite/internal/config"
+	"dewrite/internal/stats"
+	"dewrite/internal/units"
+)
+
+// Device is a banked PCM device. It is not safe for concurrent use; the
+// simulator is single-threaded over simulated time.
+type Device struct {
+	geom      config.NVMGeometry
+	readLat   units.Duration
+	rowHitLat units.Duration
+	writeLat  units.Duration
+	energy    config.Energy
+
+	banks    []bankState
+	channels []units.Time // busy-until per channel bus (empty = disabled)
+	busLat   units.Duration
+	store    map[uint64][]byte
+	wear     map[uint64]uint64
+
+	// Statistics.
+	reads       stats.Counter
+	rowHits     stats.Counter
+	writes      stats.Counter
+	bitsFlipped stats.Counter
+	bitsWritten stats.Counter
+	readWait    stats.Latency // queueing delay of reads
+	writeWait   stats.Latency // queueing delay of writes
+	energyPJ    float64
+}
+
+// New returns a device with the given geometry and timing/energy parameters.
+func New(geom config.NVMGeometry, timing config.Timing, energy config.Energy) *Device {
+	if geom.Banks() <= 0 {
+		panic("nvm: geometry has no banks")
+	}
+	d := &Device{
+		geom:      geom,
+		readLat:   timing.NVMRead,
+		rowHitLat: timing.NVMRowHit,
+		writeLat:  timing.NVMWrite,
+		busLat:    timing.NVMBus,
+		energy:    energy,
+		banks:     make([]bankState, geom.Banks()),
+		store:     make(map[uint64][]byte),
+		wear:      make(map[uint64]uint64),
+	}
+	if geom.Channels > 0 {
+		d.channels = make([]units.Time, geom.Channels)
+	}
+	return d
+}
+
+// busTransfer occupies the channel serving the bank for one line burst and
+// returns the transfer completion time. With channel modelling disabled it
+// returns done unchanged.
+func (d *Device) busTransfer(bank int, done units.Time) units.Time {
+	if len(d.channels) == 0 {
+		return done
+	}
+	ch := bank % len(d.channels)
+	start := units.Max(done, d.channels[ch])
+	end := start.Add(d.busLat)
+	d.channels[ch] = end
+	return end
+}
+
+// bankState is one bank's FCFS service state and open-row tracking.
+type bankState struct {
+	busyUntil units.Time
+	openRow   uint64
+	hasOpen   bool
+}
+
+// row returns the device row containing lineAddr.
+func (d *Device) row(lineAddr uint64) uint64 {
+	if d.geom.RowLines > 1 {
+		return lineAddr / d.geom.RowLines
+	}
+	return lineAddr
+}
+
+// Lines returns the number of addressable lines.
+func (d *Device) Lines() uint64 { return d.geom.Lines() }
+
+// Bank returns the bank index servicing lineAddr. Rows (RowLines consecutive
+// lines) are interleaved across banks, so lines within one row share a bank
+// — spatially local read-after-write traffic contends there.
+func (d *Device) Bank(lineAddr uint64) int {
+	row := lineAddr
+	if d.geom.RowLines > 1 {
+		row = lineAddr / d.geom.RowLines
+	}
+	return int(row % uint64(len(d.banks)))
+}
+
+func (d *Device) checkAddr(lineAddr uint64) {
+	if lineAddr >= d.geom.Lines() {
+		panic(fmt.Sprintf("nvm: line address %#x beyond device (%d lines)", lineAddr, d.geom.Lines()))
+	}
+}
+
+// Read performs a timed read of one line: a fast row-buffer hit when the
+// bank's open row matches, otherwise a full array access that opens the row.
+// It returns a copy of the line contents (zero line if never written) and
+// the completion time.
+func (d *Device) Read(now units.Time, lineAddr uint64) ([]byte, units.Time) {
+	return d.read(now, lineAddr, true)
+}
+
+// ReadBypass is a timed read that does not install a new open row on a miss
+// (it still benefits from an already-open row). The dedup logic's verify
+// reads and the controller's metadata fills use it so that their traffic
+// does not evict the row buffers the CPU's demand reads are about to hit.
+func (d *Device) ReadBypass(now units.Time, lineAddr uint64) ([]byte, units.Time) {
+	return d.read(now, lineAddr, false)
+}
+
+func (d *Device) read(now units.Time, lineAddr uint64, open bool) ([]byte, units.Time) {
+	d.checkAddr(lineAddr)
+	b := &d.banks[d.Bank(lineAddr)]
+	row := d.row(lineAddr)
+	start := units.Max(now, b.busyUntil)
+	service := d.readLat
+	if b.hasOpen && b.openRow == row {
+		service = d.rowHitLat
+		d.rowHits.Inc()
+		d.energyPJ += d.energy.RowHitRead
+	} else {
+		d.energyPJ += d.energy.NVMReadLine
+		if open {
+			b.openRow, b.hasOpen = row, true
+		}
+	}
+	done := start.Add(service)
+	b.busyUntil = done
+	if d.geom.ClosePage {
+		b.hasOpen = false
+	}
+	done = d.busTransfer(d.Bank(lineAddr), done)
+
+	d.reads.Inc()
+	d.readWait.Observe(start.Sub(now))
+	return d.Peek(lineAddr), done
+}
+
+// Write performs a timed array write of one line and returns the completion
+// time. The device records the number of bits that actually flipped relative
+// to the previous contents, which the bit-level write-reduction experiments
+// consume.
+func (d *Device) Write(now units.Time, lineAddr uint64, data []byte) units.Time {
+	if len(data) != config.LineSize {
+		panic(fmt.Sprintf("nvm: write of %d bytes, want %d", len(data), config.LineSize))
+	}
+	d.checkAddr(lineAddr)
+	// The line is transferred over the channel before the array programs it.
+	busDone := d.busTransfer(d.Bank(lineAddr), now)
+	b := &d.banks[d.Bank(lineAddr)]
+	start := units.Max(busDone, b.busyUntil)
+	done := start.Add(d.writeLat)
+	b.busyUntil = done
+	b.openRow, b.hasOpen = d.row(lineAddr), !d.geom.ClosePage
+
+	d.writes.Inc()
+	d.writeWait.Observe(start.Sub(units.Min(now, busDone)))
+	d.energyPJ += d.energy.NVMWriteLine
+	d.wear[lineAddr]++
+
+	old := d.store[lineAddr]
+	flips := 0
+	if old == nil {
+		for _, b := range data {
+			flips += popcount(b)
+		}
+	} else {
+		for i := range data {
+			flips += popcount(old[i] ^ data[i])
+		}
+	}
+	d.bitsFlipped.Add(uint64(flips))
+	d.bitsWritten.Add(config.LineBits)
+
+	d.Poke(lineAddr, data)
+	return done
+}
+
+// Peek returns a copy of the line contents without advancing time or
+// statistics. Unwritten lines read as zero.
+func (d *Device) Peek(lineAddr uint64) []byte {
+	d.checkAddr(lineAddr)
+	out := make([]byte, config.LineSize)
+	if line, ok := d.store[lineAddr]; ok {
+		copy(out, line)
+	}
+	return out
+}
+
+// Poke sets the line contents without timing, statistics or wear — used for
+// warmup and tests only.
+func (d *Device) Poke(lineAddr uint64, data []byte) {
+	d.checkAddr(lineAddr)
+	line, ok := d.store[lineAddr]
+	if !ok {
+		line = make([]byte, config.LineSize)
+		d.store[lineAddr] = line
+	}
+	copy(line, data)
+}
+
+// BankBusyUntil reports when the bank holding lineAddr frees up — the
+// queueing visibility the controller uses for statistics.
+func (d *Device) BankBusyUntil(lineAddr uint64) units.Time {
+	return d.banks[d.Bank(lineAddr)].busyUntil
+}
+
+// ReadLatency returns the array read latency.
+func (d *Device) ReadLatency() units.Duration { return d.readLat }
+
+// WriteLatency returns the array write latency.
+func (d *Device) WriteLatency() units.Duration { return d.writeLat }
+
+// Stats is a snapshot of the device counters.
+type Stats struct {
+	Reads         uint64
+	RowHits       uint64
+	Writes        uint64
+	BitsFlipped   uint64
+	BitsWritten   uint64
+	EnergyPJ      float64
+	MeanReadWait  units.Duration
+	MeanWriteWait units.Duration
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Reads:         d.reads.Value(),
+		RowHits:       d.rowHits.Value(),
+		Writes:        d.writes.Value(),
+		BitsFlipped:   d.bitsFlipped.Value(),
+		BitsWritten:   d.bitsWritten.Value(),
+		EnergyPJ:      d.energyPJ,
+		MeanReadWait:  d.readWait.Mean(),
+		MeanWriteWait: d.writeWait.Mean(),
+	}
+}
+
+// AddEnergy accounts energy spent by logic attached to the device (AES, CRC,
+// comparators) so one meter covers the whole memory system.
+func (d *Device) AddEnergy(pj float64) { d.energyPJ += pj }
+
+// Wear describes the write-wear state of the device.
+type Wear struct {
+	TotalWrites  uint64
+	TouchedLines uint64
+	MaxPerLine   uint64
+	MeanPerLine  float64 // over touched lines
+}
+
+// WearStats summarizes per-line write counts.
+func (d *Device) WearStats() Wear {
+	var w Wear
+	for _, n := range d.wear {
+		w.TotalWrites += n
+		w.TouchedLines++
+		if n > w.MaxPerLine {
+			w.MaxPerLine = n
+		}
+	}
+	if w.TouchedLines > 0 {
+		w.MeanPerLine = float64(w.TotalWrites) / float64(w.TouchedLines)
+	}
+	return w
+}
+
+// WearOf returns the write count of one line.
+func (d *Device) WearOf(lineAddr uint64) uint64 { return d.wear[lineAddr] }
+
+// LifetimeYears estimates device lifetime under the observed write rate,
+// assuming the given cell endurance (e.g. 1e8 writes for PCM) and perfect
+// wear leveling. elapsed is the simulated time over which the writes landed.
+func (d *Device) LifetimeYears(endurance float64, elapsed units.Duration) float64 {
+	if d.writes.Value() == 0 || elapsed == 0 {
+		return 0
+	}
+	writesPerSecond := float64(d.writes.Value()) / elapsed.Seconds()
+	totalWritesBudget := endurance * float64(d.geom.Lines())
+	seconds := totalWritesBudget / writesPerSecond
+	return seconds / (365.25 * 24 * 3600)
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,122 @@
+package nvm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"dewrite/internal/config"
+)
+
+// Device contents can be saved and restored — the persistence property that
+// distinguishes NVM from DRAM. A restore models a power cycle: the stored
+// lines and their wear survive; volatile microarchitectural state (bank
+// busy times, open rows) and statistics reset.
+
+const stateMagic = "DWNV1\n"
+
+// SaveContents serializes every written line (and its wear count) in
+// deterministic address order.
+func (d *Device) SaveContents(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(stateMagic); err != nil {
+		return err
+	}
+	var b8 [8]byte
+	writeU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		_, err := bw.Write(b8[:])
+		return err
+	}
+	if err := writeU64(d.geom.Lines()); err != nil {
+		return err
+	}
+	addrs := make([]uint64, 0, len(d.store))
+	for a := range d.store {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	if err := writeU64(uint64(len(addrs))); err != nil {
+		return err
+	}
+	for _, a := range addrs {
+		if err := writeU64(a); err != nil {
+			return err
+		}
+		if err := writeU64(d.wear[a]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(d.store[a]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadContents restores lines saved by SaveContents into this device. The
+// device must be at least as large as the saved one. Existing contents are
+// replaced; statistics and bank state are untouched (cold).
+func (d *Device) LoadContents(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(stateMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("nvm: reading magic: %w", err)
+	}
+	if string(magic) != stateMagic {
+		return fmt.Errorf("nvm: bad state magic %q", magic)
+	}
+	var b8 [8]byte
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, b8[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b8[:]), nil
+	}
+	savedLines, err := readU64()
+	if err != nil {
+		return err
+	}
+	if savedLines > d.geom.Lines() {
+		return fmt.Errorf("nvm: saved device has %d lines, this one %d", savedLines, d.geom.Lines())
+	}
+	count, err := readU64()
+	if err != nil {
+		return err
+	}
+	if count > savedLines {
+		return fmt.Errorf("nvm: saved state claims %d lines over %d", count, savedLines)
+	}
+	d.store = make(map[uint64][]byte, min64(count, 1<<16))
+	d.wear = make(map[uint64]uint64, min64(count, 1<<16))
+	for i := uint64(0); i < count; i++ {
+		addr, err := readU64()
+		if err != nil {
+			return err
+		}
+		wear, err := readU64()
+		if err != nil {
+			return err
+		}
+		if addr >= d.geom.Lines() {
+			return fmt.Errorf("nvm: saved line %#x out of range", addr)
+		}
+		line := make([]byte, config.LineSize)
+		if _, err := io.ReadFull(br, line); err != nil {
+			return fmt.Errorf("nvm: line %#x contents: %w", addr, err)
+		}
+		d.store[addr] = line
+		if wear > 0 {
+			d.wear[addr] = wear
+		}
+	}
+	return nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,23 @@
+package predict_test
+
+import (
+	"fmt"
+
+	"dewrite/internal/predict"
+)
+
+// Example shows the 3-bit history window riding through an isolated glitch.
+func Example() {
+	p := predict.New(3)
+	stream := []bool{true, true, true, false /* glitch */, true, true}
+	for _, dup := range stream {
+		p.Observe(dup)
+	}
+	// After three duplicates, the majority window still predicts duplicate
+	// right through the single non-duplicate glitch.
+	fmt.Printf("prediction after stream: %v\n", p.Predict())
+	fmt.Printf("accuracy: %.0f%%\n", p.Accuracy()*100)
+	// Output:
+	// prediction after stream: true
+	// accuracy: 67%
+}

@@ -1,0 +1,30 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"dewrite/internal/config"
+	"dewrite/internal/sim"
+	"dewrite/internal/units"
+	"dewrite/internal/workload"
+)
+
+// Example runs one application against DeWrite and the traditional secure
+// NVM and prints the headline comparison.
+func Example() {
+	prof, _ := workload.ByName("lbm")
+	cfg := config.Default()
+	cfg.NVM = config.SmallNVM(4 * units.MB)
+	opts := sim.Options{Requests: 12000, Warmup: 3000, Seed: 42}
+
+	dw, _ := sim.RunScheme(sim.SchemeDeWrite, prof, cfg, opts)
+	base, _ := sim.RunScheme(sim.SchemeSecureNVM, prof, cfg, opts)
+
+	fmt.Printf("lbm: writes faster: %v, reads faster: %v, IPC higher: %v, energy lower: %v\n",
+		sim.WriteSpeedup(dw, base) > 2,
+		sim.ReadSpeedup(dw, base) > 1.5,
+		sim.RelativeIPC(dw, base) > 1.2,
+		sim.RelativeEnergy(dw, base) < 0.7)
+	// Output:
+	// lbm: writes faster: true, reads faster: true, IPC higher: true, energy lower: true
+}

@@ -1,0 +1,390 @@
+// Package sim is the harness that wires a workload generator, the CPU
+// timing model, an optional CPU cache hierarchy, and one secure-NVM scheme
+// into a run, producing the per-application measurements every experiment
+// consumes.
+package sim
+
+import (
+	"fmt"
+
+	"dewrite/internal/baseline"
+	"dewrite/internal/cache"
+	"dewrite/internal/config"
+	"dewrite/internal/core"
+	"dewrite/internal/cpu"
+	"dewrite/internal/nvm"
+	"dewrite/internal/stats"
+	"dewrite/internal/trace"
+	"dewrite/internal/units"
+	"dewrite/internal/workload"
+)
+
+// Memory is the request interface every secure-NVM scheme implements
+// (core.Controller, baseline.SecureNVM, baseline.Shredder).
+type Memory interface {
+	Write(now units.Time, logical uint64, data []byte) units.Time
+	Read(now units.Time, logical uint64) ([]byte, units.Time)
+}
+
+// deviceHolder is implemented by schemes that expose their NVM device.
+type deviceHolder interface {
+	Device() *nvm.Device
+}
+
+// DeviceOf returns the scheme's NVM device, or nil if it does not expose one.
+func DeviceOf(mem Memory) *nvm.Device {
+	if h, ok := mem.(deviceHolder); ok {
+		return h.Device()
+	}
+	if sh, ok := mem.(*baseline.Shredder); ok {
+		return sh.Inner().Device()
+	}
+	return nil
+}
+
+// Scheme identifies a memory scheme for construction and reporting.
+type Scheme int
+
+// The schemes the experiments compare.
+const (
+	SchemeDeWrite Scheme = iota
+	SchemeDirect
+	SchemeParallel
+	SchemeSecureNVM
+	SchemeShredder
+)
+
+// String returns the scheme's display name.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeDeWrite:
+		return "DeWrite"
+	case SchemeDirect:
+		return "Direct"
+	case SchemeParallel:
+		return "Parallel"
+	case SchemeSecureNVM:
+		return "SecureNVM"
+	case SchemeShredder:
+		return "Shredder"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// NewMemory constructs a fresh memory of the given scheme over dataLines.
+func NewMemory(s Scheme, dataLines uint64, cfg config.Config) Memory {
+	switch s {
+	case SchemeDeWrite:
+		return core.New(core.Options{DataLines: dataLines, Config: cfg, Mode: core.ModeDeWrite})
+	case SchemeDirect:
+		return core.New(core.Options{DataLines: dataLines, Config: cfg, Mode: core.ModeDirect})
+	case SchemeParallel:
+		return core.New(core.Options{DataLines: dataLines, Config: cfg, Mode: core.ModeParallel})
+	case SchemeSecureNVM:
+		return baseline.NewSecureNVM(dataLines, cfg)
+	case SchemeShredder:
+		return baseline.NewShredder(dataLines, cfg)
+	default:
+		panic(fmt.Sprintf("sim: unknown scheme %d", s))
+	}
+}
+
+// Options configures a run.
+type Options struct {
+	// Requests is the number of memory requests to drive. Required.
+	Requests int
+	// Warmup is the number of leading requests excluded from every
+	// measurement (the paper warms caches for 10 M instructions before
+	// measuring). Must be below Requests.
+	Warmup int
+	// Seed seeds the workload generator.
+	Seed uint64
+	// Hierarchy optionally interposes a CPU cache hierarchy so that only
+	// misses and write-backs reach the memory scheme.
+	Hierarchy *cache.Hierarchy
+}
+
+// Result is the measurement of one (application, scheme) run.
+type Result struct {
+	App    string
+	Scheme string
+
+	Requests  uint64
+	MemWrites uint64 // write requests reaching the memory scheme
+	MemReads  uint64
+
+	Gen workload.Stats // generator ground truth
+
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+	Elapsed      units.Duration
+
+	MeanWriteLat units.Duration
+	MeanReadLat  units.Duration
+	P99WriteLat  units.Duration
+	P99ReadLat   units.Duration
+	WriteLatSum  units.Duration
+	ReadLatSum   units.Duration
+
+	EnergyPJ float64
+	Device   nvm.Stats
+}
+
+// Run drives opts.Requests generator requests through mem and returns the
+// measurements.
+func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts Options) Result {
+	if opts.Requests <= 0 {
+		panic("sim: non-positive request count")
+	}
+	if opts.Warmup < 0 || opts.Warmup >= opts.Requests {
+		panic("sim: warmup must be in [0, Requests)")
+	}
+	gen := workload.NewGenerator(prof, opts.Seed)
+	machine := cpu.NewMachine(prof.Threads)
+
+	var res Result
+	res.App = app
+	res.Scheme = schemeName
+
+	// Measurement baselines captured at the warmup boundary.
+	var instr0, cycles0 uint64
+	var gen0 workload.Stats
+	var dev0 nvm.Stats
+
+	var writeLat, readLat stats.Latency
+	writeRes := stats.NewReservoir(2048)
+	readRes := stats.NewReservoir(2048)
+	shadow := map[uint64][]byte{} // line contents for hierarchy write-backs
+
+	for i := 0; i < opts.Requests; i++ {
+		if i == opts.Warmup {
+			instr0 = machine.Instructions()
+			cycles0 = machine.Cycles()
+			gen0 = gen.Stats()
+			if dev := DeviceOf(mem); dev != nil {
+				dev0 = dev.Stats()
+			}
+		}
+		measuring := i >= opts.Warmup
+		req := gen.Next()
+		th := req.Thread
+		machine.Execute(th, req.Gap)
+		if measuring {
+			res.Requests++
+		}
+
+		if opts.Hierarchy == nil {
+			if req.Op == trace.Write {
+				// Ordered persistent write: stall on the previous write's
+				// persist, then issue; the write occupies its bank while the
+				// thread runs ahead, so later requests to that bank queue
+				// behind it — the paper's contention mechanism.
+				issue := machine.IssueWrite(th)
+				done := mem.Write(issue, req.Addr, req.Data)
+				machine.RetireWrite(th, done)
+				if measuring {
+					writeLat.Observe(done.Sub(issue))
+					writeRes.Observe(done.Sub(issue))
+					res.MemWrites++
+				}
+			} else {
+				issue := machine.IssueRead(th)
+				_, done := mem.Read(issue, req.Addr)
+				machine.RetireRead(th, done)
+				if measuring {
+					readLat.Observe(done.Sub(issue))
+					readRes.Observe(done.Sub(issue))
+					res.MemReads++
+				}
+			}
+			continue
+		}
+
+		// Cache-filtered path: only misses and dirty write-backs reach NVM.
+		store := req.Op == trace.Write
+		if store {
+			shadow[req.Addr] = req.Data
+		}
+		acc := opts.Hierarchy.Access(req.Addr, store)
+		machine.Delay(th, acc.Latency)
+		if acc.MemFill {
+			issue := machine.Now(th)
+			_, done := mem.Read(issue, req.Addr)
+			machine.CompleteRead(th, done)
+			if measuring {
+				readLat.Observe(done.Sub(issue))
+				res.MemReads++
+			}
+		}
+		for _, wb := range acc.Writebacks {
+			data := shadow[wb]
+			if data == nil {
+				data = make([]byte, config.LineSize)
+			}
+			issue := machine.IssueWrite(th)
+			done := mem.Write(issue, wb, data)
+			machine.RetireWrite(th, done)
+			if measuring {
+				writeLat.Observe(done.Sub(issue))
+				res.MemWrites++
+			}
+		}
+	}
+
+	res.Gen = genDelta(gen.Stats(), gen0)
+	res.Instructions = machine.Instructions() - instr0
+	res.Cycles = machine.Cycles() - cycles0
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(res.Cycles)
+	}
+	res.Elapsed = units.Duration(res.Cycles) * units.NewClock(config.CPUHz).Period()
+	res.MeanWriteLat = writeLat.Mean()
+	res.MeanReadLat = readLat.Mean()
+	res.P99WriteLat = writeRes.Percentile(0.99)
+	res.P99ReadLat = readRes.Percentile(0.99)
+	res.WriteLatSum = writeLat.Sum()
+	res.ReadLatSum = readLat.Sum()
+	if dev := DeviceOf(mem); dev != nil {
+		st := devDelta(dev.Stats(), dev0)
+		res.EnergyPJ = st.EnergyPJ
+		res.Device = st
+	}
+	return res
+}
+
+// genDelta subtracts the warmup baseline from the generator counters.
+func genDelta(a, b workload.Stats) workload.Stats {
+	return workload.Stats{
+		Writes:     a.Writes - b.Writes,
+		Reads:      a.Reads - b.Reads,
+		Duplicates: a.Duplicates - b.Duplicates,
+		ZeroWrites: a.ZeroWrites - b.ZeroWrites,
+	}
+}
+
+// devDelta subtracts the warmup baseline from the device counters; the mean
+// waits remain whole-run values.
+func devDelta(a, b nvm.Stats) nvm.Stats {
+	return nvm.Stats{
+		Reads:         a.Reads - b.Reads,
+		RowHits:       a.RowHits - b.RowHits,
+		Writes:        a.Writes - b.Writes,
+		BitsFlipped:   a.BitsFlipped - b.BitsFlipped,
+		BitsWritten:   a.BitsWritten - b.BitsWritten,
+		EnergyPJ:      a.EnergyPJ - b.EnergyPJ,
+		MeanReadWait:  a.MeanReadWait,
+		MeanWriteWait: a.MeanWriteWait,
+	}
+}
+
+// RunScheme is the common construct-and-run helper: it builds a fresh memory
+// of the scheme sized to the profile's working set and drives it.
+func RunScheme(s Scheme, prof workload.Profile, cfg config.Config, opts Options) (Result, Memory) {
+	mem := NewMemory(s, prof.WorkingSetLines, cfg)
+	res := Run(prof.Name, s.String(), mem, prof, opts)
+	return res, mem
+}
+
+// WriteSpeedup returns base's total write latency over r's (Figure 14).
+func WriteSpeedup(r, base Result) float64 {
+	return stats.Speedup(base.WriteLatSum, r.WriteLatSum)
+}
+
+// ReadSpeedup returns base's total read latency over r's (Figure 16).
+func ReadSpeedup(r, base Result) float64 {
+	return stats.Speedup(base.ReadLatSum, r.ReadLatSum)
+}
+
+// RelativeIPC returns r's IPC over base's (Figure 17).
+func RelativeIPC(r, base Result) float64 {
+	if base.IPC == 0 {
+		return 0
+	}
+	return r.IPC / base.IPC
+}
+
+// RelativeEnergy returns r's energy over base's (Figure 19).
+func RelativeEnergy(r, base Result) float64 {
+	if base.EnergyPJ == 0 {
+		return 0
+	}
+	return r.EnergyPJ / base.EnergyPJ
+}
+
+// RunTrace replays a materialized trace through mem with the same CPU model
+// Run uses, returning the measurements. The trace's Gap/Thread fields drive
+// the timing; thread indices must be dense starting at zero.
+func RunTrace(tr *trace.Trace, mem Memory, warmup int) Result {
+	if len(tr.Requests) == 0 {
+		panic("sim: empty trace")
+	}
+	if warmup < 0 || warmup >= len(tr.Requests) {
+		panic("sim: warmup must be in [0, len(trace))")
+	}
+	threads := tr.Summarize().Threads
+	if threads < 1 {
+		threads = 1
+	}
+	machine := cpu.NewMachine(threads)
+
+	var res Result
+	res.App = tr.Name
+	res.Scheme = "trace"
+
+	var instr0, cycles0 uint64
+	var dev0 nvm.Stats
+	var writeLat, readLat stats.Latency
+
+	for i := range tr.Requests {
+		if i == warmup {
+			instr0 = machine.Instructions()
+			cycles0 = machine.Cycles()
+			if dev := DeviceOf(mem); dev != nil {
+				dev0 = dev.Stats()
+			}
+		}
+		measuring := i >= warmup
+		req := &tr.Requests[i]
+		th := req.Thread
+		machine.Execute(th, req.Gap)
+		if measuring {
+			res.Requests++
+		}
+		if req.Op == trace.Write {
+			issue := machine.IssueWrite(th)
+			done := mem.Write(issue, req.Addr, req.Data)
+			machine.RetireWrite(th, done)
+			if measuring {
+				writeLat.Observe(done.Sub(issue))
+				res.MemWrites++
+			}
+		} else {
+			issue := machine.IssueRead(th)
+			_, done := mem.Read(issue, req.Addr)
+			machine.RetireRead(th, done)
+			if measuring {
+				readLat.Observe(done.Sub(issue))
+				res.MemReads++
+			}
+		}
+	}
+
+	res.Instructions = machine.Instructions() - instr0
+	res.Cycles = machine.Cycles() - cycles0
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(res.Cycles)
+	}
+	res.Elapsed = units.Duration(res.Cycles) * units.NewClock(config.CPUHz).Period()
+	res.MeanWriteLat = writeLat.Mean()
+	res.MeanReadLat = readLat.Mean()
+	res.WriteLatSum = writeLat.Sum()
+	res.ReadLatSum = readLat.Sum()
+	if dev := DeviceOf(mem); dev != nil {
+		st := devDelta(dev.Stats(), dev0)
+		res.EnergyPJ = st.EnergyPJ
+		res.Device = st
+	}
+	return res
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"testing"
+
+	"dewrite/internal/cache"
+	"dewrite/internal/config"
+	"dewrite/internal/trace"
+	"dewrite/internal/units"
+	"dewrite/internal/workload"
+)
+
+func testConfig() config.Config {
+	cfg := config.Default()
+	cfg.NVM = config.SmallNVM(4 * units.MB)
+	return cfg
+}
+
+func smallProfile() workload.Profile {
+	p, _ := workload.ByName("mcf")
+	p.WorkingSetLines = 4096
+	return p
+}
+
+func TestRunProducesConsistentCounts(t *testing.T) {
+	prof := smallProfile()
+	res, _ := RunScheme(SchemeDeWrite, prof, testConfig(), Options{Requests: 3000, Seed: 1})
+	if res.Requests != 3000 {
+		t.Fatalf("Requests = %d", res.Requests)
+	}
+	if res.MemWrites+res.MemReads != res.Requests {
+		t.Fatalf("W+R = %d, want %d", res.MemWrites+res.MemReads, res.Requests)
+	}
+	if res.MemWrites != res.Gen.Writes || res.MemReads != res.Gen.Reads {
+		t.Fatalf("harness counts disagree with generator: %+v vs %+v", res, res.Gen)
+	}
+	if res.Instructions == 0 || res.Cycles == 0 || res.IPC <= 0 {
+		t.Fatalf("CPU metrics degenerate: %+v", res)
+	}
+	if res.EnergyPJ <= 0 {
+		t.Fatal("no energy recorded")
+	}
+}
+
+func TestDeWriteBeatsSecureNVM(t *testing.T) {
+	// The headline result, on a duplication-heavy app: fewer device writes,
+	// faster writes, faster reads, higher IPC, less energy.
+	prof, _ := workload.ByName("lbm")
+	prof.WorkingSetLines = 8192
+	opts := Options{Requests: 8000, Seed: 2}
+	cfg := testConfig()
+
+	dw, _ := RunScheme(SchemeDeWrite, prof, cfg, opts)
+	base, _ := RunScheme(SchemeSecureNVM, prof, cfg, opts)
+
+	if dw.Device.Writes >= base.Device.Writes {
+		t.Fatalf("device writes: DeWrite %d vs base %d", dw.Device.Writes, base.Device.Writes)
+	}
+	if ws := WriteSpeedup(dw, base); ws <= 1.5 {
+		t.Fatalf("write speedup = %.2f, want > 1.5 on lbm", ws)
+	}
+	if rs := ReadSpeedup(dw, base); rs <= 1 {
+		t.Fatalf("read speedup = %.2f, want > 1", rs)
+	}
+	if ri := RelativeIPC(dw, base); ri <= 1 {
+		t.Fatalf("relative IPC = %.2f, want > 1", ri)
+	}
+	if re := RelativeEnergy(dw, base); re >= 1 {
+		t.Fatalf("relative energy = %.2f, want < 1", re)
+	}
+}
+
+func TestWorstCaseNearBaseline(t *testing.T) {
+	// Figure 18: with no duplicates DeWrite degrades gracefully (within a
+	// few percent of the traditional secure NVM).
+	prof := workload.WorstCase()
+	prof.WorkingSetLines = 8192
+	// Warm the metadata caches first, as the paper does; the cold region is
+	// dominated by one-off metadata fills.
+	opts := Options{Requests: 9000, Warmup: 3000, Seed: 3}
+	cfg := testConfig()
+
+	dw, _ := RunScheme(SchemeDeWrite, prof, cfg, opts)
+	base, _ := RunScheme(SchemeSecureNVM, prof, cfg, opts)
+
+	if ri := RelativeIPC(dw, base); ri < 0.93 || ri > 1.05 {
+		t.Fatalf("worst-case relative IPC = %.3f, want ≈1", ri)
+	}
+}
+
+func TestSchemesProduceSameGroundTruth(t *testing.T) {
+	// Same seed → identical workload stream regardless of scheme.
+	prof := smallProfile()
+	opts := Options{Requests: 2000, Seed: 9}
+	cfg := testConfig()
+	a, _ := RunScheme(SchemeDeWrite, prof, cfg, opts)
+	b, _ := RunScheme(SchemeSecureNVM, prof, cfg, opts)
+	if a.Gen != b.Gen {
+		t.Fatalf("generator stats diverged: %+v vs %+v", a.Gen, b.Gen)
+	}
+}
+
+func TestShredderBetweenBaselineAndDeWrite(t *testing.T) {
+	prof, _ := workload.ByName("sjeng") // zero-dominated duplicates
+	prof.WorkingSetLines = 8192
+	opts := Options{Requests: 6000, Seed: 4}
+	cfg := testConfig()
+
+	dw, _ := RunScheme(SchemeDeWrite, prof, cfg, opts)
+	sh, _ := RunScheme(SchemeShredder, prof, cfg, opts)
+	base, _ := RunScheme(SchemeSecureNVM, prof, cfg, opts)
+
+	if sh.Device.Writes >= base.Device.Writes {
+		t.Fatalf("shredder writes %d not below baseline %d", sh.Device.Writes, base.Device.Writes)
+	}
+	if dw.Device.Writes >= sh.Device.Writes {
+		t.Fatalf("DeWrite writes %d not below shredder %d (dedup ⊃ zero elision)",
+			dw.Device.Writes, sh.Device.Writes)
+	}
+}
+
+func TestHierarchyFiltersTraffic(t *testing.T) {
+	prof := smallProfile()
+	cfg := testConfig()
+	h := cache.NewHierarchy(config.DefaultHierarchy())
+	filtered, _ := RunScheme(SchemeSecureNVM, prof, cfg, Options{Requests: 4000, Seed: 5, Hierarchy: h})
+	direct, _ := RunScheme(SchemeSecureNVM, prof, cfg, Options{Requests: 4000, Seed: 5})
+	if filtered.MemWrites+filtered.MemReads >= direct.MemWrites+direct.MemReads {
+		t.Fatalf("hierarchy did not filter: %d vs %d requests to memory",
+			filtered.MemWrites+filtered.MemReads, direct.MemWrites+direct.MemReads)
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	names := map[Scheme]string{
+		SchemeDeWrite: "DeWrite", SchemeDirect: "Direct", SchemeParallel: "Parallel",
+		SchemeSecureNVM: "SecureNVM", SchemeShredder: "Shredder",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestDeviceOf(t *testing.T) {
+	cfg := testConfig()
+	for _, s := range []Scheme{SchemeDeWrite, SchemeSecureNVM, SchemeShredder} {
+		if DeviceOf(NewMemory(s, 2048, cfg)) == nil {
+			t.Errorf("%v: no device", s)
+		}
+	}
+}
+
+func TestRunPanicsOnZeroRequests(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RunScheme(SchemeDeWrite, smallProfile(), testConfig(), Options{})
+}
+
+func TestRelativeHelpersZeroBase(t *testing.T) {
+	var empty Result
+	if RelativeIPC(empty, empty) != 0 || RelativeEnergy(empty, empty) != 0 {
+		t.Fatal("zero-base helpers should return 0")
+	}
+}
+
+func TestRunTraceMatchesLiveRun(t *testing.T) {
+	// Replaying a materialized trace must give the same measurements as
+	// driving the generator live with the same seed.
+	prof := smallProfile()
+	cfg := testConfig()
+	tr := workload.Generate(prof, 31, 3000)
+
+	live, _ := RunScheme(SchemeSecureNVM, prof, cfg, Options{Requests: 3000, Seed: 31})
+	mem := NewMemory(SchemeSecureNVM, prof.WorkingSetLines, cfg)
+	replay := RunTrace(tr, mem, 0)
+
+	if replay.MemWrites != live.MemWrites || replay.MemReads != live.MemReads {
+		t.Fatalf("traffic diverged: %d/%d vs %d/%d",
+			replay.MemWrites, replay.MemReads, live.MemWrites, live.MemReads)
+	}
+	if replay.WriteLatSum != live.WriteLatSum || replay.ReadLatSum != live.ReadLatSum {
+		t.Fatalf("latency sums diverged: %v/%v vs %v/%v",
+			replay.WriteLatSum, replay.ReadLatSum, live.WriteLatSum, live.ReadLatSum)
+	}
+	if replay.Cycles != live.Cycles {
+		t.Fatalf("cycles diverged: %d vs %d", replay.Cycles, live.Cycles)
+	}
+}
+
+func TestRunTraceValidation(t *testing.T) {
+	mem := NewMemory(SchemeSecureNVM, 2048, testConfig())
+	for name, f := range map[string]func(){
+		"empty":      func() { RunTrace(&trace.Trace{}, mem, 0) },
+		"bad warmup": func() { RunTrace(workload.Generate(smallProfile(), 1, 10), mem, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentilesReported(t *testing.T) {
+	prof := smallProfile()
+	res, _ := RunScheme(SchemeSecureNVM, prof, testConfig(), Options{Requests: 4000, Warmup: 500, Seed: 8})
+	if res.P99WriteLat == 0 || res.P99ReadLat == 0 {
+		t.Fatalf("percentiles missing: %+v", res)
+	}
+	if res.P99WriteLat < res.MeanWriteLat {
+		t.Fatalf("P99 write (%v) below mean (%v)", res.P99WriteLat, res.MeanWriteLat)
+	}
+	if res.P99ReadLat < res.MeanReadLat {
+		t.Fatalf("P99 read (%v) below mean (%v)", res.P99ReadLat, res.MeanReadLat)
+	}
+}

@@ -1,0 +1,327 @@
+// Package stats provides the lightweight statistics primitives shared by the
+// simulator components: scalar counters, running latency aggregates, and
+// histograms over integer values.
+//
+// All types are plain values with useful zero states so they can be embedded
+// directly in component structs without constructors.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"dewrite/internal/units"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.n += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Ratio divides the counter by the total counter, returning 0 when the total
+// is empty. It is the common "fraction of events" accessor.
+func (c *Counter) Ratio(total *Counter) float64 {
+	if total.n == 0 {
+		return 0
+	}
+	return float64(c.n) / float64(total.n)
+}
+
+// Latency accumulates a stream of durations and reports mean/min/max.
+type Latency struct {
+	count uint64
+	sum   units.Duration
+	min   units.Duration
+	max   units.Duration
+}
+
+// Observe records one duration.
+func (l *Latency) Observe(d units.Duration) {
+	if l.count == 0 || d < l.min {
+		l.min = d
+	}
+	if d > l.max {
+		l.max = d
+	}
+	l.count++
+	l.sum += d
+}
+
+// Count returns the number of observations.
+func (l *Latency) Count() uint64 { return l.count }
+
+// Sum returns the total observed duration.
+func (l *Latency) Sum() units.Duration { return l.sum }
+
+// Mean returns the mean duration, or 0 with no observations.
+func (l *Latency) Mean() units.Duration {
+	if l.count == 0 {
+		return 0
+	}
+	return l.sum / units.Duration(l.count)
+}
+
+// Min returns the smallest observation, or 0 with no observations.
+func (l *Latency) Min() units.Duration { return l.min }
+
+// Max returns the largest observation.
+func (l *Latency) Max() units.Duration { return l.max }
+
+// String summarizes the aggregate for reports.
+func (l *Latency) String() string {
+	if l.count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%v min=%v max=%v", l.count, l.Mean(), l.min, l.max)
+}
+
+// Histogram counts occurrences of integer-valued observations. It is sparse:
+// only observed values consume memory, so it works for both small enums
+// (reference counts) and wide domains (wear per line).
+type Histogram struct {
+	buckets map[uint64]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Observe records one occurrence of v.
+func (h *Histogram) Observe(v uint64) {
+	if h.buckets == nil {
+		h.buckets = make(map[uint64]uint64)
+	}
+	h.buckets[v]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean observation, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Bucket returns the number of observations equal to v.
+func (h *Histogram) Bucket(v uint64) uint64 { return h.buckets[v] }
+
+// FractionAtMost returns the fraction of observations <= v.
+func (h *Histogram) FractionAtMost(v uint64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	var n uint64
+	for val, c := range h.buckets {
+		if val <= v {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.count)
+}
+
+// Percentile returns the smallest value x such that at least p (0..1) of the
+// observations are <= x. With no observations it returns 0.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	vals := make([]uint64, 0, len(h.buckets))
+	for v := range h.buckets {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	need := uint64(math.Ceil(p * float64(h.count)))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for _, v := range vals {
+		cum += h.buckets[v]
+		if cum >= need {
+			return v
+		}
+	}
+	return vals[len(vals)-1]
+}
+
+// Ratio is a convenience for reporting a/b as a float, 0 when b == 0.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Speedup reports base/improved, the conventional "×" speedup, returning 0
+// when the improved value is 0.
+func Speedup(base, improved units.Duration) float64 {
+	if improved == 0 {
+		return 0
+	}
+	return float64(base) / float64(improved)
+}
+
+// Table is a simple fixed-column text table used by the experiment runners to
+// print paper-style rows.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Cell returns the formatted cell at (row, col).
+func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Reservoir keeps a bounded uniform sample of durations so percentiles can
+// be estimated over arbitrarily long runs with fixed memory (Vitter's
+// algorithm R). The zero value is not usable; call NewReservoir.
+type Reservoir struct {
+	cap    int
+	seen   uint64
+	sample []units.Duration
+	rng    uint64 // xorshift64 state; deterministic, seeded at construction
+}
+
+// NewReservoir returns a reservoir holding up to capacity samples.
+func NewReservoir(capacity int) *Reservoir {
+	if capacity < 1 {
+		panic("stats: reservoir capacity must be positive")
+	}
+	return &Reservoir{cap: capacity, rng: 0x9e3779b97f4a7c15}
+}
+
+// Observe offers one duration to the sample.
+func (r *Reservoir) Observe(d units.Duration) {
+	r.seen++
+	if len(r.sample) < r.cap {
+		r.sample = append(r.sample, d)
+		return
+	}
+	// Replace a random element with probability cap/seen.
+	r.rng ^= r.rng << 13
+	r.rng ^= r.rng >> 7
+	r.rng ^= r.rng << 17
+	if idx := r.rng % r.seen; idx < uint64(r.cap) {
+		r.sample[idx] = d
+	}
+}
+
+// Count returns the number of observations offered.
+func (r *Reservoir) Count() uint64 { return r.seen }
+
+// Percentile estimates the p-th percentile (p in [0,1]) from the sample.
+func (r *Reservoir) Percentile(p float64) units.Duration {
+	if len(r.sample) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	sorted := append([]units.Duration(nil), r.sample...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

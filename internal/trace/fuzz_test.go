@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"dewrite/internal/config"
+)
+
+// FuzzReadTrace checks the trace parser never panics and that anything it
+// accepts re-serializes to an equivalent trace.
+func FuzzReadTrace(f *testing.F) {
+	// Seed corpus: a valid trace, a truncation of it, and garbage.
+	valid := &Trace{Name: "seed", Lines: 64}
+	valid.Requests = append(valid.Requests,
+		Request{Op: Read, Addr: 1, Thread: 0, Gap: 5},
+		Request{Op: Write, Addr: 2, Thread: 1, Gap: 0, Data: make([]byte, config.LineSize)},
+	)
+	var buf bytes.Buffer
+	if _, err := valid.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:buf.Len()/2])
+	f.Add([]byte("DWTR1\n garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted input must round-trip losslessly.
+		var out bytes.Buffer
+		if _, err := tr.WriteTo(&out); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		tr2, err := ReadTrace(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-serialized trace rejected: %v", err)
+		}
+		if len(tr2.Requests) != len(tr.Requests) || tr2.Name != tr.Name || tr2.Lines != tr.Lines {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}

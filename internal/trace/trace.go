@@ -1,0 +1,212 @@
+// Package trace defines the memory-request trace representation exchanged
+// between the workload generators, the CPU/cache models and the memory
+// schemes: one record per last-level-cache miss or write-back reaching the
+// memory controller, carrying the full 256 B line payload for writes so the
+// dedup and encryption layers operate on real contents.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dewrite/internal/config"
+)
+
+// Op is the request type.
+type Op uint8
+
+// Request operations.
+const (
+	Read Op = iota
+	Write
+)
+
+// String returns "R" or "W".
+func (o Op) String() string {
+	if o == Write {
+		return "W"
+	}
+	return "R"
+}
+
+// Request is one memory request at line granularity.
+type Request struct {
+	Op     Op
+	Addr   uint64 // logical line address
+	Data   []byte // line payload for writes; nil for reads
+	Thread int    // issuing hardware thread
+	Gap    uint64 // non-memory instructions executed before this request
+}
+
+// Validate checks structural consistency.
+func (r Request) Validate() error {
+	switch r.Op {
+	case Write:
+		if len(r.Data) != config.LineSize {
+			return fmt.Errorf("trace: write with %d-byte payload", len(r.Data))
+		}
+	case Read:
+		if r.Data != nil {
+			return fmt.Errorf("trace: read with payload")
+		}
+	default:
+		return fmt.Errorf("trace: unknown op %d", r.Op)
+	}
+	return nil
+}
+
+// Trace is a materialized request sequence with its provenance.
+type Trace struct {
+	Name     string
+	Lines    uint64 // logical address space the requests live in
+	Requests []Request
+}
+
+const fileMagic = "DWTR1\n"
+
+// WriteTo serializes the trace in a compact binary format.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if err := count(bw.WriteString(fileMagic)); err != nil {
+		return n, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(t.Name)))
+	if err := count(bw.Write(hdr[:4])); err != nil {
+		return n, err
+	}
+	if err := count(bw.WriteString(t.Name)); err != nil {
+		return n, err
+	}
+	binary.LittleEndian.PutUint64(hdr[:], t.Lines)
+	if err := count(bw.Write(hdr[:])); err != nil {
+		return n, err
+	}
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(t.Requests)))
+	if err := count(bw.Write(hdr[:])); err != nil {
+		return n, err
+	}
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		if err := r.Validate(); err != nil {
+			return n, fmt.Errorf("request %d: %w", i, err)
+		}
+		var rec [26]byte
+		rec[0] = byte(r.Op)
+		rec[1] = byte(r.Thread)
+		binary.LittleEndian.PutUint64(rec[2:10], r.Addr)
+		binary.LittleEndian.PutUint64(rec[10:18], r.Gap)
+		if err := count(bw.Write(rec[:18])); err != nil {
+			return n, err
+		}
+		if r.Op == Write {
+			if err := count(bw.Write(r.Data)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var b4 [4]byte
+	if _, err := io.ReadFull(br, b4[:]); err != nil {
+		return nil, err
+	}
+	nameLen := binary.LittleEndian.Uint32(b4[:])
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var b8 [8]byte
+	if _, err := io.ReadFull(br, b8[:]); err != nil {
+		return nil, err
+	}
+	lines := binary.LittleEndian.Uint64(b8[:])
+	if _, err := io.ReadFull(br, b8[:]); err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint64(b8[:])
+	if count > 1<<32 {
+		return nil, fmt.Errorf("trace: unreasonable request count %d", count)
+	}
+	// Cap the preallocation: the header is untrusted, and a forged count
+	// must not allocate gigabytes before the stream runs dry.
+	prealloc := count
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	t := &Trace{Name: string(name), Lines: lines, Requests: make([]Request, 0, prealloc)}
+	for i := uint64(0); i < count; i++ {
+		var rec [18]byte
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: request %d: %w", i, err)
+		}
+		req := Request{
+			Op:     Op(rec[0]),
+			Thread: int(rec[1]),
+			Addr:   binary.LittleEndian.Uint64(rec[2:10]),
+			Gap:    binary.LittleEndian.Uint64(rec[10:18]),
+		}
+		if req.Op == Write {
+			req.Data = make([]byte, config.LineSize)
+			if _, err := io.ReadFull(br, req.Data); err != nil {
+				return nil, fmt.Errorf("trace: request %d payload: %w", i, err)
+			}
+		}
+		if err := req.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: request %d: %w", i, err)
+		}
+		t.Requests = append(t.Requests, req)
+	}
+	return t, nil
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Requests int
+	Writes   int
+	Reads    int
+	Threads  int
+	MaxAddr  uint64
+}
+
+// Summarize scans the trace.
+func (t *Trace) Summarize() Stats {
+	var s Stats
+	threads := map[int]bool{}
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		s.Requests++
+		if r.Op == Write {
+			s.Writes++
+		} else {
+			s.Reads++
+		}
+		threads[r.Thread] = true
+		if r.Addr > s.MaxAddr {
+			s.MaxAddr = r.Addr
+		}
+	}
+	s.Threads = len(threads)
+	return s
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dewrite/internal/config"
+	"dewrite/internal/rng"
+)
+
+func sampleTrace(n int) *Trace {
+	src := rng.New(1)
+	t := &Trace{Name: "sample", Lines: 4096}
+	for i := 0; i < n; i++ {
+		if src.Bool(0.4) {
+			data := make([]byte, config.LineSize)
+			src.Fill(data)
+			t.Requests = append(t.Requests, Request{
+				Op: Write, Addr: src.Uint64n(4096), Data: data,
+				Thread: src.Intn(4), Gap: src.Uint64n(200),
+			})
+		} else {
+			t.Requests = append(t.Requests, Request{
+				Op: Read, Addr: src.Uint64n(4096),
+				Thread: src.Intn(4), Gap: src.Uint64n(200),
+			})
+		}
+	}
+	return t
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := sampleTrace(500)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Lines != orig.Lines {
+		t.Fatal("header mismatch")
+	}
+	if len(got.Requests) != len(orig.Requests) {
+		t.Fatalf("count = %d, want %d", len(got.Requests), len(orig.Requests))
+	}
+	for i := range orig.Requests {
+		a, b := orig.Requests[i], got.Requests[i]
+		if a.Op != b.Op || a.Addr != b.Addr || a.Thread != b.Thread || a.Gap != b.Gap {
+			t.Fatalf("request %d header mismatch", i)
+		}
+		if !bytes.Equal(a.Data, b.Data) {
+			t.Fatalf("request %d payload mismatch", i)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Request{Op: Write, Data: make([]byte, config.LineSize)}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Request{
+		{Op: Write, Data: make([]byte, 8)},
+		{Op: Read, Data: make([]byte, config.LineSize)},
+		{Op: Op(9)},
+	}
+	for i, r := range bad {
+		if r.Validate() == nil {
+			t.Errorf("bad request %d validated", i)
+		}
+	}
+}
+
+func TestWriteToRejectsInvalid(t *testing.T) {
+	tr := &Trace{Requests: []Request{{Op: Write, Data: make([]byte, 3)}}}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestReadTraceRejectsBadMagic(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("NOTATRACE")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestReadTraceTruncated(t *testing.T) {
+	orig := sampleTrace(20)
+	var buf bytes.Buffer
+	orig.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error on truncated input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := sampleTrace(1000)
+	s := tr.Summarize()
+	if s.Requests != 1000 {
+		t.Fatalf("Requests = %d", s.Requests)
+	}
+	if s.Writes+s.Reads != 1000 || s.Writes == 0 || s.Reads == 0 {
+		t.Fatalf("W/R = %d/%d", s.Writes, s.Reads)
+	}
+	if s.Threads < 2 {
+		t.Fatalf("Threads = %d", s.Threads)
+	}
+	if s.MaxAddr >= 4096 {
+		t.Fatalf("MaxAddr = %d", s.MaxAddr)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Fatal("Op strings wrong")
+	}
+}

@@ -1,0 +1,35 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"dewrite/internal/trace"
+	"dewrite/internal/workload"
+)
+
+// Example generates a slice of lbm's synthetic memory stream and measures
+// its ground-truth duplication, the statistic Figure 2 reports.
+func Example() {
+	prof, _ := workload.ByName("lbm")
+	gen := workload.NewGenerator(prof, 42)
+
+	writes := 0
+	for i := 0; i < 20000; i++ {
+		if gen.Next().Op == trace.Write {
+			writes++
+		}
+	}
+	st := gen.Stats()
+	fmt.Printf("%d writes, duplication within 5 points of the profile's %.0f%%: %v\n",
+		writes, prof.DupRatio*100,
+		abs(float64(st.Duplicates)/float64(st.Writes)-prof.DupRatio) < 0.05)
+	// Output:
+	// 10863 writes, duplication within 5 points of the profile's 90%: true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

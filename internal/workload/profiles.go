@@ -1,0 +1,157 @@
+// Package workload provides synthetic memory-trace generators standing in
+// for the 20 SPEC CPU2006 and PARSEC 2.1 applications the paper evaluates
+// (Section IV-A). Real benchmark binaries and a gem5 CPU are unavailable, so
+// each application is modelled by the statistics that determine DeWrite's
+// behaviour:
+//
+//   - the fraction of duplicate lines written to memory (Figure 2, 18.6 % to
+//     98.4 %, average ≈58 %);
+//   - the fraction of all-zero lines (average ≈16 %, dominant only in sjeng);
+//   - the temporal clustering of duplication states (Figure 4, ≈92 % of
+//     writes share the previous write's state);
+//   - the read/write mix, memory intensity, working-set size and address
+//     locality that drive the queueing and IPC models.
+//
+// The generator produces real 256 B contents: a duplicate write copies the
+// live content of another resident line, so deduplication downstream detects
+// it exactly the way the hardware would.
+package workload
+
+// Profile describes one application's memory behaviour.
+type Profile struct {
+	Name  string
+	Suite string // "SPEC" or "PARSEC"
+
+	// DupRatio is the target fraction of line writes whose content already
+	// resides in memory (Figure 2).
+	DupRatio float64
+	// ZeroRatio is the fraction of writes that are all-zero lines; zero
+	// writes are a subset of the duplicates once a zero line is resident.
+	ZeroRatio float64
+	// StateSame is the probability that a write's duplication state matches
+	// the previous write's (Figure 4 temporal locality; ≈0.92 typical). For
+	// extreme DupRatio values the achievable floor is higher and the
+	// generator clamps automatically.
+	StateSame float64
+	// WriteFrac is the fraction of memory requests that are writes.
+	WriteFrac float64
+	// WorkingSetLines is the span of logical line addresses touched.
+	WorkingSetLines uint64
+	// Locality is the Zipf skew of address selection in [0, 1).
+	Locality float64
+	// RewriteWords is how many 16-bit words a non-duplicate rewrite of an
+	// existing line modifies (drives DEUCE's partial re-encryption).
+	RewriteWords int
+	// Threads is the hardware thread count (1 for SPEC, 4 for PARSEC).
+	Threads int
+	// MemGap is the mean number of non-memory instructions between memory
+	// requests (drives the IPC model).
+	MemGap float64
+	// Phases optionally divides the run into behavioural phases: after each
+	// phase's write budget the generator switches to the next phase's
+	// duplication/zero ratios (cycling). Real applications shift behaviour
+	// this way — initialization floods zero lines, steady state settles at
+	// the app's characteristic ratio. Empty means one uniform phase.
+	Phases []Phase
+}
+
+// Phase is one behaviouralsegment of a phased profile.
+type Phase struct {
+	DupRatio  float64
+	ZeroRatio float64
+	Writes    int // writes before advancing to the next phase
+}
+
+// Profiles returns the 20 application profiles in the paper's order:
+// 12 SPEC CPU2006 programs followed by 8 PARSEC 2.1 programs. Duplication
+// and zero ratios are calibrated so the suite averages match Section II-C
+// (58 % duplicates, 16 % zero lines) with the paper's named extremes
+// (blackscholes 98.4 % max, vips 18.6 % min, sjeng zero-dominated,
+// cactusADM/libquantum/lbm/blackscholes above 80 %).
+func Profiles() []Profile {
+	spec := func(name string, dup, zero float64, ws uint64, gap float64) Profile {
+		return Profile{
+			Name: name, Suite: "SPEC",
+			DupRatio: dup, ZeroRatio: zero, StateSame: 0.92,
+			WriteFrac: 0.55, WorkingSetLines: ws, Locality: 0.8,
+			RewriteWords: 6, Threads: 1, MemGap: gap,
+		}
+	}
+	parsec := func(name string, dup, zero float64, ws uint64, gap float64) Profile {
+		return Profile{
+			Name: name, Suite: "PARSEC",
+			DupRatio: dup, ZeroRatio: zero, StateSame: 0.92,
+			WriteFrac: 0.55, WorkingSetLines: ws, Locality: 0.8,
+			RewriteWords: 6, Threads: 4, MemGap: gap,
+		}
+	}
+	return []Profile{
+		spec("bzip2", 0.21, 0.05, 1<<14, 30),
+		spec("gcc", 0.48, 0.12, 1<<15, 36),
+		spec("mcf", 0.55, 0.15, 1<<16, 20),
+		spec("milc", 0.44, 0.10, 1<<16, 23),
+		spec("zeusmp", 0.62, 0.18, 1<<15, 26),
+		spec("cactusADM", 0.94, 0.20, 1<<15, 23),
+		spec("gobmk", 0.42, 0.08, 1<<14, 40),
+		spec("hmmer", 0.34, 0.06, 1<<14, 43),
+		spec("sjeng", 0.35, 0.30, 1<<14, 36),
+		spec("libquantum", 0.87, 0.25, 1<<16, 20),
+		spec("lbm", 0.90, 0.15, 1<<16, 18),
+		spec("GemsFDTD", 0.58, 0.12, 1<<16, 25),
+		parsec("blackscholes", 0.984, 0.30, 1<<14, 33),
+		parsec("bodytrack", 0.55, 0.15, 1<<15, 36),
+		parsec("canneal", 0.46, 0.10, 1<<16, 21),
+		parsec("dedup", 0.78, 0.20, 1<<15, 28),
+		parsec("ferret", 0.52, 0.12, 1<<15, 31),
+		parsec("fluidanimate", 0.68, 0.18, 1<<15, 30),
+		parsec("streamcluster", 0.72, 0.22, 1<<16, 20),
+		parsec("vips", 0.186, 0.04, 1<<15, 33),
+	}
+}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// WorstCase returns the adversarial no-duplication workload of Section
+// IV-C4: randomized values inserted into a two-dimensional array and then
+// traversed, so no duplicate lines are ever written.
+func WorstCase() Profile {
+	return Profile{
+		Name: "worstcase", Suite: "SYNTH",
+		DupRatio: 0, ZeroRatio: 0, StateSame: 1,
+		WriteFrac: 0.5, WorkingSetLines: 1 << 15, Locality: 0,
+		RewriteWords: 128, Threads: 1, MemGap: 27,
+	}
+}
+
+// MeanDupRatio returns the average duplication ratio across profiles —
+// the paper's 58 % headline.
+func MeanDupRatio(profiles []Profile) float64 {
+	if len(profiles) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range profiles {
+		sum += p.DupRatio
+	}
+	return sum / float64(len(profiles))
+}
+
+// MeanZeroRatio returns the average zero-line ratio across profiles.
+func MeanZeroRatio(profiles []Profile) float64 {
+	if len(profiles) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range profiles {
+		sum += p.ZeroRatio
+	}
+	return sum / float64(len(profiles))
+}
