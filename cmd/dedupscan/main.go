@@ -9,9 +9,12 @@
 //
 //	dedupscan file1 [file2 ...]
 //	cat data | dedupscan -
+//	dedupscan -json file1          # one JSON array of per-input results
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -22,14 +25,15 @@ import (
 
 // scanResult aggregates one input's line statistics.
 type scanResult struct {
-	Lines        uint64
-	Duplicates   uint64 // lines whose exact content appeared before
-	ZeroLines    uint64
-	FPMatches    uint64 // CRC-32 fingerprint matched a previous line
-	Collisions   uint64 // fingerprint matched but content differed
-	UniqueLines  uint64 // distinct contents
-	DistinctFPs  uint64 // distinct fingerprints
-	BytesScanned uint64
+	Name         string `json:"name"`
+	Lines        uint64 `json:"lines"`
+	Duplicates   uint64 `json:"duplicates"` // lines whose exact content appeared before
+	ZeroLines    uint64 `json:"zero_lines"`
+	FPMatches    uint64 `json:"fp_matches"`   // CRC-32 fingerprint matched a previous line
+	Collisions   uint64 `json:"collisions"`   // fingerprint matched but content differed
+	UniqueLines  uint64 `json:"unique_lines"` // distinct contents
+	DistinctFPs  uint64 `json:"distinct_fps"` // distinct fingerprints
+	BytesScanned uint64 `json:"bytes_scanned"`
 }
 
 // scan reads r to EOF, accumulating line statistics. The final partial line,
@@ -108,6 +112,10 @@ func pct(a, b uint64) float64 {
 
 func report(name string, r scanResult) {
 	fmt.Printf("%s: %d lines (%d KB)\n", name, r.Lines, r.BytesScanned/1024)
+	reportBody(r)
+}
+
+func reportBody(r scanResult) {
 	fmt.Printf("  duplicates        %8d  (%.1f%% — what DeWrite would eliminate)\n",
 		r.Duplicates, pct(r.Duplicates, r.Lines))
 	fmt.Printf("  zero lines        %8d  (%.1f%% — what Silent Shredder would eliminate)\n",
@@ -125,11 +133,14 @@ func max64(a, b uint64) uint64 {
 }
 
 func main() {
-	args := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit one JSON array of per-input results on stdout")
+	flag.Parse()
+	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: dedupscan <file>... | dedupscan -")
+		fmt.Fprintln(os.Stderr, "usage: dedupscan [-json] <file>... | dedupscan -")
 		os.Exit(2)
 	}
+	var results []scanResult
 	for _, path := range args {
 		var r io.Reader
 		name := path
@@ -150,6 +161,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dedupscan: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		report(name, res)
+		res.Name = name
+		if *jsonOut {
+			results = append(results, res)
+		} else {
+			report(name, res)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "dedupscan: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +20,45 @@ import (
 	"time"
 
 	"dewrite/internal/experiments"
+	"dewrite/internal/stats"
+	"dewrite/internal/telemetry"
 )
+
+// benchFileSchema identifies the BENCH_<date>.json layout.
+const benchFileSchema = "dewrite/bench/v1"
+
+// benchEntry is one experiment's record in the bench file: identity, host
+// wall-clock cost, and every result table it produced.
+type benchEntry struct {
+	ID     string         `json:"id"`
+	Title  string         `json:"title"`
+	WallMS float64        `json:"wall_ms"`
+	Tables []*stats.Table `json:"tables"`
+}
+
+// benchFile is the machine-readable record of one dewrite-bench invocation.
+type benchFile struct {
+	Schema      string       `json:"schema"`
+	Date        string       `json:"date"`
+	Quick       bool         `json:"quick"`
+	Requests    int          `json:"requests"`
+	Warmup      int          `json:"warmup"`
+	Seed        uint64       `json:"seed"`
+	Experiments []benchEntry `json:"experiments"`
+}
+
+// benchOutPath resolves the -bench-out flag: "auto" names the file after the
+// current date, "none" (or empty) disables it.
+func benchOutPath(flagVal string, now time.Time) string {
+	switch flagVal {
+	case "none", "":
+		return ""
+	case "auto":
+		return fmt.Sprintf("BENCH_%s.json", now.Format("2006-01-02"))
+	default:
+		return flagVal
+	}
+}
 
 // selectExperiments resolves a comma-separated ID list ("" = all).
 func selectExperiments(run string) ([]experiments.Experiment, error) {
@@ -47,9 +86,15 @@ func main() {
 		warmup   = flag.Int("warmup", -1, "warmup requests excluded from measurement")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		format   = flag.String("format", "text", "output format: text|csv|json")
+		jsonOut  = flag.Bool("json", false, "shorthand for -format json")
 		plotDir  = flag.String("plot", "", "also write gnuplot .dat files into this directory")
+		benchOut = flag.String("bench-out", "auto", "write timings and tables to this JSON file ('auto' = BENCH_<date>.json, 'none' disables)")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address")
 	)
 	flag.Parse()
+	if *jsonOut {
+		*format = "json"
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -80,9 +125,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *pprof != "" {
+		addr, err := telemetry.ServeDebug(*pprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-bench: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dewrite-bench: pprof at http://%s/debug/pprof/\n", addr)
+	}
+
 	suite := experiments.NewSuite(opts)
-	fmt.Printf("dewrite-bench: %d experiment(s), %d requests/app (%d warmup), seed %d\n\n",
-		len(selected), opts.Requests, opts.Warmup, opts.Seed)
+	bench := benchFile{
+		Schema:   benchFileSchema,
+		Date:     time.Now().Format("2006-01-02"),
+		Quick:    *quick,
+		Requests: opts.Requests,
+		Warmup:   opts.Warmup,
+		Seed:     opts.Seed,
+	}
+	if *format == "text" {
+		fmt.Printf("dewrite-bench: %d experiment(s), %d requests/app (%d warmup), seed %d\n\n",
+			len(selected), opts.Requests, opts.Warmup, opts.Seed)
+	}
 	if *plotDir != "" {
 		if err := os.MkdirAll(*plotDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "dewrite-bench: %v\n", err)
@@ -92,6 +156,12 @@ func main() {
 	for _, e := range selected {
 		start := time.Now()
 		tables := e.Run(suite)
+		bench.Experiments = append(bench.Experiments, benchEntry{
+			ID:     e.ID,
+			Title:  e.Title,
+			WallMS: float64(time.Since(start)) / float64(time.Millisecond),
+			Tables: tables,
+		})
 		for ti, tb := range tables {
 			if *plotDir != "" {
 				name := e.ID
@@ -133,5 +203,25 @@ func main() {
 		if *format == "text" {
 			fmt.Printf("[%s finished in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
+	}
+
+	if path := benchOutPath(*benchOut, time.Now()); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-bench: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(bench); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "dewrite-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dewrite-bench: wrote %s\n", path)
 	}
 }

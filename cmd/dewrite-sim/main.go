@@ -7,11 +7,14 @@
 //	dewrite-sim -app blackscholes -scheme securenvm -requests 50000
 //	dewrite-sim -apps                      # list application profiles
 //	dewrite-sim -app mcf -scheme dewrite -hierarchy   # CPU caches in front
+//	dewrite-sim -app lbm -scheme dewrite -trace t.json   # Perfetto trace
+//	dewrite-sim -app lbm -scheme dewrite -json           # report as JSON
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,6 +22,7 @@ import (
 	"dewrite/internal/config"
 	"dewrite/internal/core"
 	"dewrite/internal/sim"
+	"dewrite/internal/telemetry"
 	"dewrite/internal/workload"
 )
 
@@ -102,6 +106,11 @@ func main() {
 		listApps  = flag.Bool("apps", false, "list application profiles and exit")
 		hierarchy = flag.Bool("hierarchy", false, "interpose the 4-level CPU cache hierarchy")
 
+		jsonOut    = flag.Bool("json", false, "emit the full report as one JSON object on stdout")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+		metricsCSV = flag.String("metrics", "", "write the counter time series as CSV")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
+
 		// Custom-profile overrides: set -app custom (or override a named
 		// profile's fields individually).
 		dupRatio  = flag.Float64("dup", -1, "override duplicate-write ratio [0,1]")
@@ -140,21 +149,57 @@ func main() {
 	cfg.NVM.Ranks = 2
 	cfg.NVM.BanksPerRank = 4
 
+	if *pprofAddr != "" {
+		addr, err := telemetry.ServeDebug(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-sim: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dewrite-sim: pprof at http://%s/debug/pprof/\n", addr)
+	}
+
 	opts := sim.Options{Requests: *requests, Warmup: *warmup, Seed: *seed}
 	if *hierarchy {
 		opts.Hierarchy = cache.NewHierarchy(cfg.Hierarchy)
 	}
+	if *traceOut != "" || *metricsCSV != "" {
+		opts.Tracer = telemetry.New(telemetry.DefaultMaxEvents)
+	}
 
 	mem := sim.NewMemory(sch, prof.WorkingSetLines, cfg)
 	res := sim.Run(prof.Name, sch.String(), mem, prof, opts)
+
+	if *traceOut != "" {
+		if err := writeFileWith(*traceOut, opts.Tracer.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-sim: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dewrite-sim: wrote %d trace events to %s\n", opts.Tracer.Len(), *traceOut)
+	}
+	if *metricsCSV != "" {
+		if err := writeFileWith(*metricsCSV, opts.Tracer.WriteMetricsCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-sim: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		if err := sim.NewRunReport(res, mem).WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-sim: json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Printf("app           %s (%s)\n", res.App, prof.Suite)
 	fmt.Printf("scheme        %s\n", res.Scheme)
 	fmt.Printf("requests      %d measured (writes %d, reads %d)\n", res.Requests, res.MemWrites, res.MemReads)
 	fmt.Printf("ground truth  %.1f%% duplicate writes, %.1f%% zero lines\n",
 		pct(res.Gen.Duplicates, res.Gen.Writes), pct(res.Gen.ZeroWrites, res.Gen.Writes))
-	fmt.Printf("write latency mean %v, P99 %v (sum %v)\n", res.MeanWriteLat, res.P99WriteLat, res.WriteLatSum)
-	fmt.Printf("read latency  mean %v, P99 %v (sum %v)\n", res.MeanReadLat, res.P99ReadLat, res.ReadLatSum)
+	fmt.Printf("write latency mean %v, p50 %v, p95 %v, p99 %v (sum %v)\n",
+		res.MeanWriteLat, res.P50WriteLat, res.P95WriteLat, res.P99WriteLat, res.WriteLatSum)
+	fmt.Printf("read latency  mean %v, p50 %v, p95 %v, p99 %v (sum %v)\n",
+		res.MeanReadLat, res.P50ReadLat, res.P95ReadLat, res.P99ReadLat, res.ReadLatSum)
 	fmt.Printf("IPC           %.3f (%d instructions, %d cycles)\n", res.IPC, res.Instructions, res.Cycles)
 	fmt.Printf("device        %d reads (%d row hits), %d writes\n",
 		res.Device.Reads, res.Device.RowHits, res.Device.Writes)
@@ -184,4 +229,17 @@ func pct(a, b uint64) float64 {
 		return 0
 	}
 	return float64(a) / float64(b) * 100
+}
+
+// writeFileWith creates path and streams write's output into it.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

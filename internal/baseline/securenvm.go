@@ -19,6 +19,7 @@ import (
 	"dewrite/internal/metacache"
 	"dewrite/internal/nvm"
 	"dewrite/internal/stats"
+	"dewrite/internal/telemetry"
 	"dewrite/internal/units"
 )
 
@@ -34,6 +35,7 @@ type SecureNVM struct {
 	dataLines uint64
 	ctrBase   uint64 // first NVM line of the counter table
 	pfCtr     int
+	trc       *telemetry.Tracer // nil when tracing is off
 
 	writes        stats.Counter
 	reads         stats.Counter
@@ -88,6 +90,22 @@ func prefetchLines(entries, perLine int) int {
 	return n
 }
 
+// SetTracer attaches (or, with nil, detaches) the telemetry sink, cascading
+// it to the NVM device.
+func (s *SecureNVM) SetTracer(trc *telemetry.Tracer) {
+	s.trc = trc
+	s.dev.SetTracer(trc)
+}
+
+// EmitSamples records the baseline's counter series (counter-cache hit rate)
+// at the simulated time now.
+func (s *SecureNVM) EmitSamples(trc *telemetry.Tracer, now units.Time) {
+	if trc == nil {
+		return
+	}
+	s.ctrCache.EmitSamples(trc, now)
+}
+
 // Device exposes the underlying device for statistics.
 func (s *SecureNVM) Device() *nvm.Device { return s.dev }
 
@@ -109,7 +127,9 @@ func (s *SecureNVM) checkAddr(logical uint64) {
 func (s *SecureNVM) counterAccess(now units.Time, logical uint64, write bool) units.Time {
 	line := s.counterLine(logical)
 	if s.ctrCache.Lookup(line, write) {
-		return now.Add(s.cfg.Timing.MetaCache)
+		done := now.Add(s.cfg.Timing.MetaCache)
+		s.ctrCache.Trace(s.trc, now, done, line)
+		return done
 	}
 	_, done := s.dev.ReadBypass(now, line)
 	s.metaNVMReads.Inc()
@@ -134,7 +154,9 @@ func (s *SecureNVM) counterAccess(now units.Time, logical uint64, write bool) un
 			s.dev.AddEnergy(s.cfg.Energy.AESBlock * config.AESBlocksPerLine)
 		}
 	}
-	return done.Add(s.cfg.Timing.MetaCache)
+	filled := done.Add(s.cfg.Timing.MetaCache)
+	s.ctrCache.Trace(s.trc, now, filled, line)
+	return filled
 }
 
 // Write encrypts the line under (address, counter) and writes it, returning
@@ -151,6 +173,7 @@ func (s *SecureNVM) Write(now units.Time, logical uint64, data []byte) units.Tim
 	ctrDone := s.counterAccess(now, logical, true)
 	counter := s.ctrs.Bump(logical)
 	encDone := ctrDone.Add(s.cfg.Timing.AESLine)
+	s.trc.Span(telemetry.CatAES, telemetry.TrackAES, "", ctrDone, encDone, logical)
 	s.aesLineOps.Inc()
 	s.dev.AddEnergy(s.cfg.Energy.AESBlock * config.AESBlocksPerLine)
 
@@ -170,6 +193,7 @@ func (s *SecureNVM) Read(now units.Time, logical uint64) ([]byte, units.Time) {
 	ctrDone := s.counterAccess(now, logical, false)
 	ct, readDone := s.dev.Read(ctrDone, logical)
 	otpDone := ctrDone.Add(s.cfg.Timing.AESLine)
+	s.trc.Span(telemetry.CatAES, telemetry.TrackAES, "aes:otp", ctrDone, otpDone, logical)
 	done := units.Max(readDone, otpDone).Add(s.cfg.Timing.XOR)
 	s.aesLineOps.Inc()
 	s.dev.AddEnergy(s.cfg.Energy.AESBlock * config.AESBlocksPerLine)
@@ -190,6 +214,12 @@ type Report struct {
 	MetaNVMWrites uint64
 	MeanWriteLat  units.Duration
 	MeanReadLat   units.Duration
+	P50WriteLat   units.Duration
+	P95WriteLat   units.Duration
+	P99WriteLat   units.Duration
+	P50ReadLat    units.Duration
+	P95ReadLat    units.Duration
+	P99ReadLat    units.Duration
 	WriteLatSum   units.Duration
 	ReadLatSum    units.Duration
 	Device        nvm.Stats
@@ -206,6 +236,12 @@ func (s *SecureNVM) Report() Report {
 		MetaNVMWrites: s.metaNVMWrites.Value(),
 		MeanWriteLat:  s.writeLat.Mean(),
 		MeanReadLat:   s.readLat.Mean(),
+		P50WriteLat:   s.writeLat.P50(),
+		P95WriteLat:   s.writeLat.P95(),
+		P99WriteLat:   s.writeLat.P99(),
+		P50ReadLat:    s.readLat.P50(),
+		P95ReadLat:    s.readLat.P95(),
+		P99ReadLat:    s.readLat.P99(),
 		WriteLatSum:   s.writeLat.Sum(),
 		ReadLatSum:    s.readLat.Sum(),
 		Device:        s.dev.Stats(),

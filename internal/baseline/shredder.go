@@ -3,6 +3,7 @@ package baseline
 import (
 	"dewrite/internal/config"
 	"dewrite/internal/stats"
+	"dewrite/internal/telemetry"
 	"dewrite/internal/units"
 )
 
@@ -30,6 +31,14 @@ func NewShredder(dataLines uint64, cfg config.Config) *Shredder {
 
 // Inner exposes the wrapped SecureNVM for statistics.
 func (sh *Shredder) Inner() *SecureNVM { return sh.inner }
+
+// SetTracer attaches the telemetry sink to the wrapped SecureNVM.
+func (sh *Shredder) SetTracer(trc *telemetry.Tracer) { sh.inner.SetTracer(trc) }
+
+// EmitSamples records the wrapped baseline's counter series at now.
+func (sh *Shredder) EmitSamples(trc *telemetry.Tracer, now units.Time) {
+	sh.inner.EmitSamples(trc, now)
+}
 
 // IsZeroLine reports whether every byte of data is zero.
 func IsZeroLine(data []byte) bool {

@@ -40,6 +40,7 @@ import (
 	"dewrite/internal/nvm"
 	"dewrite/internal/predict"
 	"dewrite/internal/stats"
+	"dewrite/internal/telemetry"
 	"dewrite/internal/units"
 )
 
@@ -138,6 +139,10 @@ type Controller struct {
 	addrCache *metacache.Cache
 	invCache  *metacache.Cache
 	fsmCache  *metacache.Cache
+
+	// Telemetry sink; nil when tracing is off (the nil-safe contract keeps
+	// every emission a single branch on the hot path).
+	trc *telemetry.Tracer
 
 	// Optional integrity tree (nil when disabled).
 	tree        *integrity.Tree
@@ -321,6 +326,28 @@ func prefetchLines(entries, perLine int) int {
 	return n
 }
 
+// SetTracer attaches (or, with nil, detaches) the telemetry sink, cascading
+// it to the NVM device. Tracing only observes timestamps the controller
+// already computed, so attaching it never changes simulated behavior.
+func (c *Controller) SetTracer(trc *telemetry.Tracer) {
+	c.trc = trc
+	c.dev.SetTracer(trc)
+}
+
+// EmitSamples records the controller's counter series (duplication ratio,
+// prediction accuracy, per-partition metadata-cache hit rates) at the
+// simulated time now.
+func (c *Controller) EmitSamples(trc *telemetry.Tracer, now units.Time) {
+	if trc == nil {
+		return
+	}
+	trc.Sample("core.dup_ratio", now, stats.Ratio(c.dupEliminated.Value(), c.writes.Value()))
+	trc.Sample("core.pred_accuracy", now, c.pred.Accuracy())
+	for _, mc := range c.MetaCaches() {
+		mc.EmitSamples(trc, now)
+	}
+}
+
 // Device exposes the underlying NVM device for statistics.
 func (c *Controller) Device() *nvm.Device { return c.dev }
 
@@ -353,7 +380,9 @@ func (c *Controller) checkLine(data []byte) {
 // NVM off the critical path but still occupy banks and count as writes.
 func (c *Controller) metaAccess(now units.Time, cache *metacache.Cache, line uint64, write bool, prefetch int) units.Time {
 	if cache.Lookup(line, write) {
-		return now.Add(c.cfg.Timing.MetaCache)
+		done := now.Add(c.cfg.Timing.MetaCache)
+		cache.Trace(c.trc, now, done, line)
+		return done
 	}
 	// Demand miss: NVM read + direct decryption.
 	_, done := c.dev.ReadBypass(now, line)
@@ -382,7 +411,9 @@ func (c *Controller) metaAccess(now units.Time, cache *metacache.Cache, line uin
 			c.writebackMeta(done, ev.Block)
 		}
 	}
-	return done.Add(c.cfg.Timing.MetaCache)
+	filled := done.Add(c.cfg.Timing.MetaCache)
+	cache.Trace(c.trc, now, filled, line)
+	return filled
 }
 
 // writebackMeta writes a dirty metadata line back to NVM. The writeback
@@ -423,11 +454,17 @@ func (c *Controller) Write(now units.Time, logical uint64, data []byte) units.Ti
 
 	predictedDup := c.pred.Predict()
 	parallelAES := c.mode == ModeParallel || (c.mode == ModeDeWrite && !predictedDup)
+	if predictedDup {
+		c.trc.Instant(telemetry.CatPredict, telemetry.TrackPredict, "predict:dup", now, logical)
+	} else {
+		c.trc.Instant(telemetry.CatPredict, telemetry.TrackPredict, "predict:unique", now, logical)
+	}
 
 	// CRC-32 fingerprint (always computed; the detection front end).
 	detect := now.Add(t.CRC32)
 	c.crcOps.Inc()
 	c.dev.AddEnergy(c.cfg.Energy.CRC32Line)
+	c.trc.Span(telemetry.CatHash, telemetry.TrackHash, "", now, detect, logical)
 	h := hashes.CRC32(data) & c.hashMask
 
 	// Hash-table probe through the metadata cache, with the PNA rule on a
@@ -493,11 +530,13 @@ func (c *Controller) Write(now units.Time, logical uint64, data []byte) units.Ti
 			// cached, so it extends the path only past the read itself.
 			ctrDone := c.metaAccess(detect, c.addrCache, c.layout.AddrMapLine(cand), false, c.pfAddr)
 			otpDone := ctrDone.Add(t.AESLine)
+			c.trc.Span(telemetry.CatAES, telemetry.TrackAES, "aes:otp", ctrDone, otpDone, cand)
 			done = units.Max(done, otpDone).Add(t.XOR + t.Compare)
 			c.compareOps.Inc()
 			c.dev.AddEnergy(c.cfg.Energy.CompareLine)
 			plain := make([]byte, config.LineSize)
 			c.enc.DecryptLine(plain, line, cand, c.ctrs.Get(cand))
+			c.trc.Span(telemetry.CatVerifyRead, telemetry.TrackVerify, "", detect, done, cand)
 			detect = done
 			if !bytes.Equal(plain, data) {
 				c.tables.NoteCollision()
@@ -522,6 +561,7 @@ func (c *Controller) Write(now units.Time, logical uint64, data []byte) units.Ti
 			c.aesLineOps.Inc()
 			c.aesWasted.Inc()
 			c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
+			c.trc.Span(telemetry.CatAES, telemetry.TrackAES, "aes:wasted", now, now.Add(c.cfg.Timing.AESLine), logical)
 		}
 		completed = c.writeDuplicate(detect, logical, target)
 	} else {
@@ -593,14 +633,14 @@ func (c *Controller) writeUnique(now, detect units.Time, logical uint64, data []
 
 	// Encryption: in parallel mode AES started at request arrival; in direct
 	// mode it starts once detection has ruled out a duplicate.
-	var encDone units.Time
+	encStart := detect
 	if parallelAES {
-		encDone = now.Add(t.AESLine)
-	} else {
-		encDone = detect.Add(t.AESLine)
+		encStart = now
 	}
+	encDone := encStart.Add(t.AESLine)
 	c.aesLineOps.Inc()
 	c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
+	c.trc.Span(telemetry.CatAES, telemetry.TrackAES, "", encStart, encDone, chosen)
 
 	ct := make([]byte, config.LineSize)
 	c.enc.EncryptLine(ct, data, chosen, counter)
@@ -672,6 +712,7 @@ func (c *Controller) Read(now units.Time, logical uint64) ([]byte, units.Time) {
 	// OTP generation overlaps the array read.
 	ct, readDone := c.dev.Read(ctrDone, loc)
 	otpDone := ctrDone.Add(t.AESLine)
+	c.trc.Span(telemetry.CatAES, telemetry.TrackAES, "aes:otp", ctrDone, otpDone, loc)
 	done := units.Max(readDone, otpDone).Add(t.XOR)
 	c.aesLineOps.Inc()
 	c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
@@ -705,6 +746,12 @@ type Report struct {
 	MeanReadLat   units.Duration
 	WriteLatSum   units.Duration
 	ReadLatSum    units.Duration
+	P50WriteLat   units.Duration
+	P95WriteLat   units.Duration
+	P99WriteLat   units.Duration
+	P50ReadLat    units.Duration
+	P95ReadLat    units.Duration
+	P99ReadLat    units.Duration
 	PredAccuracy  float64
 	Dedup         dedup.Stats
 	Device        nvm.Stats
@@ -751,6 +798,12 @@ func (c *Controller) Report() Report {
 		MeanReadLat:   c.readLat.Mean(),
 		WriteLatSum:   c.writeLat.Sum(),
 		ReadLatSum:    c.readLat.Sum(),
+		P50WriteLat:   c.writeLat.P50(),
+		P95WriteLat:   c.writeLat.P95(),
+		P99WriteLat:   c.writeLat.P99(),
+		P50ReadLat:    c.readLat.P50(),
+		P95ReadLat:    c.readLat.P95(),
+		P99ReadLat:    c.readLat.P99(),
 		PredAccuracy:  c.pred.Accuracy(),
 		Dedup:         c.tables.Snapshot(),
 		Device:        c.dev.Stats(),

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+
+	"dewrite/internal/sim"
+	"dewrite/internal/stats"
+	"dewrite/internal/telemetry"
+)
+
+// tailSchemes is the scheme set the tail-latency table compares: the paper's
+// normalization baseline against the three DeWrite variants.
+var tailSchemes = []sim.Scheme{
+	sim.SchemeSecureNVM, sim.SchemeDirect, sim.SchemeParallel, sim.SchemeDeWrite,
+}
+
+// TailLatency tabulates the percentile read and write latencies of every
+// scheme over the ablation applications. The mean figures (14 and 16) hide
+// the queueing tail; this table shows where deduplication helps most — the
+// p95/p99 writes that would otherwise wait behind full bank queues.
+func TailLatency(s *Suite) []*stats.Table {
+	tb := stats.NewTable("Tail latency (simulated time)",
+		"app", "scheme",
+		"write p50", "write p95", "write p99",
+		"read p50", "read p95", "read p99")
+	for _, prof := range s.ablationApps() {
+		for _, sch := range tailSchemes {
+			r := s.Run(sch, prof)
+			tb.AddRow(prof.Name, sch.String(),
+				r.P50WriteLat.String(), r.P95WriteLat.String(), r.P99WriteLat.String(),
+				r.P50ReadLat.String(), r.P95ReadLat.String(), r.P99ReadLat.String())
+		}
+	}
+	return []*stats.Table{tb}
+}
+
+// telemetryCategories is the stable reporting order of span categories.
+var telemetryCategories = []telemetry.Category{
+	telemetry.CatPredict, telemetry.CatHash, telemetry.CatVerifyRead,
+	telemetry.CatAES, telemetry.CatMetadata, telemetry.CatBankQueue,
+	telemetry.CatBankService, telemetry.CatRead, telemetry.CatWrite,
+}
+
+// AblationTelemetry is the observability smoke test as an experiment: it runs
+// the same (app, seed) simulation with the tracer off and on, asserts the
+// serialized reports are byte-identical (tracing must only observe the
+// simulated clock, never advance it), and tabulates what the tracer captured.
+func AblationTelemetry(s *Suite) []*stats.Table {
+	drift := stats.NewTable("Telemetry drift check (tracer off vs on)",
+		"app", "identical report", "trace events", "dropped", "samples")
+	capture := stats.NewTable("Telemetry capture by category",
+		"app", "category", "events")
+	for _, prof := range s.ablationApps() {
+		opts := sim.Options{Requests: s.Opts.Requests, Warmup: s.Opts.Warmup, Seed: s.Opts.Seed}
+		memOff := sim.NewMemory(sim.SchemeDeWrite, prof.WorkingSetLines, s.cfg)
+		resOff := sim.Run(prof.Name, sim.SchemeDeWrite.String(), memOff, prof, opts)
+
+		trc := telemetry.New(telemetry.DefaultMaxEvents)
+		opts.Tracer = trc
+		memOn := sim.NewMemory(sim.SchemeDeWrite, prof.WorkingSetLines, s.cfg)
+		resOn := sim.Run(prof.Name, sim.SchemeDeWrite.String(), memOn, prof, opts)
+
+		var off, on bytes.Buffer
+		identical := "NO"
+		if sim.NewRunReport(resOff, memOff).WriteJSON(&off) == nil &&
+			sim.NewRunReport(resOn, memOn).WriteJSON(&on) == nil &&
+			bytes.Equal(off.Bytes(), on.Bytes()) {
+			identical = "yes"
+		}
+		drift.AddRow(prof.Name, identical, int(trc.Len()), int(trc.Dropped()), len(trc.Samples()))
+
+		byCat := trc.CountByCategory()
+		for _, cat := range telemetryCategories {
+			capture.AddRow(prof.Name, cat.String(), byCat[cat])
+		}
+	}
+	return []*stats.Table{drift, capture}
+}

@@ -18,6 +18,7 @@ import (
 
 	"dewrite/internal/config"
 	"dewrite/internal/stats"
+	"dewrite/internal/telemetry"
 	"dewrite/internal/units"
 )
 
@@ -164,6 +165,37 @@ func Simulate(reqs []Request, cfg Config, policy Policy) []Completion {
 	return out
 }
 
+// SimulateTraced is Simulate plus telemetry: each completion is emitted as a
+// bank-queue span (arrival to service start, when the request actually
+// waited) and a bank-service span (start to done) on the bank's trace track.
+// With a nil tracer it is exactly Simulate.
+func SimulateTraced(reqs []Request, cfg Config, policy Policy, trc *telemetry.Tracer) []Completion {
+	out := Simulate(reqs, cfg, policy)
+	if !trc.Enabled() {
+		return out
+	}
+	rowLines := cfg.RowLines
+	if rowLines == 0 {
+		rowLines = 1
+	}
+	for _, c := range out {
+		bank := int32((c.Addr / rowLines) % uint64(cfg.Banks))
+		track := telemetry.TrackBankBase + bank
+		if c.Start > c.Arrive {
+			trc.Span(telemetry.CatBankQueue, track, "", c.Arrive, c.Start, c.Addr)
+		}
+		label := "write"
+		if c.Op == Read {
+			label = "read"
+			if c.Hit {
+				label = "read:rowhit"
+			}
+		}
+		trc.Span(telemetry.CatBankService, track, label, c.Start, c.Done, c.Addr)
+	}
+	return out
+}
+
 // indexed carries a request together with its position in the input slice.
 type indexed struct {
 	Request
@@ -238,7 +270,12 @@ type Summary struct {
 	Writes        uint64
 	MeanReadLat   units.Duration
 	MeanWriteLat  units.Duration
+	P50ReadLat    units.Duration
+	P95ReadLat    units.Duration
 	P99ReadLat    units.Duration
+	P50WriteLat   units.Duration
+	P95WriteLat   units.Duration
+	P99WriteLat   units.Duration
 	RowHitRate    float64
 	TotalReadLat  units.Duration
 	TotalWriteLat units.Duration
@@ -271,7 +308,12 @@ func Summarize(cs []Completion) Summary {
 	s.RowHitRate = stats.Ratio(hits, reads)
 	if len(readLats) > 0 {
 		sort.Slice(readLats, func(i, j int) bool { return readLats[i] < readLats[j] })
+		s.P50ReadLat = readLats[(len(readLats)*50)/100]
+		s.P95ReadLat = readLats[(len(readLats)*95)/100]
 		s.P99ReadLat = readLats[(len(readLats)*99)/100]
 	}
+	s.P50WriteLat = writeLat.P50()
+	s.P95WriteLat = writeLat.P95()
+	s.P99WriteLat = writeLat.P99()
 	return s
 }

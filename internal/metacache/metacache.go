@@ -15,6 +15,8 @@ import (
 	"fmt"
 
 	"dewrite/internal/stats"
+	"dewrite/internal/telemetry"
+	"dewrite/internal/units"
 )
 
 // Cache is one partition of the metadata cache (hash, address mapping,
@@ -180,4 +182,21 @@ func (c *Cache) Stats() Stats {
 func (c *Cache) HitRate() float64 {
 	total := c.hits.Value() + c.misses.Value()
 	return stats.Ratio(c.hits.Value(), total)
+}
+
+// Trace emits one metadata-access span for this partition covering
+// [start, end] — the cache has no clock of its own, so the controller that
+// timed the access supplies the boundaries. The span is labeled with the
+// partition name so a hash-table probe and an address-mapping fill are
+// distinguishable in the trace. Nil-safe on trc.
+func (c *Cache) Trace(trc *telemetry.Tracer, start, end units.Time, block uint64) {
+	trc.Span(telemetry.CatMetadata, telemetry.TrackMetadata, c.name, start, end, block)
+}
+
+// EmitSamples records the partition's hit-rate counter series at now.
+func (c *Cache) EmitSamples(trc *telemetry.Tracer, now units.Time) {
+	if trc == nil {
+		return
+	}
+	trc.Sample("metacache."+c.name+".hit_rate", now, c.HitRate())
 }

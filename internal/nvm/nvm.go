@@ -15,6 +15,7 @@ import (
 
 	"dewrite/internal/config"
 	"dewrite/internal/stats"
+	"dewrite/internal/telemetry"
 	"dewrite/internal/units"
 )
 
@@ -32,6 +33,7 @@ type Device struct {
 	busLat   units.Duration
 	store    map[uint64][]byte
 	wear     map[uint64]uint64
+	trc      *telemetry.Tracer // nil when tracing is off
 
 	// Statistics.
 	reads       stats.Counter
@@ -133,7 +135,8 @@ func (d *Device) ReadBypass(now units.Time, lineAddr uint64) ([]byte, units.Time
 
 func (d *Device) read(now units.Time, lineAddr uint64, open bool) ([]byte, units.Time) {
 	d.checkAddr(lineAddr)
-	b := &d.banks[d.Bank(lineAddr)]
+	bank := d.Bank(lineAddr)
+	b := &d.banks[bank]
 	row := d.row(lineAddr)
 	start := units.Max(now, b.busyUntil)
 	service := d.readLat
@@ -152,7 +155,11 @@ func (d *Device) read(now units.Time, lineAddr uint64, open bool) ([]byte, units
 	if d.geom.ClosePage {
 		b.hasOpen = false
 	}
-	done = d.busTransfer(d.Bank(lineAddr), done)
+	if start > now {
+		d.trc.Span(telemetry.CatBankQueue, telemetry.TrackBankBase+int32(bank), "", now, start, lineAddr)
+	}
+	d.trc.Span(telemetry.CatBankService, telemetry.TrackBankBase+int32(bank), "read", start, done, lineAddr)
+	done = d.busTransfer(bank, done)
 
 	d.reads.Inc()
 	d.readWait.Observe(start.Sub(now))
@@ -169,12 +176,17 @@ func (d *Device) Write(now units.Time, lineAddr uint64, data []byte) units.Time 
 	}
 	d.checkAddr(lineAddr)
 	// The line is transferred over the channel before the array programs it.
-	busDone := d.busTransfer(d.Bank(lineAddr), now)
-	b := &d.banks[d.Bank(lineAddr)]
+	bank := d.Bank(lineAddr)
+	busDone := d.busTransfer(bank, now)
+	b := &d.banks[bank]
 	start := units.Max(busDone, b.busyUntil)
 	done := start.Add(d.writeLat)
 	b.busyUntil = done
 	b.openRow, b.hasOpen = d.row(lineAddr), !d.geom.ClosePage
+	if start > now {
+		d.trc.Span(telemetry.CatBankQueue, telemetry.TrackBankBase+int32(bank), "", now, start, lineAddr)
+	}
+	d.trc.Span(telemetry.CatBankService, telemetry.TrackBankBase+int32(bank), "write", start, done, lineAddr)
 
 	d.writes.Inc()
 	d.writeWait.Observe(start.Sub(units.Min(now, busDone)))
@@ -234,7 +246,8 @@ func (d *Device) ReadLatency() units.Duration { return d.readLat }
 // WriteLatency returns the array write latency.
 func (d *Device) WriteLatency() units.Duration { return d.writeLat }
 
-// Stats is a snapshot of the device counters.
+// Stats is a snapshot of the device counters. The wait aggregates
+// (mean/p99 queueing delay) are whole-run values.
 type Stats struct {
 	Reads         uint64
 	RowHits       uint64
@@ -244,6 +257,8 @@ type Stats struct {
 	EnergyPJ      float64
 	MeanReadWait  units.Duration
 	MeanWriteWait units.Duration
+	P99ReadWait   units.Duration
+	P99WriteWait  units.Duration
 }
 
 // Stats returns a snapshot of the device counters.
@@ -257,7 +272,34 @@ func (d *Device) Stats() Stats {
 		EnergyPJ:      d.energyPJ,
 		MeanReadWait:  d.readWait.Mean(),
 		MeanWriteWait: d.writeWait.Mean(),
+		P99ReadWait:   d.readWait.P99(),
+		P99WriteWait:  d.writeWait.P99(),
 	}
+}
+
+// SetTracer attaches (or, with nil, detaches) the telemetry sink. The device
+// emits one bank-queue span per queued request and one bank-service span per
+// array access; tracing never alters timing.
+func (d *Device) SetTracer(trc *telemetry.Tracer) { d.trc = trc }
+
+// EmitSamples records the device's counter series at the simulated time now:
+// the number of banks still busy (the queue-depth gauge), cumulative
+// read/write counts, and the running mean queueing delays.
+func (d *Device) EmitSamples(trc *telemetry.Tracer, now units.Time) {
+	if trc == nil {
+		return
+	}
+	busy := 0
+	for i := range d.banks {
+		if d.banks[i].busyUntil > now {
+			busy++
+		}
+	}
+	trc.Sample("nvm.banks_busy", now, float64(busy))
+	trc.Sample("nvm.reads", now, float64(d.reads.Value()))
+	trc.Sample("nvm.writes", now, float64(d.writes.Value()))
+	trc.Sample("nvm.mean_read_wait_ns", now, d.readWait.Mean().Nanoseconds())
+	trc.Sample("nvm.mean_write_wait_ns", now, d.writeWait.Mean().Nanoseconds())
 }
 
 // AddEnergy accounts energy spent by logic attached to the device (AES, CRC,

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dewrite/internal/baseline"
+	"dewrite/internal/core"
+	"dewrite/internal/nvm"
+	"dewrite/internal/units"
+	"dewrite/internal/workload"
+)
+
+// ReportSchema identifies the JSON layout of RunReport; bump it whenever a
+// field changes meaning so downstream tooling can detect incompatibility.
+const ReportSchema = "dewrite/run/v1"
+
+// LatencyQuantiles is the machine-readable latency section of a run report.
+// All durations are integer picoseconds of simulated time.
+type LatencyQuantiles struct {
+	Count  uint64 `json:"count"`
+	MeanPs uint64 `json:"mean_ps"`
+	P50Ps  uint64 `json:"p50_ps"`
+	P95Ps  uint64 `json:"p95_ps"`
+	P99Ps  uint64 `json:"p99_ps"`
+	SumPs  uint64 `json:"sum_ps"`
+}
+
+// RunReport is the machine-readable form of one simulation run: everything a
+// Result carries, plus the scheme's own counters when the memory is one of
+// the known controllers. It round-trips through encoding/json.
+type RunReport struct {
+	Schema string `json:"schema"`
+	App    string `json:"app"`
+	Scheme string `json:"scheme"`
+
+	Requests  uint64 `json:"requests"`
+	MemWrites uint64 `json:"mem_writes"`
+	MemReads  uint64 `json:"mem_reads"`
+
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+	ElapsedPs    uint64  `json:"elapsed_ps"`
+
+	WriteLatency LatencyQuantiles `json:"write_latency"`
+	ReadLatency  LatencyQuantiles `json:"read_latency"`
+
+	EnergyPJ  float64        `json:"energy_pj"`
+	Generator workload.Stats `json:"generator"`
+	Device    nvm.Stats      `json:"device"`
+
+	// Exactly one of the following is set, matching the scheme family.
+	Controller *core.Report     `json:"controller,omitempty"`
+	Baseline   *baseline.Report `json:"baseline,omitempty"`
+}
+
+// NewRunReport assembles the machine-readable report for a finished run. The
+// memory may be nil (trace replays over opaque memories); when it is one of
+// the known schemes its counter report is embedded.
+func NewRunReport(res Result, mem Memory) RunReport {
+	r := RunReport{
+		Schema:       ReportSchema,
+		App:          res.App,
+		Scheme:       res.Scheme,
+		Requests:     res.Requests,
+		MemWrites:    res.MemWrites,
+		MemReads:     res.MemReads,
+		Instructions: res.Instructions,
+		Cycles:       res.Cycles,
+		IPC:          res.IPC,
+		ElapsedPs:    uint64(res.Elapsed),
+		WriteLatency: LatencyQuantiles{
+			Count:  res.MemWrites,
+			MeanPs: uint64(res.MeanWriteLat),
+			P50Ps:  uint64(res.P50WriteLat),
+			P95Ps:  uint64(res.P95WriteLat),
+			P99Ps:  uint64(res.P99WriteLat),
+			SumPs:  uint64(res.WriteLatSum),
+		},
+		ReadLatency: LatencyQuantiles{
+			Count:  res.MemReads,
+			MeanPs: uint64(res.MeanReadLat),
+			P50Ps:  uint64(res.P50ReadLat),
+			P95Ps:  uint64(res.P95ReadLat),
+			P99Ps:  uint64(res.P99ReadLat),
+			SumPs:  uint64(res.ReadLatSum),
+		},
+		EnergyPJ:  res.EnergyPJ,
+		Generator: res.Gen,
+		Device:    res.Device,
+	}
+	switch m := mem.(type) {
+	case *core.Controller:
+		rep := m.Report()
+		r.Controller = &rep
+	case *baseline.SecureNVM:
+		rep := m.Report()
+		r.Baseline = &rep
+	case *baseline.Shredder:
+		rep := m.Inner().Report()
+		r.Baseline = &rep
+	}
+	return r
+}
+
+// WriteJSON writes the report as one indented JSON object followed by a
+// newline. The encoding is deterministic: struct fields marshal in
+// declaration order, so identical runs produce byte-identical output.
+func (r RunReport) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// SummaryLine returns the one-line human summary used by progress output.
+func (r RunReport) SummaryLine() string {
+	return fmt.Sprintf("%s/%s: %d reqs, write p50=%v p99=%v, read p50=%v p99=%v",
+		r.App, r.Scheme, r.Requests,
+		units.Duration(r.WriteLatency.P50Ps), units.Duration(r.WriteLatency.P99Ps),
+		units.Duration(r.ReadLatency.P50Ps), units.Duration(r.ReadLatency.P99Ps))
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"dewrite/internal/config"
+	"dewrite/internal/telemetry"
+	"dewrite/internal/workload"
+)
+
+func runReportJSON(t *testing.T, trc *telemetry.Tracer) []byte {
+	t.Helper()
+	prof, _ := workload.ByName("mcf")
+	opts := Options{Requests: 3000, Warmup: 300, Seed: 7, Tracer: trc}
+	mem := NewMemory(SchemeDeWrite, prof.WorkingSetLines, config.Default())
+	res := Run(prof.Name, SchemeDeWrite.String(), mem, prof, opts)
+	var buf bytes.Buffer
+	if err := NewRunReport(res, mem).WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunReportGoldenDeterminism is the golden determinism check: two runs
+// with identical seeds must serialize to byte-identical reports.
+func TestRunReportGoldenDeterminism(t *testing.T) {
+	a := runReportJSON(t, nil)
+	b := runReportJSON(t, nil)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed runs produced different reports:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestRunReportTracerNeutral asserts the observability promise: attaching a
+// tracer must not change a single byte of the report.
+func TestRunReportTracerNeutral(t *testing.T) {
+	off := runReportJSON(t, nil)
+	trc := telemetry.New(telemetry.DefaultMaxEvents)
+	on := runReportJSON(t, trc)
+	if !bytes.Equal(off, on) {
+		t.Fatalf("tracing changed the report:\n--- off ---\n%s\n--- on ---\n%s", off, on)
+	}
+	if trc.Len() == 0 {
+		t.Fatal("tracer attached but recorded no events")
+	}
+	byCat := trc.CountByCategory()
+	for _, cat := range []telemetry.Category{
+		telemetry.CatPredict, telemetry.CatHash, telemetry.CatAES,
+		telemetry.CatMetadata, telemetry.CatBankService, telemetry.CatWrite,
+	} {
+		if byCat[cat] == 0 {
+			t.Errorf("no %s events recorded", cat)
+		}
+	}
+	if len(trc.Samples()) == 0 {
+		t.Error("no counter samples recorded")
+	}
+}
+
+// TestRunReportJSONRoundTrip checks the report unmarshals back into an equal
+// value, and that the schema and percentile fields survive.
+func TestRunReportJSONRoundTrip(t *testing.T) {
+	prof, _ := workload.ByName("mcf")
+	opts := Options{Requests: 2000, Warmup: 200, Seed: 11}
+	mem := NewMemory(SchemeSecureNVM, prof.WorkingSetLines, config.Default())
+	res := Run(prof.Name, SchemeSecureNVM.String(), mem, prof, opts)
+	rep := NewRunReport(res, mem)
+	if rep.Baseline == nil || rep.Controller != nil {
+		t.Fatal("SecureNVM run must embed the baseline section only")
+	}
+
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatalf("report did not round-trip:\n%+v\n%+v", rep, back)
+	}
+	if back.Schema != ReportSchema {
+		t.Fatalf("schema = %q, want %q", back.Schema, ReportSchema)
+	}
+	wl := back.WriteLatency
+	if wl.P50Ps == 0 || wl.P95Ps == 0 || wl.P99Ps == 0 {
+		t.Fatalf("missing write percentiles: %+v", wl)
+	}
+	if wl.P50Ps > wl.P95Ps || wl.P95Ps > wl.P99Ps {
+		t.Fatalf("percentiles not monotone: %+v", wl)
+	}
+}
+
+// TestRunReportControllerSection checks the DeWrite scheme embeds the core
+// controller report with its dedup counters.
+func TestRunReportControllerSection(t *testing.T) {
+	prof, _ := workload.ByName("mcf")
+	opts := Options{Requests: 2000, Warmup: 200, Seed: 3}
+	res, mem := RunScheme(SchemeDeWrite, prof, config.Default(), opts)
+	rep := NewRunReport(res, mem)
+	if rep.Controller == nil || rep.Baseline != nil {
+		t.Fatal("DeWrite run must embed the controller section only")
+	}
+	if rep.Controller.Writes == 0 {
+		t.Fatal("controller section has no writes")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"dewrite/internal/cpu"
 	"dewrite/internal/nvm"
 	"dewrite/internal/stats"
+	"dewrite/internal/telemetry"
 	"dewrite/internal/trace"
 	"dewrite/internal/units"
 	"dewrite/internal/workload"
@@ -40,6 +41,41 @@ func DeviceOf(mem Memory) *nvm.Device {
 		return sh.Inner().Device()
 	}
 	return nil
+}
+
+// tracerSetter is implemented by schemes that can attach a telemetry sink
+// (core.Controller, baseline.SecureNVM, baseline.Shredder).
+type tracerSetter interface {
+	SetTracer(*telemetry.Tracer)
+}
+
+// sampler is implemented by schemes that emit periodic counter samples.
+type sampler interface {
+	EmitSamples(*telemetry.Tracer, units.Time)
+}
+
+// AttachTracer wires the telemetry sink into mem's internal components, if
+// mem supports it. It reports whether the scheme accepted the tracer.
+func AttachTracer(mem Memory, trc *telemetry.Tracer) bool {
+	if ts, ok := mem.(tracerSetter); ok {
+		ts.SetTracer(trc)
+		return true
+	}
+	return false
+}
+
+// emitSamples records one round of counter series from the scheme at now.
+func emitSamples(mem Memory, trc *telemetry.Tracer, now units.Time, requests uint64) {
+	if !trc.Enabled() {
+		return
+	}
+	trc.Sample("sim.requests", now, float64(requests))
+	if s, ok := mem.(sampler); ok {
+		s.EmitSamples(trc, now)
+	}
+	if dev := DeviceOf(mem); dev != nil {
+		dev.EmitSamples(trc, now)
+	}
 }
 
 // Scheme identifies a memory scheme for construction and reporting.
@@ -103,6 +139,25 @@ type Options struct {
 	// Hierarchy optionally interposes a CPU cache hierarchy so that only
 	// misses and write-backs reach the memory scheme.
 	Hierarchy *cache.Hierarchy
+	// Tracer, when non-nil, receives request spans, component spans and
+	// periodic counter samples. Tracing only observes the simulated clock —
+	// a run's Result is identical with and without it.
+	Tracer *telemetry.Tracer
+	// SampleEvery is the request period of the counter time series; 0 picks
+	// Requests/256 (at least 1). Ignored without a Tracer.
+	SampleEvery int
+}
+
+// samplePeriod resolves the counter-sampling period for a run of n requests.
+func (o Options) samplePeriod(n int) int {
+	if o.SampleEvery > 0 {
+		return o.SampleEvery
+	}
+	p := n / 256
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
 // Result is the measurement of one (application, scheme) run.
@@ -123,7 +178,11 @@ type Result struct {
 
 	MeanWriteLat units.Duration
 	MeanReadLat  units.Duration
+	P50WriteLat  units.Duration
+	P95WriteLat  units.Duration
 	P99WriteLat  units.Duration
+	P50ReadLat   units.Duration
+	P95ReadLat   units.Duration
 	P99ReadLat   units.Duration
 	WriteLatSum  units.Duration
 	ReadLatSum   units.Duration
@@ -144,6 +203,12 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 	gen := workload.NewGenerator(prof, opts.Seed)
 	machine := cpu.NewMachine(prof.Threads)
 
+	trc := opts.Tracer
+	if trc.Enabled() {
+		AttachTracer(mem, trc)
+	}
+	samplePeriod := opts.samplePeriod(opts.Requests)
+
 	var res Result
 	res.App = app
 	res.Scheme = schemeName
@@ -154,8 +219,7 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 	var dev0 nvm.Stats
 
 	var writeLat, readLat stats.Latency
-	writeRes := stats.NewReservoir(2048)
-	readRes := stats.NewReservoir(2048)
+	var lastDone units.Time
 	shadow := map[uint64][]byte{} // line contents for hierarchy write-backs
 
 	for i := 0; i < opts.Requests; i++ {
@@ -184,20 +248,29 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 				issue := machine.IssueWrite(th)
 				done := mem.Write(issue, req.Addr, req.Data)
 				machine.RetireWrite(th, done)
+				trc.Span(telemetry.CatWrite, telemetry.TrackRequestBase+int32(th), "", issue, done, req.Addr)
+				if done > lastDone {
+					lastDone = done
+				}
 				if measuring {
 					writeLat.Observe(done.Sub(issue))
-					writeRes.Observe(done.Sub(issue))
 					res.MemWrites++
 				}
 			} else {
 				issue := machine.IssueRead(th)
 				_, done := mem.Read(issue, req.Addr)
 				machine.RetireRead(th, done)
+				trc.Span(telemetry.CatRead, telemetry.TrackRequestBase+int32(th), "", issue, done, req.Addr)
+				if done > lastDone {
+					lastDone = done
+				}
 				if measuring {
 					readLat.Observe(done.Sub(issue))
-					readRes.Observe(done.Sub(issue))
 					res.MemReads++
 				}
+			}
+			if trc.Enabled() && (i+1)%samplePeriod == 0 {
+				emitSamples(mem, trc, lastDone, uint64(i+1))
 			}
 			continue
 		}
@@ -213,6 +286,10 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 			issue := machine.Now(th)
 			_, done := mem.Read(issue, req.Addr)
 			machine.CompleteRead(th, done)
+			trc.Span(telemetry.CatRead, telemetry.TrackRequestBase+int32(th), "", issue, done, req.Addr)
+			if done > lastDone {
+				lastDone = done
+			}
 			if measuring {
 				readLat.Observe(done.Sub(issue))
 				res.MemReads++
@@ -226,10 +303,17 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 			issue := machine.IssueWrite(th)
 			done := mem.Write(issue, wb, data)
 			machine.RetireWrite(th, done)
+			trc.Span(telemetry.CatWrite, telemetry.TrackRequestBase+int32(th), "writeback", issue, done, wb)
+			if done > lastDone {
+				lastDone = done
+			}
 			if measuring {
 				writeLat.Observe(done.Sub(issue))
 				res.MemWrites++
 			}
+		}
+		if trc.Enabled() && (i+1)%samplePeriod == 0 {
+			emitSamples(mem, trc, lastDone, uint64(i+1))
 		}
 	}
 
@@ -242,8 +326,12 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 	res.Elapsed = units.Duration(res.Cycles) * units.NewClock(config.CPUHz).Period()
 	res.MeanWriteLat = writeLat.Mean()
 	res.MeanReadLat = readLat.Mean()
-	res.P99WriteLat = writeRes.Percentile(0.99)
-	res.P99ReadLat = readRes.Percentile(0.99)
+	res.P50WriteLat = writeLat.P50()
+	res.P95WriteLat = writeLat.P95()
+	res.P99WriteLat = writeLat.P99()
+	res.P50ReadLat = readLat.P50()
+	res.P95ReadLat = readLat.P95()
+	res.P99ReadLat = readLat.P99()
 	res.WriteLatSum = writeLat.Sum()
 	res.ReadLatSum = readLat.Sum()
 	if dev := DeviceOf(mem); dev != nil {
@@ -265,7 +353,7 @@ func genDelta(a, b workload.Stats) workload.Stats {
 }
 
 // devDelta subtracts the warmup baseline from the device counters; the mean
-// waits remain whole-run values.
+// and percentile waits remain whole-run values.
 func devDelta(a, b nvm.Stats) nvm.Stats {
 	return nvm.Stats{
 		Reads:         a.Reads - b.Reads,
@@ -276,6 +364,8 @@ func devDelta(a, b nvm.Stats) nvm.Stats {
 		EnergyPJ:      a.EnergyPJ - b.EnergyPJ,
 		MeanReadWait:  a.MeanReadWait,
 		MeanWriteWait: a.MeanWriteWait,
+		P99ReadWait:   a.P99ReadWait,
+		P99WriteWait:  a.P99WriteWait,
 	}
 }
 
@@ -379,6 +469,12 @@ func RunTrace(tr *trace.Trace, mem Memory, warmup int) Result {
 	res.Elapsed = units.Duration(res.Cycles) * units.NewClock(config.CPUHz).Period()
 	res.MeanWriteLat = writeLat.Mean()
 	res.MeanReadLat = readLat.Mean()
+	res.P50WriteLat = writeLat.P50()
+	res.P95WriteLat = writeLat.P95()
+	res.P99WriteLat = writeLat.P99()
+	res.P50ReadLat = readLat.P50()
+	res.P95ReadLat = readLat.P95()
+	res.P99ReadLat = readLat.P99()
 	res.WriteLatSum = writeLat.Sum()
 	res.ReadLatSum = readLat.Sum()
 	if dev := DeviceOf(mem); dev != nil {

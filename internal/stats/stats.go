@@ -9,6 +9,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -38,12 +39,51 @@ func (c *Counter) Ratio(total *Counter) float64 {
 	return float64(c.n) / float64(total.n)
 }
 
-// Latency accumulates a stream of durations and reports mean/min/max.
+// Latency bucket geometry: a log-linear (HDR-style) histogram with
+// latSubBuckets sub-buckets per power of two, so any percentile estimate is
+// within 1/latSubBuckets (6.25 %) of the true value. Observations below
+// latSubBuckets picoseconds are exact; observations at or above
+// 2^(64-latSubBits) picoseconds (centuries of simulated time) saturate into
+// the top bucket, with Min/Max still tracked exactly.
+const (
+	latSubBits    = 4
+	latSubBuckets = 1 << latSubBits
+	latNumBuckets = (64 - latSubBits) << latSubBits
+)
+
+// latBucket maps a duration to its histogram bucket index.
+func latBucket(v uint64) int {
+	if v < latSubBuckets {
+		return int(v)
+	}
+	b := bits.Len64(v) // top bit position + 1, >= latSubBits+1
+	idx := ((b - latSubBits) << latSubBits) | int((v>>(b-1-latSubBits))&(latSubBuckets-1))
+	if idx >= latNumBuckets {
+		return latNumBuckets - 1
+	}
+	return idx
+}
+
+// latBucketLow returns the smallest duration mapping to bucket i.
+func latBucketLow(i int) uint64 {
+	if i < latSubBuckets {
+		return uint64(i)
+	}
+	major := i >> latSubBits
+	sub := uint64(i & (latSubBuckets - 1))
+	return (latSubBuckets | sub) << (major - 1)
+}
+
+// Latency accumulates a stream of durations and reports mean/min/max plus
+// bucketed percentiles (p50/p95/p99). The zero value is ready to use; the
+// embedded histogram is a fixed array, so Latency stays a plain value with a
+// useful zero state.
 type Latency struct {
-	count uint64
-	sum   units.Duration
-	min   units.Duration
-	max   units.Duration
+	count   uint64
+	sum     units.Duration
+	min     units.Duration
+	max     units.Duration
+	buckets [latNumBuckets]uint32
 }
 
 // Observe records one duration.
@@ -56,6 +96,10 @@ func (l *Latency) Observe(d units.Duration) {
 	}
 	l.count++
 	l.sum += d
+	b := &l.buckets[latBucket(uint64(d))]
+	if *b < math.MaxUint32 { // saturate a single bucket rather than wrap
+		*b++
+	}
 }
 
 // Count returns the number of observations.
@@ -78,12 +122,60 @@ func (l *Latency) Min() units.Duration { return l.min }
 // Max returns the largest observation.
 func (l *Latency) Max() units.Duration { return l.max }
 
+// Percentile returns the smallest bucketed duration x such that at least p
+// (in [0,1]) of the observations are <= x, clamped to the exact observed
+// [Min, Max] range. With no observations it returns 0. The estimate is exact
+// below 16 ps and within 6.25 % above (see the bucket geometry).
+func (l *Latency) Percentile(p float64) units.Duration {
+	if l.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	need := uint64(math.Ceil(p * float64(l.count)))
+	if need == 0 {
+		need = 1
+	}
+	if need >= l.count {
+		return l.max // the final rank is tracked exactly
+	}
+	var cum uint64
+	for i := range l.buckets {
+		cum += uint64(l.buckets[i])
+		if cum >= need {
+			v := units.Duration(latBucketLow(i))
+			if v < l.min {
+				v = l.min
+			}
+			if v > l.max {
+				v = l.max
+			}
+			return v
+		}
+	}
+	return l.max
+}
+
+// P50 returns the median observation.
+func (l *Latency) P50() units.Duration { return l.Percentile(0.50) }
+
+// P95 returns the 95th-percentile observation.
+func (l *Latency) P95() units.Duration { return l.Percentile(0.95) }
+
+// P99 returns the 99th-percentile observation.
+func (l *Latency) P99() units.Duration { return l.Percentile(0.99) }
+
 // String summarizes the aggregate for reports.
 func (l *Latency) String() string {
 	if l.count == 0 {
 		return "n=0"
 	}
-	return fmt.Sprintf("n=%d mean=%v min=%v max=%v", l.count, l.Mean(), l.min, l.max)
+	return fmt.Sprintf("n=%d mean=%v min=%v max=%v p50=%v p95=%v p99=%v",
+		l.count, l.Mean(), l.min, l.max, l.P50(), l.P95(), l.P99())
 }
 
 // Histogram counts occurrences of integer-valued observations. It is sparse:

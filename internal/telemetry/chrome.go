@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// TrackName returns the display name of a track identifier, following the
+// Track* conventions.
+func TrackName(id int32) string {
+	switch {
+	case id == TrackPredict:
+		return "predict"
+	case id == TrackHash:
+		return "hash"
+	case id == TrackVerify:
+		return "verify-read"
+	case id == TrackAES:
+		return "aes"
+	case id == TrackMetadata:
+		return "metadata"
+	case id >= TrackBankBase:
+		return fmt.Sprintf("bank %d", id-TrackBankBase)
+	case id >= TrackRequestBase:
+		return fmt.Sprintf("thread %d requests", id-TrackRequestBase)
+	default:
+		return fmt.Sprintf("track %d", id)
+	}
+}
+
+// WriteChromeTrace writes the recorded spans and counter samples in the
+// Chrome trace-event JSON Object Format, loadable in Perfetto
+// (ui.perfetto.dev) and chrome://tracing. Timestamps are simulated time:
+// the format's microsecond "ts" field carries simulated microseconds, so one
+// trace microsecond is one simulated microsecond.
+//
+// Spans become "X" (complete) events on one process, with one named thread
+// per track; samples become "C" (counter) events.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: nil tracer has no trace to write")
+	}
+	t.mu.Lock()
+	events := append([]Event(nil), t.events...)
+	samples := append([]Sample(nil), t.samples...)
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"generator\":\"dewrite-sim\",\"clock\":\"simulated\",\"droppedEvents\":%d},\"traceEvents\":[\n", dropped)
+	wroteAny := false
+	emit := func(line string) {
+		if wroteAny {
+			bw.WriteString(",\n")
+		}
+		bw.WriteString(line)
+		wroteAny = true
+	}
+
+	// Process + thread name metadata first, so viewers label the rows.
+	emit(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"dewrite simulated memory system"}}`)
+	tracks := make(map[int32]bool)
+	for _, e := range events {
+		tracks[e.Track] = true
+	}
+	ids := make([]int32, 0, len(tracks))
+	for id := range tracks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`, id, TrackName(id)))
+		// sort_index keeps tracks in conventional order regardless of first
+		// emission time.
+		emit(fmt.Sprintf(`{"name":"thread_sort_index","ph":"M","pid":1,"tid":%d,"args":{"sort_index":%d}}`, id, id))
+	}
+
+	for _, e := range events {
+		name := e.Label
+		if name == "" {
+			name = e.Cat.String()
+		}
+		emit(fmt.Sprintf(`{"name":%q,"cat":%q,"ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,"args":{"addr":"0x%x"}}`,
+			name, e.Cat.String(), usec(uint64(e.Start)), usec(uint64(e.Dur)), e.Track, e.Addr))
+	}
+	for _, s := range samples {
+		emit(fmt.Sprintf(`{"name":%q,"ph":"C","ts":%s,"pid":1,"tid":0,"args":{"value":%s}}`,
+			s.Name, usec(uint64(s.Time)), strconv.FormatFloat(s.Value, 'g', -1, 64)))
+	}
+
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// usec renders a picosecond count as the trace format's fractional
+// microseconds with full precision.
+func usec(ps uint64) string {
+	whole := ps / 1e6
+	frac := ps % 1e6
+	if frac == 0 {
+		return strconv.FormatUint(whole, 10)
+	}
+	s := fmt.Sprintf("%d.%06d", whole, frac)
+	for s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// WriteMetricsCSV writes the counter samples as CSV rows of
+// (series, time_ps, value), a shape any plotting tool ingests directly.
+func (t *Tracer) WriteMetricsCSV(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: nil tracer has no metrics to write")
+	}
+	samples := t.Samples()
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "time_ps", "value"}); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		rec := []string{s.Name, strconv.FormatUint(uint64(s.Time), 10), strconv.FormatFloat(s.Value, 'g', -1, 64)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime/metrics"
+	"sort"
+)
+
+// ServeDebug starts an HTTP server on addr (e.g. "localhost:6060") exposing
+// Go's pprof profiles under /debug/pprof/ and a plain-text dump of the
+// runtime/metrics registry under /debug/metrics — the hooks for profiling
+// the simulator itself rather than the simulated machine. It returns the
+// bound address (useful with a ":0" port) and never blocks; the server runs
+// until the process exits.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics", runtimeMetrics)
+	go http.Serve(ln, mux) //nolint:errcheck // best-effort debug endpoint
+	return ln.Addr().String(), nil
+}
+
+// runtimeMetrics writes every runtime/metrics sample as "name value" lines.
+func runtimeMetrics(w http.ResponseWriter, _ *http.Request) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			fmt.Fprintf(w, "%s %d\n", s.Name, s.Value.Uint64())
+		case metrics.KindFloat64:
+			fmt.Fprintf(w, "%s %g\n", s.Name, s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			var total uint64
+			for _, c := range h.Counts {
+				total += c
+			}
+			fmt.Fprintf(w, "%s histogram_count %d\n", s.Name, total)
+		}
+	}
+}
