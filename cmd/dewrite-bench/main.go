@@ -8,6 +8,8 @@
 //	dewrite-bench -list           # list experiment IDs
 //	dewrite-bench -quick          # representative app subset, shorter runs
 //	dewrite-bench -requests 50000 # scale the per-app run length
+//	dewrite-bench -parallel 8     # worker count (default GOMAXPROCS)
+//	dewrite-bench -quick -speedup # also time a sequential pass and report speedup
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -36,6 +39,18 @@ type benchEntry struct {
 	Tables []*stats.Table `json:"tables"`
 }
 
+// benchPerf records the engine-level cost of the invocation: worker count,
+// wall clock, allocation pressure, and (under -speedup) the sequential
+// baseline and the resulting speedup.
+type benchPerf struct {
+	Workers          int     `json:"workers"`
+	WallMS           float64 `json:"wall_ms"`
+	Mallocs          uint64  `json:"mallocs"`
+	AllocsPerRequest float64 `json:"allocs_per_request"`
+	SeqWallMS        float64 `json:"seq_wall_ms,omitempty"`
+	Speedup          float64 `json:"speedup,omitempty"`
+}
+
 // benchFile is the machine-readable record of one dewrite-bench invocation.
 type benchFile struct {
 	Schema      string       `json:"schema"`
@@ -44,6 +59,7 @@ type benchFile struct {
 	Requests    int          `json:"requests"`
 	Warmup      int          `json:"warmup"`
 	Seed        uint64       `json:"seed"`
+	Perf        benchPerf    `json:"perf"`
 	Experiments []benchEntry `json:"experiments"`
 }
 
@@ -90,6 +106,8 @@ func main() {
 		plotDir  = flag.String("plot", "", "also write gnuplot .dat files into this directory")
 		benchOut = flag.String("bench-out", "auto", "write timings and tables to this JSON file ('auto' = BENCH_<date>.json, 'none' disables)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address")
+		parallel = flag.Int("parallel", 0, "worker goroutines (<1 = GOMAXPROCS); output is identical at any count")
+		speedup  = flag.Bool("speedup", false, "also run a sequential pass and record the parallel speedup")
 	)
 	flag.Parse()
 	if *jsonOut {
@@ -134,7 +152,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dewrite-bench: pprof at http://%s/debug/pprof/\n", addr)
 	}
 
-	suite := experiments.NewSuite(opts)
+	workers := experiments.Workers(*parallel)
 	bench := benchFile{
 		Schema:   benchFileSchema,
 		Date:     time.Now().Format("2006-01-02"),
@@ -144,8 +162,8 @@ func main() {
 		Seed:     opts.Seed,
 	}
 	if *format == "text" {
-		fmt.Printf("dewrite-bench: %d experiment(s), %d requests/app (%d warmup), seed %d\n\n",
-			len(selected), opts.Requests, opts.Warmup, opts.Seed)
+		fmt.Printf("dewrite-bench: %d experiment(s), %d requests/app (%d warmup), seed %d, %d worker(s)\n\n",
+			len(selected), opts.Requests, opts.Warmup, opts.Seed, workers)
 	}
 	if *plotDir != "" {
 		if err := os.MkdirAll(*plotDir, 0o755); err != nil {
@@ -153,13 +171,56 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	for _, e := range selected {
-		start := time.Now()
-		tables := e.Run(suite)
+
+	var seqWall time.Duration
+	if *speedup {
+		// A throwaway suite: same options, fresh memo state, one worker.
+		seqStart := time.Now()
+		experiments.RunAll(experiments.NewSuite(opts), selected, 1)
+		seqWall = time.Since(seqStart)
+		fmt.Fprintf(os.Stderr, "dewrite-bench: sequential pass %v\n", seqWall.Round(time.Millisecond))
+	}
+
+	suite := experiments.NewSuite(opts)
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	if workers > 1 && *run == "" {
+		// Warm the shared (application × scheme) grid with fine-grained jobs
+		// before the coarser per-experiment fan-out. Skipped for -run subsets,
+		// which may not need the whole grid.
+		suite.Prefill(workers)
+	}
+	outcomes := experiments.RunAll(suite, selected, workers)
+	wall := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+
+	mallocs := msAfter.Mallocs - msBefore.Mallocs
+	simulated := uint64(suite.Simulations()) * uint64(opts.Requests)
+	bench.Perf = benchPerf{
+		Workers: workers,
+		WallMS:  float64(wall) / float64(time.Millisecond),
+		Mallocs: mallocs,
+	}
+	if simulated > 0 {
+		bench.Perf.AllocsPerRequest = float64(mallocs) / float64(simulated)
+	}
+	if *speedup {
+		bench.Perf.SeqWallMS = float64(seqWall) / float64(time.Millisecond)
+		if wall > 0 {
+			bench.Perf.Speedup = float64(seqWall) / float64(wall)
+		}
+		fmt.Fprintf(os.Stderr, "dewrite-bench: parallel pass %v with %d worker(s): %.2fx speedup, %.1f allocs/request\n",
+			wall.Round(time.Millisecond), workers, bench.Perf.Speedup, bench.Perf.AllocsPerRequest)
+	}
+
+	for _, oc := range outcomes {
+		e, tables := oc.Experiment, oc.Tables
 		bench.Experiments = append(bench.Experiments, benchEntry{
 			ID:     e.ID,
 			Title:  e.Title,
-			WallMS: float64(time.Since(start)) / float64(time.Millisecond),
+			WallMS: float64(oc.Wall) / float64(time.Millisecond),
 			Tables: tables,
 		})
 		for ti, tb := range tables {
@@ -201,7 +262,7 @@ func main() {
 			}
 		}
 		if *format == "text" {
-			fmt.Printf("[%s finished in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("[%s finished in %v]\n\n", e.ID, oc.Wall.Round(time.Millisecond))
 		}
 	}
 

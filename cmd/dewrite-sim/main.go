@@ -9,6 +9,8 @@
 //	dewrite-sim -app mcf -scheme dewrite -hierarchy   # CPU caches in front
 //	dewrite-sim -app lbm -scheme dewrite -trace t.json   # Perfetto trace
 //	dewrite-sim -app lbm -scheme dewrite -json           # report as JSON
+//	dewrite-sim -app lbm,mcf -scheme dewrite,securenvm -parallel 4
+//	                                       # fan the grid across workers
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"dewrite/internal/cache"
 	"dewrite/internal/config"
 	"dewrite/internal/core"
+	"dewrite/internal/experiments"
 	"dewrite/internal/sim"
 	"dewrite/internal/telemetry"
 	"dewrite/internal/workload"
@@ -98,8 +101,9 @@ func resolveScheme(name string) (sim.Scheme, error) {
 
 func main() {
 	var (
-		app       = flag.String("app", "lbm", "application profile (or 'worstcase')")
-		scheme    = flag.String("scheme", "dewrite", "dewrite|direct|parallel|securenvm|shredder")
+		app       = flag.String("app", "lbm", "application profile(s), comma-separated (or 'worstcase')")
+		scheme    = flag.String("scheme", "dewrite", "scheme(s), comma-separated: dewrite|direct|parallel|securenvm|shredder")
+		parallel  = flag.Int("parallel", 0, "worker goroutines for multi-run grids (<1 = GOMAXPROCS)")
 		requests  = flag.Int("requests", 30000, "memory requests to drive")
 		warmup    = flag.Int("warmup", 6000, "warmup requests excluded from measurement")
 		seed      = flag.Uint64("seed", 42, "workload seed")
@@ -130,18 +134,43 @@ func main() {
 		return
 	}
 
-	prof, err := resolveProfile(*app)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dewrite-sim: %v (use -apps)\n", err)
-		os.Exit(2)
+	var profs []workload.Profile
+	for _, name := range strings.Split(*app, ",") {
+		prof, err := resolveProfile(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-sim: %v (use -apps)\n", err)
+			os.Exit(2)
+		}
+		profs = append(profs, applyOverrides(prof, overrides{
+			dup: *dupRatio, zero: *zeroRatio, writeFrac: *writeFrac,
+			workset: *workset, threads: *threads, memGap: *memgap,
+		}))
 	}
-	prof = applyOverrides(prof, overrides{
-		dup: *dupRatio, zero: *zeroRatio, writeFrac: *writeFrac,
-		workset: *workset, threads: *threads, memGap: *memgap,
-	})
-	sch, err := resolveScheme(*scheme)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "dewrite-sim: %v\n", err)
+	var schs []sim.Scheme
+	for _, name := range strings.Split(*scheme, ",") {
+		sch, err := resolveScheme(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-sim: %v\n", err)
+			os.Exit(2)
+		}
+		schs = append(schs, sch)
+	}
+
+	// The run grid, in canonical (app-major, scheme-minor) order. Reports are
+	// printed in this order no matter how the runs are scheduled.
+	type job struct {
+		prof workload.Profile
+		sch  sim.Scheme
+	}
+	var jobs []job
+	for _, prof := range profs {
+		for _, sch := range schs {
+			jobs = append(jobs, job{prof, sch})
+		}
+	}
+	single := len(jobs) == 1
+	if !single && (*traceOut != "" || *metricsCSV != "") {
+		fmt.Fprintf(os.Stderr, "dewrite-sim: -trace/-metrics need a single (app, scheme) run\n")
 		os.Exit(2)
 	}
 
@@ -158,39 +187,57 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dewrite-sim: pprof at http://%s/debug/pprof/\n", addr)
 	}
 
-	opts := sim.Options{Requests: *requests, Warmup: *warmup, Seed: *seed}
-	if *hierarchy {
-		opts.Hierarchy = cache.NewHierarchy(cfg.Hierarchy)
-	}
+	var tracer *telemetry.Tracer
 	if *traceOut != "" || *metricsCSV != "" {
-		opts.Tracer = telemetry.New(telemetry.DefaultMaxEvents)
+		tracer = telemetry.New(telemetry.DefaultMaxEvents)
 	}
 
-	mem := sim.NewMemory(sch, prof.WorkingSetLines, cfg)
-	res := sim.Run(prof.Name, sch.String(), mem, prof, opts)
+	// Every job is hermetic (own memory, own seeded stream), so the grid fans
+	// out across workers while results land in canonical-order slots.
+	mems := make([]sim.Memory, len(jobs))
+	results := make([]sim.Result, len(jobs))
+	experiments.ForEach(*parallel, len(jobs), func(i int) {
+		opts := sim.Options{Requests: *requests, Warmup: *warmup, Seed: *seed, Tracer: tracer}
+		if *hierarchy {
+			opts.Hierarchy = cache.NewHierarchy(cfg.Hierarchy)
+		}
+		j := jobs[i]
+		mems[i] = sim.NewMemory(j.sch, j.prof.WorkingSetLines, cfg)
+		results[i] = sim.Run(j.prof.Name, j.sch.String(), mems[i], j.prof, opts)
+	})
 
 	if *traceOut != "" {
-		if err := writeFileWith(*traceOut, opts.Tracer.WriteChromeTrace); err != nil {
+		if err := writeFileWith(*traceOut, tracer.WriteChromeTrace); err != nil {
 			fmt.Fprintf(os.Stderr, "dewrite-sim: trace: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "dewrite-sim: wrote %d trace events to %s\n", opts.Tracer.Len(), *traceOut)
+		fmt.Fprintf(os.Stderr, "dewrite-sim: wrote %d trace events to %s\n", tracer.Len(), *traceOut)
 	}
 	if *metricsCSV != "" {
-		if err := writeFileWith(*metricsCSV, opts.Tracer.WriteMetricsCSV); err != nil {
+		if err := writeFileWith(*metricsCSV, tracer.WriteMetricsCSV); err != nil {
 			fmt.Fprintf(os.Stderr, "dewrite-sim: metrics: %v\n", err)
 			os.Exit(1)
 		}
 	}
 
-	if *jsonOut {
-		if err := sim.NewRunReport(res, mem).WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "dewrite-sim: json: %v\n", err)
-			os.Exit(1)
+	for i := range jobs {
+		if *jsonOut {
+			// One report object per run, streamed in canonical order.
+			if err := sim.NewRunReport(results[i], mems[i]).WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "dewrite-sim: json: %v\n", err)
+				os.Exit(1)
+			}
+			continue
 		}
-		return
+		if i > 0 {
+			fmt.Println()
+		}
+		printText(results[i], jobs[i].prof, mems[i])
 	}
+}
 
+// printText writes the human-readable report of one run to stdout.
+func printText(res sim.Result, prof workload.Profile, mem sim.Memory) {
 	fmt.Printf("app           %s (%s)\n", res.App, prof.Suite)
 	fmt.Printf("scheme        %s\n", res.Scheme)
 	fmt.Printf("requests      %d measured (writes %d, reads %d)\n", res.Requests, res.MemWrites, res.MemReads)

@@ -45,7 +45,16 @@ type SecureNVM struct {
 	metaNVMWrites stats.Counter
 	writeLat      stats.Latency
 	readLat       stats.Latency
+
+	// Per-controller scratch lines keep the request hot path allocation-free
+	// (the controller is single-threaded).
+	lineScratch [config.LineSize]byte
+	ctScratch   [config.LineSize]byte
 }
+
+// zeroLine is the shared all-zero payload for metadata write-backs and
+// shredded reads; consumers never mutate request payloads.
+var zeroLine [config.LineSize]byte
 
 // CounterEntriesPerLine is how many per-line counters pack into one 256 B
 // counter-table line (4 B per counter, generously covering the paper's
@@ -131,7 +140,8 @@ func (s *SecureNVM) counterAccess(now units.Time, logical uint64, write bool) un
 		s.ctrCache.Trace(s.trc, now, done, line)
 		return done
 	}
-	_, done := s.dev.ReadBypass(now, line)
+	// Timing-only read: the functional counters live in the CounterStore.
+	done := s.dev.ReadBypassInto(now, line, nil)
 	s.metaNVMReads.Inc()
 	done = done.Add(s.cfg.Timing.AESLine)
 	s.aesMetaOps.Inc()
@@ -143,12 +153,12 @@ func (s *SecureNVM) counterAccess(now units.Time, logical uint64, write bool) un
 		}
 		if i > 0 {
 			// Prefetches stream behind the demand read, off its critical path.
-			s.dev.Read(done, pf)
+			s.dev.ReadInto(done, pf, nil)
 			s.metaNVMReads.Inc()
 		}
 		ev, evicted := s.ctrCache.Insert(pf, write && i == 0)
 		if evicted && ev.Dirty {
-			s.dev.Write(done, ev.Block, make([]byte, config.LineSize))
+			s.dev.Write(done, ev.Block, zeroLine[:])
 			s.metaNVMWrites.Inc()
 			s.aesMetaOps.Inc()
 			s.dev.AddEnergy(s.cfg.Energy.AESBlock * config.AESBlocksPerLine)
@@ -177,7 +187,7 @@ func (s *SecureNVM) Write(now units.Time, logical uint64, data []byte) units.Tim
 	s.aesLineOps.Inc()
 	s.dev.AddEnergy(s.cfg.Energy.AESBlock * config.AESBlocksPerLine)
 
-	ct := make([]byte, config.LineSize)
+	ct := s.ctScratch[:]
 	s.enc.EncryptLine(ct, data, logical, counter)
 	done := s.dev.Write(encDone, logical, ct)
 	s.writeLat.Observe(done.Sub(now))
@@ -185,23 +195,36 @@ func (s *SecureNVM) Write(now units.Time, logical uint64, data []byte) units.Tim
 }
 
 // Read fetches and decrypts one line, overlapping OTP generation with the
-// array read (the point of counter-mode encryption, Section II-B).
+// array read (the point of counter-mode encryption, Section II-B). The
+// returned slice is freshly allocated and owned by the caller; hot loops use
+// ReadInto instead.
 func (s *SecureNVM) Read(now units.Time, logical uint64) ([]byte, units.Time) {
+	out := make([]byte, config.LineSize)
+	done := s.ReadInto(now, logical, out)
+	return out, done
+}
+
+// ReadInto is Read without the per-call allocation: the plaintext is
+// decrypted into dst, which must hold one line.
+func (s *SecureNVM) ReadInto(now units.Time, logical uint64, dst []byte) units.Time {
+	if len(dst) != config.LineSize {
+		panic(fmt.Sprintf("baseline: read into %d bytes", len(dst)))
+	}
 	s.checkAddr(logical)
 	s.reads.Inc()
 
 	ctrDone := s.counterAccess(now, logical, false)
-	ct, readDone := s.dev.Read(ctrDone, logical)
+	ct := s.lineScratch[:]
+	readDone := s.dev.ReadInto(ctrDone, logical, ct)
 	otpDone := ctrDone.Add(s.cfg.Timing.AESLine)
 	s.trc.Span(telemetry.CatAES, telemetry.TrackAES, "aes:otp", ctrDone, otpDone, logical)
 	done := units.Max(readDone, otpDone).Add(s.cfg.Timing.XOR)
 	s.aesLineOps.Inc()
 	s.dev.AddEnergy(s.cfg.Energy.AESBlock * config.AESBlocksPerLine)
 
-	plain := make([]byte, config.LineSize)
-	s.enc.DecryptLine(plain, ct, logical, s.ctrs.Get(logical))
+	s.enc.DecryptLine(dst, ct, logical, s.ctrs.Get(logical))
 	s.readLat.Observe(done.Sub(now))
-	return plain, done
+	return done
 }
 
 // Report is a snapshot of the baseline's statistics.

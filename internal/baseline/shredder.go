@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"fmt"
+
 	"dewrite/internal/config"
 	"dewrite/internal/stats"
 	"dewrite/internal/telemetry"
@@ -64,13 +66,26 @@ func (sh *Shredder) Write(now units.Time, logical uint64, data []byte) units.Tim
 }
 
 // Read returns zeros for shredded lines with only a counter-cache access;
-// other lines take the SecureNVM path.
+// other lines take the SecureNVM path. The returned slice is freshly
+// allocated and owned by the caller; hot loops use ReadInto instead.
 func (sh *Shredder) Read(now units.Time, logical uint64) ([]byte, units.Time) {
+	out := make([]byte, config.LineSize)
+	done := sh.ReadInto(now, logical, out)
+	return out, done
+}
+
+// ReadInto is Read without the per-call allocation: the plaintext is copied
+// into dst, which must hold one line.
+func (sh *Shredder) ReadInto(now units.Time, logical uint64, dst []byte) units.Time {
 	if sh.shredded[logical] {
+		if len(dst) != config.LineSize {
+			panic(fmt.Sprintf("baseline: read into %d bytes", len(dst)))
+		}
 		done := sh.inner.counterAccess(now, logical, false)
-		return make([]byte, config.LineSize), done
+		clear(dst)
+		return done
 	}
-	return sh.inner.Read(now, logical)
+	return sh.inner.ReadInto(now, logical, dst)
 }
 
 // Eliminated returns the number of zero-line writes avoided.

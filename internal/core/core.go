@@ -164,6 +164,14 @@ type Controller struct {
 	// the collision-triggered verify-read rate).
 	hashMask uint32
 
+	// Per-controller scratch lines keep the request hot path allocation-free.
+	// The controller is single-threaded (see the type comment), so one set
+	// suffices: lineScratch holds raw device lines, plainScratch decrypted
+	// candidates, ctScratch outgoing ciphertext.
+	lineScratch  [config.LineSize]byte
+	plainScratch [config.LineSize]byte
+	ctScratch    [config.LineSize]byte
+
 	// Statistics.
 	writes        stats.Counter // CPU write requests
 	reads         stats.Counter // CPU read requests
@@ -268,9 +276,10 @@ func (c *Controller) treeAccess(now units.Time, leaf uint64, write bool) units.T
 		if c.treeCache.Lookup(nodeLine, write) {
 			done = done.Add(c.cfg.Timing.MetaCache)
 		} else {
-			_, rd := c.dev.ReadBypass(done, nodeLine)
+			// Timing-only read: the tree nodes' functional contents live in
+			// the integrity.Tree structure.
+			done = c.dev.ReadBypassInto(done, nodeLine, nil)
 			c.metaNVMReads.Inc()
-			done = rd
 			ev, evicted := c.treeCache.Insert(nodeLine, write)
 			if evicted && ev.Dirty {
 				c.writebackMeta(done, ev.Block)
@@ -384,8 +393,9 @@ func (c *Controller) metaAccess(now units.Time, cache *metacache.Cache, line uin
 		cache.Trace(c.trc, now, done, line)
 		return done
 	}
-	// Demand miss: NVM read + direct decryption.
-	_, done := c.dev.ReadBypass(now, line)
+	// Demand miss: NVM read + direct decryption. Timing-only — the
+	// functional metadata lives in the dedup tables.
+	done := c.dev.ReadBypassInto(now, line, nil)
 	c.metaNVMReads.Inc()
 	done = done.Add(c.cfg.Timing.AESLine)
 	c.aesMetaOps.Inc()
@@ -403,7 +413,7 @@ func (c *Controller) metaAccess(now units.Time, cache *metacache.Cache, line uin
 			// Prefetched neighbours stream in behind the demand line: they
 			// occupy the bank (and are row hits) but do not extend the
 			// demand access's critical path.
-			c.dev.ReadBypass(done, pfLine)
+			c.dev.ReadBypassInto(done, pfLine, nil)
 			c.metaNVMReads.Inc()
 		}
 		ev, evicted := cache.Insert(pfLine, write && i == 0)
@@ -524,7 +534,7 @@ func (c *Controller) Write(now units.Time, logical uint64, data []byte) units.Ti
 			if incomingZero != c.tables.IsZeroLocation(cand) {
 				continue // a zero line cannot match a non-zero candidate
 			}
-			line, done := c.dev.ReadBypass(detect, cand)
+			done := c.dev.ReadBypassInto(detect, cand, c.lineScratch[:])
 			// Decrypt the candidate under its own (location, counter) pad;
 			// OTP generation overlaps the array read when the counter is
 			// cached, so it extends the path only past the read itself.
@@ -534,11 +544,10 @@ func (c *Controller) Write(now units.Time, logical uint64, data []byte) units.Ti
 			done = units.Max(done, otpDone).Add(t.XOR + t.Compare)
 			c.compareOps.Inc()
 			c.dev.AddEnergy(c.cfg.Energy.CompareLine)
-			plain := make([]byte, config.LineSize)
-			c.enc.DecryptLine(plain, line, cand, c.ctrs.Get(cand))
+			c.enc.DecryptLine(c.plainScratch[:], c.lineScratch[:], cand, c.ctrs.Get(cand))
 			c.trc.Span(telemetry.CatVerifyRead, telemetry.TrackVerify, "", detect, done, cand)
 			detect = done
-			if !bytes.Equal(plain, data) {
+			if !bytes.Equal(c.plainScratch[:], data) {
 				c.tables.NoteCollision()
 				continue
 			}
@@ -642,7 +651,7 @@ func (c *Controller) writeUnique(now, detect units.Time, logical uint64, data []
 	c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
 	c.trc.Span(telemetry.CatAES, telemetry.TrackAES, "", encStart, encDone, chosen)
 
-	ct := make([]byte, config.LineSize)
+	ct := c.ctScratch[:]
 	c.enc.EncryptLine(ct, data, chosen, counter)
 
 	// Metadata updates. The counter update is colocated: for a
@@ -679,11 +688,21 @@ func mustHash(t *dedup.Tables, loc uint64) uint32 {
 }
 
 // Read performs one timed cache-line read of the logical line address and
-// returns the plaintext and the completion time.
+// returns the plaintext and the completion time. The returned slice is
+// freshly allocated and owned by the caller; hot loops use ReadInto instead.
 func (c *Controller) Read(now units.Time, logical uint64) ([]byte, units.Time) {
+	out := make([]byte, config.LineSize)
+	done := c.ReadInto(now, logical, out)
+	return out, done
+}
+
+// ReadInto is Read without the per-call allocation: the plaintext is
+// decrypted into dst, which must hold one line.
+func (c *Controller) ReadInto(now units.Time, logical uint64, dst []byte) units.Time {
 	if logical >= c.layout.DataLines {
 		panic(fmt.Sprintf("core: read of %#x beyond %d data lines", logical, c.layout.DataLines))
 	}
+	c.checkLine(dst)
 	c.reads.Inc()
 	t := c.cfg.Timing
 
@@ -695,11 +714,11 @@ func (c *Controller) Read(now units.Time, logical uint64) ([]byte, units.Time) {
 	if !written {
 		// Architecturally undefined read; the device still performs an array
 		// read of the line's own slot and the simulator returns zeros.
-		_, done := c.dev.Read(mapDone, logical)
-		out := make([]byte, config.LineSize)
+		done := c.dev.ReadInto(mapDone, logical, nil)
+		clear(dst)
 		done = done.Add(t.XOR)
 		c.readLat.Observe(done.Sub(now))
-		return out, done
+		return done
 	}
 
 	ctrDone := mapDone
@@ -710,7 +729,8 @@ func (c *Controller) Read(now units.Time, logical uint64) ([]byte, units.Time) {
 	}
 
 	// OTP generation overlaps the array read.
-	ct, readDone := c.dev.Read(ctrDone, loc)
+	ct := c.lineScratch[:]
+	readDone := c.dev.ReadInto(ctrDone, loc, ct)
 	otpDone := ctrDone.Add(t.AESLine)
 	c.trc.Span(telemetry.CatAES, telemetry.TrackAES, "aes:otp", ctrDone, otpDone, loc)
 	done := units.Max(readDone, otpDone).Add(t.XOR)
@@ -718,10 +738,9 @@ func (c *Controller) Read(now units.Time, logical uint64) ([]byte, units.Time) {
 	c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
 	done = c.verifyRead(done, loc, ct)
 
-	plain := make([]byte, config.LineSize)
-	c.enc.DecryptLine(plain, ct, loc, c.ctrs.Get(loc))
+	c.enc.DecryptLine(dst, ct, loc, c.ctrs.Get(loc))
 	c.readLat.Observe(done.Sub(now))
-	return plain, done
+	return done
 }
 
 // Report is a snapshot of the controller's statistics.

@@ -18,9 +18,16 @@ package dedup
 
 import (
 	"fmt"
+	"sync"
 
 	"dewrite/internal/stats"
 )
+
+// locPool recycles location records between PlaceUnique and release so the
+// steady-state unique-write path (every free is eventually a new placement)
+// allocates nothing. A pointer fits in an interface word, so Get/Put never
+// allocate themselves.
+var locPool = sync.Pool{New: func() interface{} { return new(location) }}
 
 // Tables holds the deduplication metadata for a device with a fixed number
 // of data lines. Not safe for concurrent use.
@@ -222,7 +229,9 @@ func (t *Tables) PlaceUnique(logical uint64, hash uint32) (chosen uint64, freed 
 		didFree = false
 	}
 
-	t.loc[chosen] = &location{hash: hash, refs: 1}
+	l := locPool.Get().(*location)
+	*l = location{hash: hash, refs: 1}
+	t.loc[chosen] = l
 	t.hash[hash] = append(t.hash[hash], chosen)
 	t.real[logical] = chosen
 	t.uniques.Inc()
@@ -253,6 +262,7 @@ func (t *Tables) release(logical uint64) (freed uint64, didFree bool) {
 	// Last reference gone: clean the stale hash and free the location.
 	t.removeHash(l.hash, locAddr)
 	delete(t.loc, locAddr)
+	locPool.Put(l)
 	t.freed = append(t.freed, locAddr)
 	t.frees.Inc()
 	return locAddr, true

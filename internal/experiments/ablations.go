@@ -33,20 +33,27 @@ func (s *Suite) ablationApps() []workload.Profile {
 }
 
 // runDeWriteWith drives a DeWrite controller under a modified config and
-// returns its report.
+// returns its report. Every config variant replays the profile's shared
+// prepared stream, so sweeps pay for trace generation once.
 func (s *Suite) runDeWriteWith(prof workload.Profile, cfg config.Config) core.Report {
 	ctrl := core.New(core.Options{DataLines: prof.WorkingSetLines, Config: cfg})
-	gen := workload.NewGenerator(prof, s.Opts.Seed)
+	replayThrough(ctrl, s.Prepared(prof))
+	return ctrl.Report()
+}
+
+// replayThrough drives one prepared stream through a controller, discarding
+// read plaintext into a reusable buffer.
+func replayThrough(ctrl *core.Controller, prep *sim.Prepared) {
 	var now units.Time
-	for i := 0; i < s.Opts.Requests; i++ {
-		req := gen.Next()
+	var buf [config.LineSize]byte
+	for i := range prep.Requests {
+		req := &prep.Requests[i]
 		if req.Op == trace.Write {
 			now = ctrl.Write(now, req.Addr, req.Data)
 		} else {
-			_, now = ctrl.Read(now, req.Addr)
+			now = ctrl.ReadInto(now, req.Addr, buf[:])
 		}
 	}
-	return ctrl.Report()
 }
 
 // AblationPNA compares DeWrite with and without the prediction-based NVM
@@ -203,10 +210,10 @@ func AblationWearLevel(s *Suite) []*stats.Table {
 					mem = base
 				}
 			}
-			gen := workload.NewGenerator(prof, s.Opts.Seed)
+			prep := s.Prepared(prof)
 			var now units.Time
-			for i := 0; i < s.Opts.Requests; i++ {
-				req := gen.Next()
+			for i := range prep.Requests {
+				req := &prep.Requests[i]
 				if req.Op == trace.Write {
 					now = mem.Write(now, req.Addr, req.Data)
 				} else {
@@ -245,14 +252,15 @@ func AblationPersist(s *Suite) []*stats.Table {
 				Config:    s.Config(),
 				Persist:   mode,
 			})
-			gen := workload.NewGenerator(prof, s.Opts.Seed)
+			prep := s.Prepared(prof)
 			var now units.Time
-			for i := 0; i < s.Opts.Requests; i++ {
-				req := gen.Next()
+			var buf [config.LineSize]byte
+			for i := range prep.Requests {
+				req := &prep.Requests[i]
 				if req.Op == trace.Write {
 					now = ctrl.Write(now, req.Addr, req.Data)
 				} else {
-					_, now = ctrl.Read(now, req.Addr)
+					now = ctrl.ReadInto(now, req.Addr, buf[:])
 				}
 			}
 			r := ctrl.Report()
@@ -393,12 +401,8 @@ func AblationPhases(s *Suite) []*stats.Table {
 
 	for _, prof := range []workload.Profile{phased, uniform} {
 		r := s.runDeWriteWith(prof, s.Config())
-		// Ground truth from a parallel generator pass.
-		gen := workload.NewGenerator(prof, s.Opts.Seed)
-		for i := 0; i < s.Opts.Requests; i++ {
-			gen.Next()
-		}
-		gt := gen.Stats()
+		// Ground truth straight from the prepared stream's generator stats.
+		gt := s.Prepared(prof).GenFinal
 		t.AddRow(prof.Name,
 			stats.Ratio(gt.Duplicates, gt.Writes)*100,
 			stats.Ratio(r.DupEliminated, r.Writes)*100,
@@ -422,16 +426,7 @@ func AblationIntegrity(s *Suite) []*stats.Table {
 				Config:    s.Config(),
 				Integrity: on,
 			})
-			gen := workload.NewGenerator(prof, s.Opts.Seed)
-			var now units.Time
-			for i := 0; i < s.Opts.Requests; i++ {
-				req := gen.Next()
-				if req.Op == trace.Write {
-					now = ctrl.Write(now, req.Addr, req.Data)
-				} else {
-					_, now = ctrl.Read(now, req.Addr)
-				}
-			}
+			replayThrough(ctrl, s.Prepared(prof))
 			r := ctrl.Report()
 			saved := ""
 			if on {

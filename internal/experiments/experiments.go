@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"dewrite/internal/config"
 	"dewrite/internal/core"
@@ -155,12 +156,51 @@ func IDs() []string {
 }
 
 // Suite memoizes (application, scheme) runs so the performance figures that
-// share underlying simulations (14–17, 19, 20) run each simulation once.
+// share underlying simulations (14–17, 19, 20) run each simulation once. It
+// also materializes each application's request stream once (sim.Prepare) and
+// replays it across every scheme, so the five schemes consume an identical,
+// immutable trace instead of regenerating it.
+//
+// The suite is safe for concurrent use: each memoized value is guarded by a
+// per-key sync.Once, so concurrent experiments computing disjoint keys
+// proceed in parallel while callers of an in-flight key wait for the single
+// computation. Every simulation itself is hermetic — fresh memory, a fixed
+// seed, the shared immutable trace — so a value is identical no matter which
+// goroutine computes it.
 type Suite struct {
-	Opts    Options
-	cfg     config.Config
-	runs    map[string]sim.Result
-	reports map[string]core.Report
+	Opts Options
+	cfg  config.Config
+
+	mu      sync.Mutex
+	runs    map[string]*memo[sim.Result]
+	reports map[string]*memo[core.Report]
+	preps   map[string]*memo[*sim.Prepared]
+}
+
+// memo is a lazily computed, compute-once cell.
+type memo[T any] struct {
+	once sync.Once
+	v    T
+}
+
+// cell returns (creating if needed) the memo cell for key under mu.
+func memoCell[T any](mu *sync.Mutex, m map[string]*memo[T], key string) *memo[T] {
+	mu.Lock()
+	defer mu.Unlock()
+	e := m[key]
+	if e == nil {
+		e = new(memo[T])
+		m[key] = e
+	}
+	return e
+}
+
+// profileKey is the memoization key of a profile: its full value, not just
+// its name, because ablations run modified copies of named profiles. %#v
+// rather than %v: Profile implements Stringer, and its display form omits
+// fields (working-set size, phases) that change the generated stream.
+func profileKey(prof workload.Profile) string {
+	return fmt.Sprintf("%#v", prof)
 }
 
 // NewSuite returns a suite for the options.
@@ -171,49 +211,106 @@ func NewSuite(opts Options) *Suite {
 	return &Suite{
 		Opts:    opts,
 		cfg:     opts.Config(),
-		runs:    make(map[string]sim.Result),
-		reports: make(map[string]core.Report),
+		runs:    make(map[string]*memo[sim.Result]),
+		reports: make(map[string]*memo[core.Report]),
+		preps:   make(map[string]*memo[*sim.Prepared]),
 	}
+}
+
+// simOptions returns the per-run simulation options for the suite's scale.
+func (s *Suite) simOptions() sim.Options {
+	return sim.Options{
+		Requests: s.Opts.Requests,
+		Warmup:   s.Opts.Warmup,
+		Seed:     s.Opts.Seed,
+	}
+}
+
+// Prepared returns the profile's memoized request stream, materializing it on
+// first use.
+func (s *Suite) Prepared(prof workload.Profile) *sim.Prepared {
+	e := memoCell(&s.mu, s.preps, profileKey(prof))
+	e.once.Do(func() {
+		e.v = sim.Prepare(prof, s.simOptions())
+	})
+	return e.v
 }
 
 // CoreReport returns the memoized full controller report of the DeWrite run
 // on the profile (controller-internal statistics sim.Result does not carry).
 func (s *Suite) CoreReport(prof workload.Profile) core.Report {
-	if r, ok := s.reports[prof.Name]; ok {
-		return r
-	}
-	ctrl := core.New(core.Options{DataLines: prof.WorkingSetLines, Config: s.cfg})
-	gen := workload.NewGenerator(prof, s.Opts.Seed)
-	var now units.Time
-	for i := 0; i < s.Opts.Requests; i++ {
-		req := gen.Next()
-		if req.Op == trace.Write {
-			now = ctrl.Write(now, req.Addr, req.Data)
-		} else {
-			_, now = ctrl.Read(now, req.Addr)
+	e := memoCell(&s.mu, s.reports, profileKey(prof))
+	e.once.Do(func() {
+		prep := s.Prepared(prof)
+		ctrl := core.New(core.Options{DataLines: prof.WorkingSetLines, Config: s.cfg})
+		var now units.Time
+		var buf [config.LineSize]byte
+		for i := range prep.Requests {
+			req := &prep.Requests[i]
+			if req.Op == trace.Write {
+				now = ctrl.Write(now, req.Addr, req.Data)
+			} else {
+				now = ctrl.ReadInto(now, req.Addr, buf[:])
+			}
 		}
-	}
-	r := ctrl.Report()
-	s.reports[prof.Name] = r
-	return r
+		e.v = ctrl.Report()
+	})
+	return e.v
 }
 
 // Config returns the suite's machine configuration.
 func (s *Suite) Config() config.Config { return s.cfg }
 
-// Run returns the memoized result of running scheme on the profile.
+// Simulations reports how many full-length simulation passes the suite has
+// memoized so far (scheme runs, controller replays, and trace preparations).
+// Callers use it to normalize host-side cost metrics per simulated request.
+func (s *Suite) Simulations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runs) + len(s.reports) + len(s.preps)
+}
+
+// Run returns the memoized result of running scheme on the profile, replaying
+// the profile's shared prepared stream.
 func (s *Suite) Run(scheme sim.Scheme, prof workload.Profile) sim.Result {
-	key := fmt.Sprintf("%s/%s", prof.Name, scheme)
-	if r, ok := s.runs[key]; ok {
-		return r
-	}
-	res, _ := sim.RunScheme(scheme, prof, s.cfg, sim.Options{
-		Requests: s.Opts.Requests,
-		Warmup:   s.Opts.Warmup,
-		Seed:     s.Opts.Seed,
+	key := profileKey(prof) + "\x00" + scheme.String()
+	e := memoCell(&s.mu, s.runs, key)
+	e.once.Do(func() {
+		opts := s.simOptions()
+		opts.Prepared = s.Prepared(prof)
+		res, _ := sim.RunScheme(scheme, prof, s.cfg, opts)
+		e.v = res
 	})
-	s.runs[key] = res
-	return res
+	return e.v
+}
+
+// perfSchemes is the full scheme grid the performance figures draw from.
+var perfSchemes = []sim.Scheme{
+	sim.SchemeDeWrite, sim.SchemeDirect, sim.SchemeParallel,
+	sim.SchemeSecureNVM, sim.SchemeShredder,
+}
+
+// Prefill computes the (application × scheme) simulation grid the
+// performance figures share — plus each application's prepared stream and
+// controller report — across workers goroutines. It is an optional warm-up:
+// experiments run correctly without it, computing entries on demand.
+func (s *Suite) Prefill(workers int) {
+	profs := s.Opts.Profiles()
+	// Streams first: every grid run replays one, so materializing them
+	// up front (one worker per application) avoids the grid workers
+	// serializing on the per-profile once.
+	ForEach(workers, len(profs), func(i int) {
+		s.Prepared(profs[i])
+	})
+	n := len(perfSchemes) + 1 // + the controller report
+	ForEach(workers, len(profs)*n, func(j int) {
+		prof := profs[j/n]
+		if k := j % n; k < len(perfSchemes) {
+			s.Run(perfSchemes[k], prof)
+		} else {
+			s.CoreReport(prof)
+		}
+	})
 }
 
 // geoMean returns the geometric mean of vs, 0 if empty or any v <= 0.

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"dewrite/internal/stats"
+)
+
+// This file is the deterministic parallel experiment engine. The evaluation
+// is embarrassingly parallel — every table is an independent sweep over
+// (application, scheme) pairs — and determinism survives parallelism because
+// of how the work is structured:
+//
+//   - every simulation is hermetic: fresh memory, its own seeded RNG (or the
+//     shared immutable prepared stream), no host-time dependence;
+//   - shared state between workers is confined to the Suite's per-key
+//     sync.Once memo cells (and the inert sync.Pool buffer recycling), so a
+//     memoized value is identical no matter which worker computes it;
+//   - results are collected into slots indexed by the input order, so output
+//     ordering is canonical regardless of completion order.
+//
+// RunAll therefore produces byte-identical tables at any worker count (the
+// one documented exception is TableI, which measures host wall-clock hash
+// throughput and is nondeterministic even sequentially).
+
+// Workers normalizes a worker-count request: n < 1 (e.g. an unset flag)
+// selects GOMAXPROCS.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs job(i) for every i in [0, n) across min(workers, n)
+// goroutines, returning when all jobs are done. Jobs are handed out in index
+// order; job must be safe to call concurrently with itself.
+func ForEach(workers, n int, job func(int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Outcome is one experiment's product: its tables and how long it took.
+// Under concurrency Wall includes time spent sharing cores with other
+// experiments, so it overstates exclusive cost.
+type Outcome struct {
+	Experiment Experiment
+	Tables     []*stats.Table
+	Wall       time.Duration
+}
+
+// RunAll executes the experiments over the shared suite with the given
+// worker count and returns one Outcome per experiment, in input order. The
+// suite's per-key memoization distributes the underlying simulations across
+// workers without duplicating any; the returned tables are byte-identical to
+// a workers=1 run (except TableI, see above).
+func RunAll(s *Suite, exps []Experiment, workers int) []Outcome {
+	out := make([]Outcome, len(exps))
+	ForEach(workers, len(exps), func(i int) {
+		start := time.Now()
+		tables := exps[i].Run(s)
+		out[i] = Outcome{Experiment: exps[i], Tables: tables, Wall: time.Since(start)}
+	})
+	return out
+}

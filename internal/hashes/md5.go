@@ -30,51 +30,35 @@ var md5K = [64]uint32{
 	0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
 }
 
-// MD5 returns the 128-bit MD5 digest of data.
+// MD5 returns the 128-bit MD5 digest of data. It digests full blocks
+// straight out of data and builds the padding on the stack, so it performs
+// no heap allocation.
 func MD5(data []byte) [16]byte {
-	a0, b0, c0, d0 := uint32(0x67452301), uint32(0xefcdab89), uint32(0x98badcfe), uint32(0x10325476)
+	h := [4]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476}
 
-	msg := padMD5(data)
-	var m [16]uint32
-	for block := 0; block < len(msg); block += 64 {
-		chunk := msg[block : block+64]
-		for i := 0; i < 16; i++ {
-			m[i] = uint32(chunk[4*i]) | uint32(chunk[4*i+1])<<8 |
-				uint32(chunk[4*i+2])<<16 | uint32(chunk[4*i+3])<<24
-		}
-		a, b, c, d := a0, b0, c0, d0
-		for i := 0; i < 64; i++ {
-			var f uint32
-			var g int
-			switch {
-			case i < 16:
-				f = (b & c) | (^b & d)
-				g = i
-			case i < 32:
-				f = (d & b) | (^d & c)
-				g = (5*i + 1) % 16
-			case i < 48:
-				f = b ^ c ^ d
-				g = (3*i + 5) % 16
-			default:
-				f = c ^ (b | ^d)
-				g = (7 * i) % 16
-			}
-			f += a + md5K[i] + m[g]
-			a = d
-			d = c
-			c = b
-			s := md5Shifts[i]
-			b += f<<s | f>>(32-s)
-		}
-		a0 += a
-		b0 += b
-		c0 += c
-		d0 += d
+	n := len(data)
+	full := n &^ 63
+	for block := 0; block < full; block += 64 {
+		md5Block(&h, data[block:block+64])
+	}
+	// Tail: like SHA-1's but with a little-endian length.
+	var tail [128]byte
+	rem := copy(tail[:], data[full:])
+	tail[rem] = 0x80
+	tlen := 64
+	if rem+9 > 64 {
+		tlen = 128
+	}
+	bits := uint64(n) * 8
+	for i := 0; i < 8; i++ {
+		tail[tlen-8+i] = byte(bits >> (8 * i))
+	}
+	for block := 0; block < tlen; block += 64 {
+		md5Block(&h, tail[block:block+64])
 	}
 
 	var out [16]byte
-	for i, v := range [4]uint32{a0, b0, c0, d0} {
+	for i, v := range h {
 		out[4*i] = byte(v)
 		out[4*i+1] = byte(v >> 8)
 		out[4*i+2] = byte(v >> 16)
@@ -83,15 +67,40 @@ func MD5(data []byte) [16]byte {
 	return out
 }
 
-// padMD5 applies MD5's padding: like SHA-1's but with a little-endian length.
-func padMD5(data []byte) []byte {
-	n := len(data)
-	padded := make([]byte, ((n+8)/64+1)*64)
-	copy(padded, data)
-	padded[n] = 0x80
-	bits := uint64(n) * 8
-	for i := 0; i < 8; i++ {
-		padded[len(padded)-8+i] = byte(bits >> (8 * i))
+// md5Block folds one 64-byte chunk into the running state.
+func md5Block(h *[4]uint32, chunk []byte) {
+	var m [16]uint32
+	for i := 0; i < 16; i++ {
+		m[i] = uint32(chunk[4*i]) | uint32(chunk[4*i+1])<<8 |
+			uint32(chunk[4*i+2])<<16 | uint32(chunk[4*i+3])<<24
 	}
-	return padded
+	a, b, c, d := h[0], h[1], h[2], h[3]
+	for i := 0; i < 64; i++ {
+		var f uint32
+		var g int
+		switch {
+		case i < 16:
+			f = (b & c) | (^b & d)
+			g = i
+		case i < 32:
+			f = (d & b) | (^d & c)
+			g = (5*i + 1) % 16
+		case i < 48:
+			f = b ^ c ^ d
+			g = (3*i + 5) % 16
+		default:
+			f = c ^ (b | ^d)
+			g = (7 * i) % 16
+		}
+		f += a + md5K[i] + m[g]
+		a = d
+		d = c
+		c = b
+		s := md5Shifts[i]
+		b += f<<s | f>>(32-s)
+	}
+	h[0] += a
+	h[1] += b
+	h[2] += c
+	h[3] += d
 }

@@ -4,47 +4,32 @@ package hashes
 // deduplication uses. Single-shot over a message; the simulator only ever
 // hashes whole 256 B lines.
 
-// SHA1 returns the 160-bit SHA-1 digest of data.
+// SHA1 returns the 160-bit SHA-1 digest of data. It digests full blocks
+// straight out of data and builds the Merkle–Damgård padding on the stack,
+// so it performs no heap allocation.
 func SHA1(data []byte) [20]byte {
 	h := [5]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0}
 
-	msg := pad64(data)
-	var w [80]uint32
-	for block := 0; block < len(msg); block += 64 {
-		chunk := msg[block : block+64]
-		for i := 0; i < 16; i++ {
-			w[i] = uint32(chunk[4*i])<<24 | uint32(chunk[4*i+1])<<16 |
-				uint32(chunk[4*i+2])<<8 | uint32(chunk[4*i+3])
-		}
-		for i := 16; i < 80; i++ {
-			v := w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]
-			w[i] = v<<1 | v>>31
-		}
-		a, b, c, d, e := h[0], h[1], h[2], h[3], h[4]
-		for i := 0; i < 80; i++ {
-			var f, k uint32
-			switch {
-			case i < 20:
-				f = (b & c) | (^b & d)
-				k = 0x5a827999
-			case i < 40:
-				f = b ^ c ^ d
-				k = 0x6ed9eba1
-			case i < 60:
-				f = (b & c) | (b & d) | (c & d)
-				k = 0x8f1bbcdc
-			default:
-				f = b ^ c ^ d
-				k = 0xca62c1d6
-			}
-			tmp := (a<<5 | a>>27) + f + e + k + w[i]
-			e, d, c, b, a = d, c, b<<30|b>>2, a, tmp
-		}
-		h[0] += a
-		h[1] += b
-		h[2] += c
-		h[3] += d
-		h[4] += e
+	n := len(data)
+	full := n &^ 63
+	for block := 0; block < full; block += 64 {
+		sha1Block(&h, data[block:block+64])
+	}
+	// Tail: the remaining bytes, the 0x80 marker and the big-endian 64-bit
+	// bit length, in one 64-byte block or two when the length doesn't fit.
+	var tail [128]byte
+	rem := copy(tail[:], data[full:])
+	tail[rem] = 0x80
+	tlen := 64
+	if rem+9 > 64 {
+		tlen = 128
+	}
+	bits := uint64(n) * 8
+	for i := 0; i < 8; i++ {
+		tail[tlen-1-i] = byte(bits >> (8 * i))
+	}
+	for block := 0; block < tlen; block += 64 {
+		sha1Block(&h, tail[block:block+64])
 	}
 
 	var out [20]byte
@@ -57,17 +42,40 @@ func SHA1(data []byte) [20]byte {
 	return out
 }
 
-// pad64 applies SHA-1's Merkle–Damgård padding: 64-byte blocks with a
-// big-endian 64-bit bit-length suffix. MD5 uses padMD5, which differs only in
-// the length byte order.
-func pad64(data []byte) []byte {
-	n := len(data)
-	padded := make([]byte, ((n+8)/64+1)*64)
-	copy(padded, data)
-	padded[n] = 0x80
-	bits := uint64(n) * 8
-	for i := 0; i < 8; i++ {
-		padded[len(padded)-1-i] = byte(bits >> (8 * i))
+// sha1Block folds one 64-byte chunk into the running state.
+func sha1Block(h *[5]uint32, chunk []byte) {
+	var w [80]uint32
+	for i := 0; i < 16; i++ {
+		w[i] = uint32(chunk[4*i])<<24 | uint32(chunk[4*i+1])<<16 |
+			uint32(chunk[4*i+2])<<8 | uint32(chunk[4*i+3])
 	}
-	return padded
+	for i := 16; i < 80; i++ {
+		v := w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]
+		w[i] = v<<1 | v>>31
+	}
+	a, b, c, d, e := h[0], h[1], h[2], h[3], h[4]
+	for i := 0; i < 80; i++ {
+		var f, k uint32
+		switch {
+		case i < 20:
+			f = (b & c) | (^b & d)
+			k = 0x5a827999
+		case i < 40:
+			f = b ^ c ^ d
+			k = 0x6ed9eba1
+		case i < 60:
+			f = (b & c) | (b & d) | (c & d)
+			k = 0x8f1bbcdc
+		default:
+			f = b ^ c ^ d
+			k = 0xca62c1d6
+		}
+		tmp := (a<<5 | a>>27) + f + e + k + w[i]
+		e, d, c, b, a = d, c, b<<30|b>>2, a, tmp
+	}
+	h[0] += a
+	h[1] += b
+	h[2] += c
+	h[3] += d
+	h[4] += e
 }

@@ -133,7 +133,26 @@ func (d *Device) ReadBypass(now units.Time, lineAddr uint64) ([]byte, units.Time
 	return d.read(now, lineAddr, false)
 }
 
+// ReadInto is Read without the per-call allocation: the line contents are
+// copied into dst (which must hold LineSize bytes), or discarded when dst is
+// nil — the timing-only form metadata fills use, where the functional
+// contents live elsewhere. It returns the completion time.
+func (d *Device) ReadInto(now units.Time, lineAddr uint64, dst []byte) units.Time {
+	return d.readInto(now, lineAddr, true, dst)
+}
+
+// ReadBypassInto is ReadBypass without the per-call allocation; see ReadInto.
+func (d *Device) ReadBypassInto(now units.Time, lineAddr uint64, dst []byte) units.Time {
+	return d.readInto(now, lineAddr, false, dst)
+}
+
 func (d *Device) read(now units.Time, lineAddr uint64, open bool) ([]byte, units.Time) {
+	out := make([]byte, config.LineSize)
+	done := d.readInto(now, lineAddr, open, out)
+	return out, done
+}
+
+func (d *Device) readInto(now units.Time, lineAddr uint64, open bool, dst []byte) units.Time {
 	d.checkAddr(lineAddr)
 	bank := d.Bank(lineAddr)
 	b := &d.banks[bank]
@@ -163,7 +182,17 @@ func (d *Device) read(now units.Time, lineAddr uint64, open bool) ([]byte, units
 
 	d.reads.Inc()
 	d.readWait.Observe(start.Sub(now))
-	return d.Peek(lineAddr), done
+	if dst != nil {
+		if len(dst) != config.LineSize {
+			panic(fmt.Sprintf("nvm: read into %d bytes, want %d", len(dst), config.LineSize))
+		}
+		if line, ok := d.store[lineAddr]; ok {
+			copy(dst, line)
+		} else {
+			clear(dst)
+		}
+	}
+	return done
 }
 
 // Write performs a timed array write of one line and returns the completion

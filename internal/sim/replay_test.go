@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"dewrite/internal/workload"
+)
+
+// reportJSON renders the run's full RunReport to JSON bytes.
+func reportJSON(t *testing.T, scheme Scheme, prof workload.Profile, opts Options) []byte {
+	t.Helper()
+	mem := NewMemory(scheme, prof.WorkingSetLines, testConfig())
+	res := Run(prof.Name, scheme.String(), mem, prof, opts)
+	var buf bytes.Buffer
+	if err := NewRunReport(res, mem).WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestPreparedReplayMatchesGenerator is the determinism contract of prepared
+// traces: replaying a materialized stream must produce a RunReport that is
+// byte-identical to driving the generator live with the same seed.
+func TestPreparedReplayMatchesGenerator(t *testing.T) {
+	prof, _ := workload.ByName("mcf")
+	prof.WorkingSetLines = 1 << 10
+	opts := Options{Requests: 6000, Warmup: 1500, Seed: 42}
+
+	for _, scheme := range []Scheme{
+		SchemeDeWrite, SchemeDirect, SchemeParallel, SchemeSecureNVM, SchemeShredder,
+	} {
+		live := reportJSON(t, scheme, prof, opts)
+
+		replayOpts := opts
+		replayOpts.Prepared = Prepare(prof, opts)
+		replayed := reportJSON(t, scheme, prof, replayOpts)
+
+		if !bytes.Equal(live, replayed) {
+			t.Errorf("%s: prepared replay diverged from live generator run", scheme)
+		}
+	}
+}
+
+// TestPreparedSharedAcrossGoroutines runs the same prepared stream through
+// several schemes concurrently; every result must match its sequential twin.
+// Run under -race this also proves the stream is shared without writes.
+func TestPreparedSharedAcrossGoroutines(t *testing.T) {
+	prof, _ := workload.ByName("lbm")
+	prof.WorkingSetLines = 1 << 10
+	opts := Options{Requests: 5000, Warmup: 1000, Seed: 7}
+	opts.Prepared = Prepare(prof, opts)
+
+	schemes := []Scheme{
+		SchemeDeWrite, SchemeDirect, SchemeParallel, SchemeSecureNVM, SchemeShredder,
+	}
+	want := make([][]byte, len(schemes))
+	for i, scheme := range schemes {
+		want[i] = reportJSON(t, scheme, prof, opts)
+	}
+
+	got := make([][]byte, len(schemes))
+	var wg sync.WaitGroup
+	for i, scheme := range schemes {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = reportJSON(t, scheme, prof, opts)
+		}()
+	}
+	wg.Wait()
+
+	for i, scheme := range schemes {
+		if !bytes.Equal(want[i], got[i]) {
+			t.Errorf("%s: concurrent run over the shared stream diverged", scheme)
+		}
+	}
+}

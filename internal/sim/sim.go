@@ -27,6 +27,13 @@ type Memory interface {
 	Read(now units.Time, logical uint64) ([]byte, units.Time)
 }
 
+// readerInto is implemented by schemes whose read path can decrypt into a
+// caller-provided buffer (core.Controller, baseline.SecureNVM,
+// baseline.Shredder), keeping the simulation loop allocation-free.
+type readerInto interface {
+	ReadInto(now units.Time, logical uint64, dst []byte) units.Time
+}
+
 // deviceHolder is implemented by schemes that expose their NVM device.
 type deviceHolder interface {
 	Device() *nvm.Device
@@ -146,6 +153,52 @@ type Options struct {
 	// SampleEvery is the request period of the counter time series; 0 picks
 	// Requests/256 (at least 1). Ignored without a Tracer.
 	SampleEvery int
+	// Prepared, when non-nil, replays a pre-generated request stream instead
+	// of running a generator: the run consumes Prepared.Requests verbatim and
+	// takes its generator ground truth from the prepared snapshots. It must
+	// have been built by Prepare with the same Requests, Warmup and profile;
+	// Seed is ignored. Several runs (one per scheme) may share one Prepared
+	// concurrently — the stream is immutable.
+	Prepared *Prepared
+}
+
+// Prepared is one application's request stream materialized once so every
+// scheme can replay the identical sequence without regenerating (and
+// re-allocating) it. The stream and its payloads are immutable after Prepare
+// returns and safe for concurrent replay.
+type Prepared struct {
+	App      string
+	Requests []trace.Request
+	Warmup   int
+	GenWarm  workload.Stats // generator counters at the warmup boundary
+	GenFinal workload.Stats // generator counters after the full stream
+}
+
+// Prepare materializes opts.Requests generator requests for the profile,
+// snapshotting the ground-truth counters exactly where Run would read them
+// (at the warmup boundary and at the end), so a replayed run's Result is
+// byte-identical to a generator-driven one.
+func Prepare(prof workload.Profile, opts Options) *Prepared {
+	if opts.Requests <= 0 {
+		panic("sim: non-positive request count")
+	}
+	if opts.Warmup < 0 || opts.Warmup >= opts.Requests {
+		panic("sim: warmup must be in [0, Requests)")
+	}
+	gen := workload.NewGenerator(prof, opts.Seed)
+	p := &Prepared{
+		App:      prof.Name,
+		Warmup:   opts.Warmup,
+		Requests: make([]trace.Request, opts.Requests),
+	}
+	for i := range p.Requests {
+		if i == opts.Warmup {
+			p.GenWarm = gen.Stats()
+		}
+		p.Requests[i] = gen.Next()
+	}
+	p.GenFinal = gen.Stats()
+	return p
 }
 
 // samplePeriod resolves the counter-sampling period for a run of n requests.
@@ -200,7 +253,21 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 	if opts.Warmup < 0 || opts.Warmup >= opts.Requests {
 		panic("sim: warmup must be in [0, Requests)")
 	}
-	gen := workload.NewGenerator(prof, opts.Seed)
+	prep := opts.Prepared
+	var gen *workload.Generator
+	if prep != nil {
+		if len(prep.Requests) != opts.Requests {
+			panic("sim: prepared stream length does not match Requests")
+		}
+		if prep.Warmup != opts.Warmup {
+			panic("sim: prepared warmup does not match Warmup")
+		}
+	} else {
+		gen = workload.NewGenerator(prof, opts.Seed)
+		// Without a hierarchy no payload outlives its request, so the
+		// generator can recycle displaced line buffers.
+		gen.SetRecycle(opts.Hierarchy == nil)
+	}
 	machine := cpu.NewMachine(prof.Threads)
 
 	trc := opts.Tracer
@@ -222,17 +289,38 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 	var lastDone units.Time
 	shadow := map[uint64][]byte{} // line contents for hierarchy write-backs
 
+	// Read plaintext is discarded by the harness; decrypt into one reusable
+	// buffer when the scheme supports it.
+	ri, _ := mem.(readerInto)
+	var readBuf [config.LineSize]byte
+	read := func(issue units.Time, addr uint64) units.Time {
+		if ri != nil {
+			return ri.ReadInto(issue, addr, readBuf[:])
+		}
+		_, done := mem.Read(issue, addr)
+		return done
+	}
+
 	for i := 0; i < opts.Requests; i++ {
 		if i == opts.Warmup {
 			instr0 = machine.Instructions()
 			cycles0 = machine.Cycles()
-			gen0 = gen.Stats()
+			if prep != nil {
+				gen0 = prep.GenWarm
+			} else {
+				gen0 = gen.Stats()
+			}
 			if dev := DeviceOf(mem); dev != nil {
 				dev0 = dev.Stats()
 			}
 		}
 		measuring := i >= opts.Warmup
-		req := gen.Next()
+		var req trace.Request
+		if prep != nil {
+			req = prep.Requests[i]
+		} else {
+			req = gen.Next()
+		}
 		th := req.Thread
 		machine.Execute(th, req.Gap)
 		if measuring {
@@ -258,7 +346,7 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 				}
 			} else {
 				issue := machine.IssueRead(th)
-				_, done := mem.Read(issue, req.Addr)
+				done := read(issue, req.Addr)
 				machine.RetireRead(th, done)
 				trc.Span(telemetry.CatRead, telemetry.TrackRequestBase+int32(th), "", issue, done, req.Addr)
 				if done > lastDone {
@@ -284,7 +372,7 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 		machine.Delay(th, acc.Latency)
 		if acc.MemFill {
 			issue := machine.Now(th)
-			_, done := mem.Read(issue, req.Addr)
+			done := read(issue, req.Addr)
 			machine.CompleteRead(th, done)
 			trc.Span(telemetry.CatRead, telemetry.TrackRequestBase+int32(th), "", issue, done, req.Addr)
 			if done > lastDone {
@@ -298,7 +386,7 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 		for _, wb := range acc.Writebacks {
 			data := shadow[wb]
 			if data == nil {
-				data = make([]byte, config.LineSize)
+				data = zeroLine[:]
 			}
 			issue := machine.IssueWrite(th)
 			done := mem.Write(issue, wb, data)
@@ -317,7 +405,11 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 		}
 	}
 
-	res.Gen = genDelta(gen.Stats(), gen0)
+	if prep != nil {
+		res.Gen = genDelta(prep.GenFinal, gen0)
+	} else {
+		res.Gen = genDelta(gen.Stats(), gen0)
+	}
 	res.Instructions = machine.Instructions() - instr0
 	res.Cycles = machine.Cycles() - cycles0
 	if res.Cycles > 0 {
@@ -341,6 +433,10 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 	}
 	return res
 }
+
+// zeroLine is the all-zero payload used for clean-miss write-backs; schemes
+// never mutate request payloads, so one shared line suffices.
+var zeroLine [config.LineSize]byte
 
 // genDelta subtracts the warmup baseline from the generator counters.
 func genDelta(a, b workload.Stats) workload.Stats {

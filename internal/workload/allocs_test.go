@@ -1,0 +1,23 @@
+package workload
+
+import "testing"
+
+// TestNextAllocationsRecycled pins the generator's steady-state allocation
+// rate in recycle mode at zero: once the working set's shadow lines exist,
+// every new line buffer comes from the pool (fed by the buffers that later
+// requests displace), and the bookkeeping maps have reached their final size.
+func TestNextAllocationsRecycled(t *testing.T) {
+	prof, ok := ByName("mcf")
+	if !ok {
+		t.Fatal("mcf profile missing")
+	}
+	prof.WorkingSetLines = 512
+	gen := NewGenerator(prof, 42)
+	gen.SetRecycle(true)
+	for i := 0; i < 20000; i++ {
+		gen.Next()
+	}
+	if avg := testing.AllocsPerRun(5000, func() { gen.Next() }); avg != 0 {
+		t.Errorf("steady-state Next: %.3f allocs/op, want 0", avg)
+	}
+}

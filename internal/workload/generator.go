@@ -2,11 +2,21 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"dewrite/internal/config"
 	"dewrite/internal/rng"
 	"dewrite/internal/trace"
 )
+
+// lineBuf is one cache line of payload. Buffers circulate through linePool so
+// the steady-state write path allocates nothing.
+type lineBuf [config.LineSize]byte
+
+// linePool recycles line buffers across generators. A *lineBuf fits in an
+// interface word, so Get/Put never allocate; pooled buffers hold stale
+// contents and every code path must fully overwrite what it takes out.
+var linePool = sync.Pool{New: func() interface{} { return new(lineBuf) }}
 
 // Generator produces an endless memory-request stream matching a Profile.
 // It maintains a shadow memory of line contents so that a "duplicate" write
@@ -16,9 +26,10 @@ type Generator struct {
 	prof Profile
 	src  *rng.Source
 
-	shadow  map[uint64][]byte // live plaintext per written logical line
-	written []uint64          // write-ordered addresses (recency-weighted picks)
-	zeroRes uint64            // how many lines currently hold the zero line
+	shadow  map[uint64]*lineBuf // live plaintext per written logical line
+	written []uint64            // write-ordered addresses (recency-weighted picks)
+	zeroRes uint64              // how many lines currently hold the zero line
+	recycle bool                // return replaced shadow buffers to linePool
 
 	dupState bool
 	p11, p00 float64 // Markov stay probabilities for dup / non-dup states
@@ -48,7 +59,7 @@ func NewGenerator(p Profile, seed uint64) *Generator {
 	g := &Generator{
 		prof:   p,
 		src:    rng.New(seed),
-		shadow: make(map[uint64][]byte),
+		shadow: make(map[uint64]*lineBuf),
 	}
 	// Isolated glitches: single writes that deviate from the current
 	// duplication state without ending the run (e.g. one unique line in the
@@ -146,8 +157,25 @@ func clamp01(v float64) float64 {
 // Profile returns the generator's profile.
 func (g *Generator) Profile() Profile { return g.prof }
 
-// Next produces the next memory request. Write payloads are freshly
-// allocated and owned by the caller.
+// SetRecycle switches the generator into streaming mode: when a shadow line
+// is overwritten its old buffer goes back to the line pool for reuse, making
+// the steady-state write path allocation-free. Because a Request's Data
+// aliases the installed shadow buffer, recycling is only safe when every
+// request is fully consumed before the consumer needs its payload again —
+// with recycle on, a Request's Data is valid only until a later request
+// rewrites the same logical line. Consumers that retain payloads (trace
+// materialization, cache-hierarchy write-back shadowing) must leave it off.
+func (g *Generator) SetRecycle(on bool) { g.recycle = on }
+
+// newLine takes a buffer from the pool. Its contents are stale; every caller
+// fully overwrites it.
+func (g *Generator) newLine() *lineBuf {
+	return linePool.Get().(*lineBuf)
+}
+
+// Next produces the next memory request. A write payload aliases the line's
+// shadow buffer: callers must not mutate it, and in recycle mode (see
+// SetRecycle) it is only valid until the line is next rewritten.
 func (g *Generator) Next() trace.Request {
 	thread := int(g.seq % uint64(g.prof.Threads))
 	g.seq++
@@ -205,11 +233,12 @@ func (g *Generator) nextWrite(thread int, gap uint64) trace.Request {
 	wantDup := out && len(g.written) > 0
 
 	addr := g.pickTarget()
-	var data []byte
+	var data *lineBuf
 	resident := false
 	switch {
 	case wantDup && g.shouldWriteZero():
-		data = make([]byte, config.LineSize)
+		data = g.newLine()
+		clear(data[:])
 		// The zero line is a duplicate only once some line already holds it.
 		resident = g.zeroRes > 0
 	case wantDup && g.canSilentStore(addr) && g.src.Bool(0.5):
@@ -217,7 +246,8 @@ func (g *Generator) nextWrite(thread int, gap uint64) trace.Request {
 		// (programs frequently store unchanged values). Still a duplicate —
 		// the content is resident at the target itself — and the case that
 		// keeps DEUCE's modified-word count low on duplicate traffic.
-		data = append([]byte(nil), g.shadow[addr]...)
+		data = g.newLine()
+		*data = *g.shadow[addr]
 		resident = true
 	case wantDup:
 		// Copying a live line's content makes this write a duplicate by
@@ -228,13 +258,14 @@ func (g *Generator) nextWrite(thread int, gap uint64) trace.Request {
 		// calibrated (otherwise zero content snowballs through copies); if
 		// everything sampled is zero, the write degrades to unique content.
 		src := g.pickWritten(0.4)
-		for retry := 0; retry < 8 && isZero(g.shadow[src]); retry++ {
+		for retry := 0; retry < 8 && isZero(g.shadow[src][:]); retry++ {
 			src = g.pickWritten(0.4)
 		}
-		if isZero(g.shadow[src]) {
+		if isZero(g.shadow[src][:]) {
 			data = g.freshContent(addr)
 		} else {
-			data = append([]byte(nil), g.shadow[src]...)
+			data = g.newLine()
+			*data = *g.shadow[src]
 			resident = true
 		}
 	default:
@@ -246,7 +277,7 @@ func (g *Generator) nextWrite(thread int, gap uint64) trace.Request {
 	if resident {
 		g.dups++
 	}
-	if isZero(data) {
+	if isZero(data[:]) {
 		g.zeroWrites++
 	}
 	g.installShadow(addr, data)
@@ -255,7 +286,7 @@ func (g *Generator) nextWrite(thread int, gap uint64) trace.Request {
 	return trace.Request{
 		Op:     trace.Write,
 		Addr:   addr,
-		Data:   append([]byte(nil), data...),
+		Data:   data[:],
 		Thread: thread,
 		Gap:    gap,
 	}
@@ -266,7 +297,7 @@ func (g *Generator) nextWrite(thread int, gap uint64) trace.Request {
 // the zero fraction stays calibrated).
 func (g *Generator) canSilentStore(addr uint64) bool {
 	old := g.shadow[addr]
-	return old != nil && !isZero(old)
+	return old != nil && !isZero(old[:])
 }
 
 // shouldWriteZero decides whether a duplicate write should be the zero line,
@@ -315,14 +346,14 @@ func (g *Generator) pickWritten(theta float64) uint64 {
 // line's previous content when one exists (modifying RewriteWords 16-bit
 // words — the sparse-update pattern DEUCE exploits), or a fully random line
 // on first touch.
-func (g *Generator) freshContent(addr uint64) []byte {
+func (g *Generator) freshContent(addr uint64) *lineBuf {
 	old := g.shadow[addr]
-	data := make([]byte, config.LineSize)
+	data := g.newLine()
 	if old == nil || g.prof.RewriteWords >= config.LineSize/2 {
-		g.src.Fill(data)
+		g.src.Fill(data[:])
 		return data
 	}
-	copy(data, old)
+	*data = *old
 	words := g.prof.RewriteWords
 	if words < 1 {
 		words = 1
@@ -334,36 +365,34 @@ func (g *Generator) freshContent(addr uint64) []byte {
 		data[2*w+1] = byte(v >> 8)
 	}
 	// Guarantee the content actually changed.
-	if equalLine(data, old) {
+	if *data == *old {
 		data[0] ^= 0x01
 	}
 	return data
 }
 
-func (g *Generator) installShadow(addr uint64, data []byte) {
-	if old := g.shadow[addr]; old != nil && isZero(old) {
+// installShadow makes data the live content of addr. The buffer is shared
+// with the Request returned to the caller; in recycle mode the displaced
+// buffer (whose owning request has necessarily been consumed already) goes
+// back to the pool.
+func (g *Generator) installShadow(addr uint64, data *lineBuf) {
+	old := g.shadow[addr]
+	if old != nil && isZero(old[:]) {
 		g.zeroRes--
 	}
-	stored := append([]byte(nil), data...)
-	g.shadow[addr] = stored
-	if isZero(stored) {
+	g.shadow[addr] = data
+	if isZero(data[:]) {
 		g.zeroRes++
 	}
 	g.written = append(g.written, addr)
+	if g.recycle && old != nil {
+		linePool.Put(old)
+	}
 }
 
 func isZero(data []byte) bool {
 	for _, b := range data {
 		if b != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-func equalLine(a, b []byte) bool {
-	for i := range a {
-		if a[i] != b[i] {
 			return false
 		}
 	}
