@@ -1,0 +1,253 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func load(t *testing.T, name string) []byte {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+var defaultOpts = diffOptions{Threshold: 0.05, TimeThreshold: 0.50}
+
+// TestRunRegressionDetected is the acceptance-criteria check: an injected 10%
+// write-latency regression in a fixture pair must be flagged.
+func TestRunRegressionDetected(t *testing.T) {
+	base := load(t, "run-baseline.json")
+	regressed := load(t, "run-regressed.json")
+
+	findings, compared, err := diff(base, regressed, defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared == 0 {
+		t.Fatal("no metrics compared")
+	}
+	regressions := 0
+	sawWriteLat := false
+	for _, f := range findings {
+		if !f.Regression {
+			t.Errorf("unexpected non-regression finding: %s", f)
+		}
+		regressions++
+		if strings.HasPrefix(f.Metric, "write_latency.") {
+			sawWriteLat = true
+			if f.Delta < 0.09 || f.Delta > 0.11 {
+				t.Errorf("%s: delta %.3f, want ~0.10", f.Metric, f.Delta)
+			}
+		}
+	}
+	if !sawWriteLat {
+		t.Fatalf("10%% write-latency regression not flagged; findings: %v", findings)
+	}
+	// All five write-latency quantile metrics moved by 10%; nothing else did.
+	if regressions != 5 {
+		t.Errorf("got %d regression(s), want 5: %v", regressions, findings)
+	}
+}
+
+func TestRunIdenticalPairClean(t *testing.T) {
+	base := load(t, "run-baseline.json")
+	findings, compared, err := diff(base, base, defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("identical pair produced findings: %v", findings)
+	}
+	if compared < 10 {
+		t.Fatalf("compared only %d metrics", compared)
+	}
+}
+
+// TestRunImprovementNotRegression: a latency drop crosses the threshold but
+// is reported as a change, not a regression.
+func TestRunImprovementNotRegression(t *testing.T) {
+	base := load(t, "run-baseline.json")
+	regressed := load(t, "run-regressed.json")
+
+	// Swapped order: the "new" file is 10% faster.
+	findings, _, err := diff(regressed, base, defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Regression {
+			t.Errorf("improvement flagged as regression: %s", f)
+		}
+	}
+	if len(findings) == 0 {
+		t.Fatal("improvement beyond threshold should still be reported")
+	}
+}
+
+func TestRunV1SchemaAccepted(t *testing.T) {
+	base := load(t, "run-baseline.json")
+	v1 := []byte(strings.Replace(string(base), "dewrite/run/v2", "dewrite/run/v1", 1))
+	if _, _, err := diff(v1, base, defaultOpts); err != nil {
+		t.Fatalf("v1-vs-v2 run pair should compare: %v", err)
+	}
+}
+
+func TestMixedKindsRejected(t *testing.T) {
+	run := load(t, "run-baseline.json")
+	bench := []byte(`{"schema":"dewrite/bench/v1","experiments":[]}`)
+	if _, _, err := diff(run, bench, defaultOpts); err == nil {
+		t.Fatal("mixed kinds should be an error")
+	}
+	if _, _, err := diff([]byte(`{}`), run, defaultOpts); err == nil {
+		t.Fatal("missing schema should be an error")
+	}
+}
+
+const benchBase = `{
+  "schema": "dewrite/bench/v1",
+  "quick": true, "requests": 20000, "warmup": 2000, "seed": 42,
+  "perf": {"workers": 4, "wall_ms": 1000, "mallocs": 50000, "allocs_per_request": 0.04},
+  "experiments": [{
+    "id": "fig14", "wall_ms": 400,
+    "tables": [{
+      "title": "Write latency",
+      "columns": ["app", "DeWrite ns", "SecureNVM ns", "sw ns/line (this host)"],
+      "rows": [["mcf", "321ns", "480ns", "55.1"],
+               ["gcc", "300ns", "450ns", "54.2"]]
+    }]
+  }]
+}`
+
+func TestBenchTableCellRegression(t *testing.T) {
+	// A deterministic table cell drifts 10%: flagged at the tight threshold.
+	cur := strings.Replace(benchBase, `"321ns"`, `"353ns"`, 1)
+	findings, compared, err := diff([]byte(benchBase), []byte(cur), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared == 0 {
+		t.Fatal("no metrics compared")
+	}
+	if len(findings) != 1 || !findings[0].Regression {
+		t.Fatalf("findings = %v, want one regression", findings)
+	}
+	if !strings.Contains(findings[0].Metric, "mcf") || !strings.Contains(findings[0].Metric, "DeWrite ns") {
+		t.Fatalf("finding names wrong cell: %s", findings[0].Metric)
+	}
+}
+
+func TestBenchHostColumnsSkipped(t *testing.T) {
+	// Host-dependent column drifts wildly: ignored by default, compared
+	// with -include-host.
+	cur := strings.Replace(benchBase, `"55.1"`, `"99.9"`, 1)
+	findings, _, err := diff([]byte(benchBase), []byte(cur), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("host column compared by default: %v", findings)
+	}
+	withHost := defaultOpts
+	withHost.IncludeHost = true
+	findings, _, err = diff([]byte(benchBase), []byte(cur), withHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("-include-host should flag the drift: %v", findings)
+	}
+}
+
+func TestBenchWallClockUsesLooseThreshold(t *testing.T) {
+	// +30% wall clock: within the 50% noise allowance.
+	cur := strings.Replace(benchBase, `"wall_ms": 1000`, `"wall_ms": 1300`, 1)
+	findings, _, err := diff([]byte(benchBase), []byte(cur), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("30%% wall-clock drift should pass: %v", findings)
+	}
+	// +80% is beyond it.
+	cur = strings.Replace(benchBase, `"wall_ms": 1000`, `"wall_ms": 1800`, 1)
+	findings, _, err = diff([]byte(benchBase), []byte(cur), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Metric != "perf.wall_ms" {
+		t.Fatalf("80%% wall-clock drift should be flagged: %v", findings)
+	}
+}
+
+func TestBenchConfigMismatchNoted(t *testing.T) {
+	cur := strings.Replace(benchBase, `"seed": 42`, `"seed": 43`, 1)
+	findings, _, err := diff([]byte(benchBase), []byte(cur), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range findings {
+		if f.Metric == "config" && f.Regression {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("seed mismatch should be surfaced: %v", findings)
+	}
+}
+
+// TestBenchRepeatedRowLabels: ablation tables repeat the app label across a
+// parameter sweep; the n-th "mcf" row must pair with the n-th "mcf" row, so a
+// self-compare stays clean and a drift in one sweep point is attributed once.
+func TestBenchRepeatedRowLabels(t *testing.T) {
+	sweep := `{
+	  "schema": "dewrite/bench/v1", "quick": true, "requests": 1, "warmup": 0, "seed": 1,
+	  "experiments": [{"id": "abl", "wall_ms": 1, "tables": [{
+	    "title": "sweep", "columns": ["app", "bits", "rate"],
+	    "rows": [["mcf", "8", "0.50"], ["mcf", "16", "0.70"], ["mcf", "32", "0.80"]]
+	  }]}]
+	}`
+	findings, _, err := diff([]byte(sweep), []byte(sweep), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("self-compare with repeated labels produced findings: %v", findings)
+	}
+	cur := strings.Replace(sweep, `"0.70"`, `"0.90"`, 1)
+	findings, _, err = diff([]byte(sweep), []byte(cur), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].Metric, "rate") {
+		t.Fatalf("middle sweep row drift should yield one finding: %v", findings)
+	}
+}
+
+func TestCellValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		num  bool
+	}{
+		{"321ns", 321, true},
+		{"54.2", 54.2, true},
+		{"12.5%", 12.5, true},
+		{"1.2e3", 1200, true},
+		{"-0.5", -0.5, true},
+		{"mcf", 0, false},
+		{"", 0, false},
+		{"3 reads out of 10", 0, false},
+	}
+	for _, c := range cases {
+		got, num := cellValue(c.in)
+		if num != c.num || (num && got != c.want) {
+			t.Errorf("cellValue(%q) = %v,%v want %v,%v", c.in, got, num, c.want, c.num)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //	dedupscan file1 [file2 ...]
 //	cat data | dedupscan -
 //	dedupscan -json file1          # one JSON array of per-input results
+//	dedupscan -epoch 4096 file1    # also report the per-epoch dup ratio
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 
 	"dewrite/internal/config"
 	"dewrite/internal/hashes"
+	"dewrite/internal/timeline"
+	"dewrite/internal/units"
 )
 
 // scanResult aggregates one input's line statistics.
@@ -34,12 +37,27 @@ type scanResult struct {
 	UniqueLines  uint64 `json:"unique_lines"` // distinct contents
 	DistinctFPs  uint64 `json:"distinct_fps"` // distinct fingerprints
 	BytesScanned uint64 `json:"bytes_scanned"`
+
+	// Timeline is the per-epoch dup/zero-ratio series, present under -epoch.
+	// Epoch "time" is the line index, so end_ps reads as lines scanned.
+	Timeline *timeline.Report `json:"timeline,omitempty"`
 }
 
 // scan reads r to EOF, accumulating line statistics. The final partial line,
-// if any, is zero-padded to line size (as a memory image would be).
-func scan(r io.Reader) (scanResult, error) {
+// if any, is zero-padded to line size (as a memory image would be). A
+// positive every closes one timeline epoch per that many lines.
+func scan(r io.Reader, every uint64) (scanResult, error) {
 	var res scanResult
+	var tl *timeline.Collector
+	var src timeline.Sampler
+	if every > 0 {
+		tl = timeline.NewByRequests(every, 0)
+		src = timeline.SamplerFunc(func(e *timeline.Epoch, _ units.Time) {
+			e.Writes = res.Lines
+			e.DupEliminated = res.Duplicates
+			e.ZeroWrites = res.ZeroLines
+		})
+	}
 	seen := make(map[string]bool)    // exact contents
 	fps := make(map[uint32][]string) // fingerprint → distinct contents carrying it
 	line := make([]byte, config.LineSize)
@@ -87,10 +105,13 @@ func scan(r io.Reader) (scanResult, error) {
 			fps[fp] = []string{key}
 			res.DistinctFPs++
 		}
+		tl.Tick(units.Time(res.Lines), res.Lines, src)
 		if err == io.ErrUnexpectedEOF {
 			break
 		}
 	}
+	tl.Finish(units.Time(res.Lines), res.Lines, src)
+	res.Timeline = tl.Report()
 	return res, nil
 }
 
@@ -123,6 +144,13 @@ func reportBody(r scanResult) {
 	fmt.Printf("  unique contents   %8d\n", r.UniqueLines)
 	fmt.Printf("  CRC-32 collisions %8d  (%.4f%% of fingerprint matches)\n",
 		r.Collisions, pct(r.Collisions, max64(r.FPMatches, 1)))
+	if r.Timeline != nil && len(r.Timeline.Epochs) > 0 {
+		fmt.Printf("  per-epoch dup%% (every %d lines):", r.Timeline.Every)
+		for _, e := range r.Timeline.Epochs {
+			fmt.Printf(" %.1f", e.DupRatio*100)
+		}
+		fmt.Println()
+	}
 }
 
 func max64(a, b uint64) uint64 {
@@ -134,10 +162,11 @@ func max64(a, b uint64) uint64 {
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON array of per-input results on stdout")
+	epoch := flag.Uint64("epoch", 0, "also report the dup ratio per this many lines (0 disables)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: dedupscan [-json] <file>... | dedupscan -")
+		fmt.Fprintln(os.Stderr, "usage: dedupscan [-json] [-epoch N] <file>... | dedupscan -")
 		os.Exit(2)
 	}
 	var results []scanResult
@@ -156,7 +185,7 @@ func main() {
 			defer f.Close()
 			r = f
 		}
-		res, err := scan(r)
+		res, err := scan(r, *epoch)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dedupscan: %s: %v\n", name, err)
 			os.Exit(1)

@@ -16,7 +16,7 @@ func TestScanCountsDuplicates(t *testing.T) {
 	for _, l := range [][]byte{a, b, a, a, zero, zero, b} {
 		in.Write(l)
 	}
-	res, err := scan(&in)
+	res, err := scan(&in, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestScanCountsDuplicates(t *testing.T) {
 func TestScanPadsTrailingPartialLine(t *testing.T) {
 	// A lone partial line padded with zeros is NOT the zero line unless its
 	// content was zero.
-	res, err := scan(strings.NewReader("abc"))
+	res, err := scan(strings.NewReader("abc"), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestScanPadsTrailingPartialLine(t *testing.T) {
 		t.Fatalf("partial line handling: %+v", res)
 	}
 	// All-zero partial input pads to the zero line.
-	res, err = scan(bytes.NewReader(make([]byte, 10)))
+	res, err = scan(bytes.NewReader(make([]byte, 10)), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,12 +59,57 @@ func TestScanPadsTrailingPartialLine(t *testing.T) {
 }
 
 func TestScanEmptyInput(t *testing.T) {
-	res, err := scan(strings.NewReader(""))
+	res, err := scan(strings.NewReader(""), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Lines != 0 {
 		t.Fatalf("Lines = %d", res.Lines)
+	}
+}
+
+// TestScanEpochTimeline: -epoch slices the stream into fixed line-count
+// epochs whose dup ratios reflect each slice, not the whole file.
+func TestScanEpochTimeline(t *testing.T) {
+	a := bytes.Repeat([]byte{0xaa}, config.LineSize)
+	var in bytes.Buffer
+	// First 4 lines: a, then 3 dups of a (epoch dup ratio 3/4 after the
+	// opener). Next 4 lines: four distinct contents (epoch dup ratio 0).
+	for i := 0; i < 4; i++ {
+		in.Write(a)
+	}
+	for i := 0; i < 4; i++ {
+		u := make([]byte, config.LineSize)
+		u[0] = byte(i + 1)
+		in.Write(u)
+	}
+	res, err := scan(&in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline == nil || len(res.Timeline.Epochs) != 2 {
+		t.Fatalf("timeline = %+v, want 2 epochs", res.Timeline)
+	}
+	e0, e1 := res.Timeline.Epochs[0], res.Timeline.Epochs[1]
+	if e0.DupRatio != 0.75 {
+		t.Errorf("epoch 0 dup ratio = %v, want 0.75", e0.DupRatio)
+	}
+	if e1.DupRatio != 0 {
+		t.Errorf("epoch 1 dup ratio = %v, want 0", e1.DupRatio)
+	}
+	if e1.EndPs != 8 {
+		t.Errorf("epoch 1 end = %v, want line index 8", e1.EndPs)
+	}
+
+	// Without -epoch the field stays absent.
+	in.Reset()
+	in.Write(a)
+	res, err = scan(&in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline != nil {
+		t.Fatalf("timeline without -epoch: %+v", res.Timeline)
 	}
 }
 
@@ -87,7 +132,7 @@ func TestScanLargeRepetitiveInput(t *testing.T) {
 			in.Write(pool[i%4])
 		}
 	}
-	res, err := scan(&in)
+	res, err := scan(&in, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"dewrite/internal/experiments"
+	"dewrite/internal/monitor"
 	"dewrite/internal/stats"
 	"dewrite/internal/telemetry"
 )
@@ -108,6 +109,7 @@ func main() {
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address")
 		parallel = flag.Int("parallel", 0, "worker goroutines (<1 = GOMAXPROCS); output is identical at any count")
 		speedup  = flag.Bool("speedup", false, "also run a sequential pass and record the parallel speedup")
+		monAddr  = flag.String("monitor", "", "serve live gauges (/metrics, /healthz, /debug/vars) on this address (e.g. :8080)")
 	)
 	flag.Parse()
 	if *jsonOut {
@@ -150,6 +152,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "dewrite-bench: pprof at http://%s/debug/pprof/\n", addr)
+	}
+
+	if *monAddr != "" {
+		reg := monitor.NewRegistry()
+		msrv, err := monitor.Serve(*monAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-bench: monitor: %v\n", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		prev := experiments.SetProgress(reg.Progress())
+		defer experiments.SetProgress(prev)
+		fmt.Fprintf(os.Stderr, "dewrite-bench: monitor at http://%s/metrics\n", msrv.Addr())
 	}
 
 	workers := experiments.Workers(*parallel)

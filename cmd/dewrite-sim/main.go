@@ -24,8 +24,10 @@ import (
 	"dewrite/internal/config"
 	"dewrite/internal/core"
 	"dewrite/internal/experiments"
+	"dewrite/internal/monitor"
 	"dewrite/internal/sim"
 	"dewrite/internal/telemetry"
+	"dewrite/internal/timeline"
 	"dewrite/internal/workload"
 )
 
@@ -115,6 +117,11 @@ func main() {
 		metricsCSV = flag.String("metrics", "", "write the counter time series as CSV")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
 
+		epochEvery  = flag.Uint64("epoch", 0, "timeline epoch size in requests (0 = requests/64)")
+		timelineCSV = flag.String("timeline-csv", "", "write the epoch time series as CSV (single run)")
+		heatmapOut  = flag.String("heatmap", "", "write the per-bank wear heatmap as CSV (single run)")
+		monitorAddr = flag.String("monitor", "", "serve live gauges (/metrics, /healthz, /debug/vars) on this address (e.g. :8080)")
+
 		// Custom-profile overrides: set -app custom (or override a named
 		// profile's fields individually).
 		dupRatio  = flag.Float64("dup", -1, "override duplicate-write ratio [0,1]")
@@ -169,8 +176,8 @@ func main() {
 		}
 	}
 	single := len(jobs) == 1
-	if !single && (*traceOut != "" || *metricsCSV != "") {
-		fmt.Fprintf(os.Stderr, "dewrite-sim: -trace/-metrics need a single (app, scheme) run\n")
+	if !single && (*traceOut != "" || *metricsCSV != "" || *timelineCSV != "" || *heatmapOut != "") {
+		fmt.Fprintf(os.Stderr, "dewrite-sim: -trace/-metrics/-timeline-csv/-heatmap need a single (app, scheme) run\n")
 		os.Exit(2)
 	}
 
@@ -192,16 +199,44 @@ func main() {
 		tracer = telemetry.New(telemetry.DefaultMaxEvents)
 	}
 
-	// Every job is hermetic (own memory, own seeded stream), so the grid fans
-	// out across workers while results land in canonical-order slots.
+	var reg *monitor.Registry
+	if *monitorAddr != "" {
+		reg = monitor.NewRegistry()
+		msrv, err := monitor.Serve(*monitorAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-sim: monitor: %v\n", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		prev := experiments.SetProgress(reg.Progress())
+		defer experiments.SetProgress(prev)
+		fmt.Fprintf(os.Stderr, "dewrite-sim: monitor at http://%s/metrics\n", msrv.Addr())
+	}
+
+	every := *epochEvery
+	if every == 0 {
+		every = uint64(*requests) / 64
+		if every == 0 {
+			every = 1
+		}
+	}
+
+	// Every job is hermetic (own memory, own seeded stream, own timeline
+	// collector), so the grid fans out across workers while results land in
+	// canonical-order slots.
 	mems := make([]sim.Memory, len(jobs))
 	results := make([]sim.Result, len(jobs))
 	experiments.ForEach(*parallel, len(jobs), func(i int) {
-		opts := sim.Options{Requests: *requests, Warmup: *warmup, Seed: *seed, Tracer: tracer}
+		j := jobs[i]
+		tl := timeline.NewByRequests(every, 0)
+		if reg != nil {
+			prefix := j.prof.Name + "/" + j.sch.String()
+			tl.OnEpoch = func(e *timeline.Epoch) { reg.PublishEpoch(prefix, e) }
+		}
+		opts := sim.Options{Requests: *requests, Warmup: *warmup, Seed: *seed, Tracer: tracer, Timeline: tl}
 		if *hierarchy {
 			opts.Hierarchy = cache.NewHierarchy(cfg.Hierarchy)
 		}
-		j := jobs[i]
 		mems[i] = sim.NewMemory(j.sch, j.prof.WorkingSetLines, cfg)
 		results[i] = sim.Run(j.prof.Name, j.sch.String(), mems[i], j.prof, opts)
 	})
@@ -216,6 +251,18 @@ func main() {
 	if *metricsCSV != "" {
 		if err := writeFileWith(*metricsCSV, tracer.WriteMetricsCSV); err != nil {
 			fmt.Fprintf(os.Stderr, "dewrite-sim: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *timelineCSV != "" {
+		if err := writeFileWith(*timelineCSV, results[0].Timeline.WriteCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-sim: timeline: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *heatmapOut != "" {
+		if err := writeFileWith(*heatmapOut, results[0].Timeline.WriteWearHeatmapCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-sim: heatmap: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -252,6 +299,11 @@ func printText(res sim.Result, prof workload.Profile, mem sim.Memory) {
 		res.Device.Reads, res.Device.RowHits, res.Device.Writes)
 	fmt.Printf("energy        %.1f uJ\n", res.EnergyPJ/1e6)
 	fmt.Printf("bit flips     %.1f%% of written cells\n", pct(res.Device.BitsFlipped, res.Device.BitsWritten))
+	if tl := res.Timeline; tl != nil && len(tl.Epochs) > 0 {
+		last := tl.Epochs[len(tl.Epochs)-1]
+		fmt.Printf("timeline      %d epochs (every %d %s): final max wear %d, Gini %.3f\n",
+			len(tl.Epochs), tl.Every, tl.EpochBy, last.WearMax, last.WearGini)
+	}
 
 	if ctrl, ok := mem.(*core.Controller); ok {
 		r := ctrl.Report()

@@ -20,6 +20,7 @@ import (
 	"dewrite/internal/nvm"
 	"dewrite/internal/stats"
 	"dewrite/internal/telemetry"
+	"dewrite/internal/timeline"
 	"dewrite/internal/units"
 )
 
@@ -113,6 +114,15 @@ func (s *SecureNVM) EmitSamples(trc *telemetry.Tracer, now units.Time) {
 		return
 	}
 	s.ctrCache.EmitSamples(trc, now)
+}
+
+// SampleEpoch implements timeline.Sampler: scheme write count, counter-cache
+// hit/miss totals, and device state with the wear distribution bounded to the
+// data region (the counter table wears separately).
+func (s *SecureNVM) SampleEpoch(e *timeline.Epoch, now units.Time) {
+	e.Writes = s.writes.Value()
+	s.ctrCache.SampleEpoch(e, now)
+	s.dev.SampleEpoch(e, now, s.dataLines)
 }
 
 // Device exposes the underlying device for statistics.

@@ -6,6 +6,7 @@ import (
 	"dewrite/internal/config"
 	"dewrite/internal/stats"
 	"dewrite/internal/telemetry"
+	"dewrite/internal/timeline"
 	"dewrite/internal/units"
 )
 
@@ -40,6 +41,15 @@ func (sh *Shredder) SetTracer(trc *telemetry.Tracer) { sh.inner.SetTracer(trc) }
 // EmitSamples records the wrapped baseline's counter series at now.
 func (sh *Shredder) EmitSamples(trc *telemetry.Tracer, now units.Time) {
 	sh.inner.EmitSamples(trc, now)
+}
+
+// SampleEpoch implements timeline.Sampler: the wrapper's own write and
+// zero-elimination counts over the inner SecureNVM's device/cache state.
+func (sh *Shredder) SampleEpoch(e *timeline.Epoch, now units.Time) {
+	sh.inner.SampleEpoch(e, now)
+	e.Writes = sh.writes.Value()
+	e.DupEliminated = sh.eliminated.Value()
+	e.ZeroWrites = sh.eliminated.Value()
 }
 
 // IsZeroLine reports whether every byte of data is zero.

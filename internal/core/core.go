@@ -38,6 +38,7 @@ import (
 	"dewrite/internal/integrity"
 	"dewrite/internal/metacache"
 	"dewrite/internal/nvm"
+	"dewrite/internal/timeline"
 	"dewrite/internal/predict"
 	"dewrite/internal/stats"
 	"dewrite/internal/telemetry"
@@ -355,6 +356,24 @@ func (c *Controller) EmitSamples(trc *telemetry.Tracer, now units.Time) {
 	for _, mc := range c.MetaCaches() {
 		mc.EmitSamples(trc, now)
 	}
+}
+
+// SampleEpoch implements timeline.Sampler: it fills one epoch with the
+// controller's cumulative scheme counters, all metadata-cache partitions, the
+// dedup-table gauges, and the device state. The wear distribution is bounded
+// to the data-line region so metadata writebacks don't skew the data-wear
+// curves the endurance comparison plots.
+func (c *Controller) SampleEpoch(e *timeline.Epoch, now units.Time) {
+	e.Writes = c.writes.Value()
+	e.DupEliminated = c.dupEliminated.Value()
+	for _, mc := range c.MetaCaches() {
+		mc.SampleEpoch(e, now)
+	}
+	if c.treeCache != nil {
+		c.treeCache.SampleEpoch(e, now)
+	}
+	c.tables.SampleEpoch(e, now)
+	c.dev.SampleEpoch(e, now, c.layout.DataLines)
 }
 
 // Device exposes the underlying NVM device for statistics.

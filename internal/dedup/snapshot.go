@@ -166,7 +166,7 @@ func ReadTables(r io.Reader) (*Tables, error) {
 		if logical >= lines || locAddr >= lines {
 			return nil, fmt.Errorf("dedup: snapshot mapping %#x->%#x out of range", logical, locAddr)
 		}
-		t.real[logical] = locAddr
+		t.setMapping(logical, locAddr)
 	}
 
 	nLoc, err := readU64()

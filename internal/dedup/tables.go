@@ -21,6 +21,8 @@ import (
 	"sync"
 
 	"dewrite/internal/stats"
+	"dewrite/internal/timeline"
+	"dewrite/internal/units"
 )
 
 // locPool recycles location records between PlaceUnique and release so the
@@ -41,6 +43,11 @@ type Tables struct {
 
 	freed     []uint64 // freed locations available for reuse (LIFO)
 	freshScan uint64   // cursor over never-allocated locations
+
+	// mappedAway counts logical lines whose data lives at a foreign
+	// location, maintained incrementally so per-epoch sampling does not
+	// rescan the mapping table.
+	mappedAway uint64
 
 	refHist    stats.Histogram
 	duplicates stats.Counter // writes eliminated as duplicates
@@ -186,10 +193,19 @@ func (t *Tables) MapDuplicate(logical, target uint64) (freed uint64, didFree boo
 	if didFree && freed == target {
 		panic(fmt.Sprintf("dedup: released target %#x of MapDuplicate", target))
 	}
-	t.real[logical] = target
+	t.setMapping(logical, target)
 	l.refs++
 	t.duplicates.Inc()
 	return freed, didFree
+}
+
+// setMapping points logical at loc, keeping the mapped-away census current.
+// The caller must have released any previous mapping first.
+func (t *Tables) setMapping(logical, loc uint64) {
+	t.real[logical] = loc
+	if logical != loc {
+		t.mappedAway++
+	}
 }
 
 // IsZeroLocation reports whether the live data at loc is flagged as the
@@ -233,7 +249,7 @@ func (t *Tables) PlaceUnique(logical uint64, hash uint32) (chosen uint64, freed 
 	*l = location{hash: hash, refs: 1}
 	t.loc[chosen] = l
 	t.hash[hash] = append(t.hash[hash], chosen)
-	t.real[logical] = chosen
+	t.setMapping(logical, chosen)
 	t.uniques.Inc()
 	return chosen, freed, didFree
 }
@@ -256,6 +272,9 @@ func (t *Tables) release(logical uint64) (freed uint64, didFree bool) {
 	}
 	l.refs--
 	delete(t.real, logical)
+	if locAddr != logical {
+		t.mappedAway--
+	}
 	if l.refs > 0 {
 		return 0, false
 	}
@@ -333,12 +352,6 @@ type Stats struct {
 
 // Snapshot returns the current counters.
 func (t *Tables) Snapshot() Stats {
-	var mapped uint64
-	for logical, loc := range t.real {
-		if logical != loc {
-			mapped++
-		}
-	}
 	return Stats{
 		Duplicates: t.duplicates.Value(),
 		SelfDups:   t.selfDups.Value(),
@@ -348,21 +361,36 @@ func (t *Tables) Snapshot() Stats {
 		Displaced:  t.displaced.Value(),
 		Frees:      t.frees.Value(),
 		LiveLines:  uint64(len(t.loc)),
-		MappedAway: mapped,
+		MappedAway: t.mappedAway,
 	}
+}
+
+// SampleEpoch fills the epoch's dedup-table gauges: live storage locations
+// and logical lines mapped away from their own slot. O(1), so per-epoch
+// sampling stays off the write path's cost profile.
+func (t *Tables) SampleEpoch(e *timeline.Epoch, _ units.Time) {
+	e.DedupLive = uint64(len(t.loc))
+	e.DedupMapped = t.mappedAway
 }
 
 // CheckInvariants validates the cross-table consistency rules and returns a
 // descriptive error on the first violation. Tests call it after random
 // operation sequences; it is O(lines + live) and not meant for inner loops.
 func (t *Tables) CheckInvariants() error {
-	// Census of mappings per location.
+	// Census of mappings per location, recounting the mapped-away gauge.
 	refCount := make(map[uint64]uint)
+	var mapped uint64
 	for logical, locAddr := range t.real {
 		if t.loc[locAddr] == nil {
 			return fmt.Errorf("logical %#x maps to free location %#x", logical, locAddr)
 		}
 		refCount[locAddr]++
+		if logical != locAddr {
+			mapped++
+		}
+	}
+	if mapped != t.mappedAway {
+		return fmt.Errorf("mappedAway=%d but recount finds %d", t.mappedAway, mapped)
 	}
 	// Reference counts match the mapping census.
 	for locAddr, l := range t.loc {

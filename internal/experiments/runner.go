@@ -3,6 +3,7 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dewrite/internal/stats"
@@ -34,6 +35,35 @@ func Workers(n int) int {
 	return n
 }
 
+// Progress observes the parallel engine for live monitoring: ForEach reports
+// every job start and completion. Implementations must be safe for
+// concurrent calls from worker goroutines and must be fast — they sit
+// between jobs, not inside them.
+type Progress interface {
+	JobStarted(index, total, workers int)
+	JobDone(index, total, workers int)
+}
+
+// progressFn holds the active Progress observer (nil = none). It is process-
+// global because ForEach call sites (experiments, CLI grids) don't thread a
+// context; the monitor endpoint installs one for the process lifetime.
+var progressFn atomic.Pointer[Progress]
+
+// SetProgress installs (or with nil clears) the engine's progress observer
+// and returns the previous one.
+func SetProgress(p Progress) Progress {
+	var prev *Progress
+	if p == nil {
+		prev = progressFn.Swap(nil)
+	} else {
+		prev = progressFn.Swap(&p)
+	}
+	if prev == nil {
+		return nil
+	}
+	return *prev
+}
+
 // ForEach runs job(i) for every i in [0, n) across min(workers, n)
 // goroutines, returning when all jobs are done. Jobs are handed out in index
 // order; job must be safe to call concurrently with itself.
@@ -42,9 +72,18 @@ func ForEach(workers, n int, job func(int)) {
 	if workers > n {
 		workers = n
 	}
+	run := job
+	if pp := progressFn.Load(); pp != nil {
+		p := *pp
+		run = func(i int) {
+			p.JobStarted(i, n, workers)
+			defer p.JobDone(i, n, workers)
+			job(i)
+		}
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			job(i)
+			run(i)
 		}
 		return
 	}
@@ -55,7 +94,7 @@ func ForEach(workers, n int, job func(int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				job(i)
+				run(i)
 			}
 		}()
 	}

@@ -1,0 +1,103 @@
+package memctrl
+
+import (
+	"sort"
+
+	"dewrite/internal/timeline"
+	"dewrite/internal/units"
+)
+
+// BuildTimeline reconstructs an epoch time-series from an open-loop run's
+// completions: at every epoch boundary it reports the instantaneous queue
+// depth (requests arrived but not yet done), the number of banks mid-service,
+// bank occupancy, and cumulative serviced read/write counts. The controller
+// is open-loop — the whole schedule is known after Simulate — so the timeline
+// is derived by sweeping the completion list rather than sampling live.
+func BuildTimeline(cs []Completion, cfg Config, every units.Duration, maxEpochs int) *timeline.Collector {
+	c := timeline.NewByTime(every, maxEpochs)
+	if len(cs) == 0 {
+		return c
+	}
+	rowLines := cfg.RowLines
+	if rowLines == 0 {
+		rowLines = 1
+	}
+
+	// Three sweep orders over the same completions: by arrival (queue
+	// entries), by done (queue exits and cumulative counts), by start
+	// (bank-busy tracking).
+	byArrive := make([]units.Time, len(cs))
+	type doneEv struct {
+		at    units.Time
+		write bool
+	}
+	byDone := make([]doneEv, len(cs))
+	type startEv struct {
+		at   units.Time
+		bank int
+		done units.Time
+	}
+	byStart := make([]startEv, len(cs))
+	var end units.Time
+	for i, comp := range cs {
+		byArrive[i] = comp.Arrive
+		byDone[i] = doneEv{comp.Done, comp.Op == Write}
+		bank := int((comp.Addr / rowLines) % uint64(cfg.Banks))
+		byStart[i] = startEv{comp.Start, bank, comp.Done}
+		if comp.Done > end {
+			end = comp.Done
+		}
+	}
+	sort.Slice(byArrive, func(i, j int) bool { return byArrive[i] < byArrive[j] })
+	sort.Slice(byDone, func(i, j int) bool { return byDone[i].at < byDone[j].at })
+	sort.Slice(byStart, func(i, j int) bool { return byStart[i].at < byStart[j].at })
+
+	var arrived, completed int
+	var reads, writes uint64
+	busyUntil := make([]units.Time, cfg.Banks)
+	si := 0
+	sample := timeline.SamplerFunc(func(e *timeline.Epoch, now units.Time) {
+		e.QueueDepth = arrived - completed
+		e.DevReads = reads
+		e.DevWrites = writes
+		e.NumBanks = cfg.Banks
+		busy := 0
+		for _, bu := range busyUntil {
+			if bu > now {
+				busy++
+			}
+		}
+		e.BanksBusy = busy
+	})
+
+	advance := func(t units.Time) {
+		for arrived < len(byArrive) && byArrive[arrived] <= t {
+			arrived++
+		}
+		for completed < len(byDone) && byDone[completed].at <= t {
+			if byDone[completed].write {
+				writes++
+			} else {
+				reads++
+			}
+			completed++
+		}
+		// A bank is busy at t when some request started at or before t is
+		// still in service; max Done over started requests captures that
+		// because each bank services serially.
+		for si < len(byStart) && byStart[si].at <= t {
+			if byStart[si].done > busyUntil[byStart[si].bank] {
+				busyUntil[byStart[si].bank] = byStart[si].done
+			}
+			si++
+		}
+	}
+
+	for t := units.Time(0).Add(every); t < end; t = t.Add(every) {
+		advance(t)
+		c.Tick(t, uint64(completed), sample)
+	}
+	advance(end)
+	c.Finish(end, uint64(completed), sample)
+	return c
+}

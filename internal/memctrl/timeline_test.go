@@ -1,0 +1,76 @@
+package memctrl
+
+import (
+	"testing"
+
+	"dewrite/internal/config"
+	"dewrite/internal/units"
+)
+
+// TestBuildTimeline reconstructs a hand-checkable schedule: a burst of four
+// writes to one bank arriving together, so the queue drains one service
+// latency at a time.
+func TestBuildTimeline(t *testing.T) {
+	cfg := Config{Banks: 2, RowLines: 1, Timing: config.DefaultTiming()}
+	wlat := cfg.Timing.NVMWrite
+	reqs := []Request{
+		{Arrive: 0, Op: Write, Addr: 0}, // bank 0
+		{Arrive: 0, Op: Write, Addr: 2}, // bank 0
+		{Arrive: 0, Op: Write, Addr: 4}, // bank 0
+		{Arrive: 0, Op: Write, Addr: 6}, // bank 0
+	}
+	cs := Simulate(reqs, cfg, FCFS)
+
+	// Epochs of one write latency: at the k-th boundary exactly k writes have
+	// completed and 4-k still queue.
+	c := BuildTimeline(cs, cfg, wlat, 0)
+	eps := c.Epochs()
+	if len(eps) != 4 {
+		t.Fatalf("epochs = %d, want 4", len(eps))
+	}
+	for k, e := range eps {
+		wantDone := uint64(k + 1)
+		if e.DevWrites != wantDone {
+			t.Errorf("epoch %d: DevWrites = %d, want %d", k, e.DevWrites, wantDone)
+		}
+		if want := int(4 - wantDone); e.QueueDepth != want {
+			t.Errorf("epoch %d: QueueDepth = %d, want %d", k, e.QueueDepth, want)
+		}
+		if e.NumBanks != 2 {
+			t.Errorf("epoch %d: NumBanks = %d", k, e.NumBanks)
+		}
+		// Bank 0 is busy until the last write completes; epoch boundaries
+		// coincide with completions, at which instant busyUntil == now.
+		wantBusy := 1
+		if k == len(eps)-1 {
+			wantBusy = 0
+		}
+		if e.BanksBusy != wantBusy {
+			t.Errorf("epoch %d: BanksBusy = %d, want %d", k, e.BanksBusy, wantBusy)
+		}
+	}
+
+	// Empty input yields an empty (but usable) collector.
+	if got := BuildTimeline(nil, cfg, wlat, 0).Len(); got != 0 {
+		t.Fatalf("empty run produced %d epochs", got)
+	}
+}
+
+// TestBuildTimelineCoarseEpochs checks a period larger than the whole run
+// still produces the final covering epoch via Finish.
+func TestBuildTimelineCoarseEpochs(t *testing.T) {
+	cfg := Config{Banks: 4, RowLines: 1, Timing: config.DefaultTiming()}
+	reqs := []Request{
+		{Arrive: 0, Op: Read, Addr: 1},
+		{Arrive: units.Time(10), Op: Write, Addr: 2},
+	}
+	cs := Simulate(reqs, cfg, FCFS)
+	c := BuildTimeline(cs, cfg, units.Duration(1)<<40, 0)
+	eps := c.Epochs()
+	if len(eps) != 1 {
+		t.Fatalf("epochs = %d, want 1 final epoch", len(eps))
+	}
+	if eps[0].DevReads != 1 || eps[0].DevWrites != 1 || eps[0].QueueDepth != 0 {
+		t.Fatalf("final epoch %+v", eps[0])
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"dewrite/internal/stats"
 	"dewrite/internal/telemetry"
+	"dewrite/internal/timeline"
 	"dewrite/internal/units"
 )
 
@@ -191,6 +192,14 @@ func (c *Cache) HitRate() float64 {
 // distinguishable in the trace. Nil-safe on trc.
 func (c *Cache) Trace(trc *telemetry.Tracer, start, end units.Time, block uint64) {
 	trc.Span(telemetry.CatMetadata, telemetry.TrackMetadata, c.name, start, end, block)
+}
+
+// SampleEpoch adds this partition's cumulative hit/miss counters into the
+// epoch's metadata totals — additive, so a controller with several partitions
+// sums them all into one epoch.
+func (c *Cache) SampleEpoch(e *timeline.Epoch, _ units.Time) {
+	e.MetaHits += c.hits.Value()
+	e.MetaMisses += c.misses.Value()
 }
 
 // EmitSamples records the partition's hit-rate counter series at now.

@@ -1,0 +1,219 @@
+// Package monitor serves a run's live state over HTTP while a simulation or
+// benchmark suite executes: named float gauges published three ways —
+// Prometheus text exposition at /metrics, the process expvar tree at
+// /debug/vars, and a load-balancer-style /healthz — plus a Progress adapter
+// feeding per-worker state from the parallel experiment engine.
+//
+// Gauges are atomic float64 cells, so simulation goroutines set them
+// wait-free; HTTP readers see whatever was last stored. The monitor is
+// observational only: nothing in the simulator reads a gauge back.
+package monitor
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dewrite/internal/experiments"
+	"dewrite/internal/timeline"
+)
+
+// Registry is a set of named gauges. The zero value is not usable; call
+// NewRegistry. Safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	gauges map[string]*uint64 // name → atomic float64 bits
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{gauges: make(map[string]*uint64)}
+}
+
+func (r *Registry) cell(name string) *uint64 {
+	r.mu.RLock()
+	c := r.gauges[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.gauges[name]; c == nil {
+		c = new(uint64)
+		r.gauges[name] = c
+	}
+	return c
+}
+
+// Set stores the gauge's current value.
+func (r *Registry) Set(name string, v float64) {
+	atomic.StoreUint64(r.cell(name), floatBits(v))
+}
+
+// Add atomically adds delta to the gauge.
+func (r *Registry) Add(name string, delta float64) {
+	c := r.cell(name)
+	for {
+		old := atomic.LoadUint64(c)
+		if atomic.CompareAndSwapUint64(c, old, floatBits(bitsFloat(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Get returns the gauge's current value (0 for an unknown name).
+func (r *Registry) Get(name string) float64 {
+	r.mu.RLock()
+	c := r.gauges[name]
+	r.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return bitsFloat(atomic.LoadUint64(c))
+}
+
+// Snapshot returns all gauges sorted by name.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64, len(r.gauges))
+	for name, c := range r.gauges {
+		out[name] = bitsFloat(atomic.LoadUint64(c))
+	}
+	return out
+}
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+// PublishEpoch mirrors a just-closed timeline epoch into prefixed gauges —
+// the glue between a per-run Collector's OnEpoch hook and the live endpoint.
+// Safe to call from any run goroutine; distinct runs use distinct prefixes.
+func (r *Registry) PublishEpoch(prefix string, e *timeline.Epoch) {
+	r.Set(prefix+".epoch", float64(e.Index))
+	r.Set(prefix+".requests", float64(e.Requests))
+	r.Set(prefix+".writes", float64(e.Writes))
+	r.Set(prefix+".dup_eliminated", float64(e.DupEliminated))
+	r.Set(prefix+".zero_writes", float64(e.ZeroWrites))
+	r.Set(prefix+".dev_writes", float64(e.DevWrites))
+	r.Set(prefix+".energy_pj", e.EnergyPJ)
+	r.Set(prefix+".banks_busy", float64(e.BanksBusy))
+	r.Set(prefix+".wear_max", float64(e.WearMax))
+	r.Set(prefix+".wear_gini", e.WearGini)
+}
+
+// Progress returns an engine observer that maintains the suite-level gauges
+// engine.jobs_total, engine.jobs_done, engine.jobs_active and engine.workers.
+// Install it with experiments.SetProgress.
+func (r *Registry) Progress() experiments.Progress {
+	return &progressGauges{reg: r}
+}
+
+type progressGauges struct {
+	reg  *Registry
+	done atomic.Int64
+}
+
+func (p *progressGauges) JobStarted(_, total, workers int) {
+	p.reg.Set("engine.jobs_total", float64(total))
+	p.reg.Set("engine.workers", float64(workers))
+	p.reg.Add("engine.jobs_active", 1)
+}
+
+func (p *progressGauges) JobDone(_, total, workers int) {
+	p.reg.Add("engine.jobs_active", -1)
+	p.reg.Set("engine.jobs_done", float64(p.done.Add(1)))
+}
+
+// expvar integration: the package-level "dewrite" var reads whichever
+// registry is current, so tests and sequential CLI runs can each install a
+// fresh registry without tripping expvar's duplicate-name panic.
+var (
+	expvarOnce sync.Once
+	current    atomic.Pointer[Registry]
+)
+
+func publishExpvar(r *Registry) {
+	current.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("dewrite", expvar.Func(func() any {
+			if reg := current.Load(); reg != nil {
+				return reg.Snapshot()
+			}
+			return map[string]float64{}
+		}))
+	})
+}
+
+// Server is a live monitoring endpoint bound to one registry.
+type Server struct {
+	reg  *Registry
+	http *http.Server
+	ln   net.Listener
+}
+
+// Serve starts the monitoring endpoint on addr (e.g. ":8080"; ":0" picks a
+// free port — see Addr). The server runs until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: %w", err)
+	}
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, reg)
+	})
+	s := &Server{reg: reg, http: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}, ln: ln}
+	go s.http.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the endpoint.
+func (s *Server) Close() error { return s.http.Close() }
+
+// writePrometheus renders every gauge in text exposition format, names
+// sanitized to the Prometheus charset and prefixed dewrite_.
+func writePrometheus(w io.Writer, reg *Registry) {
+	snap := reg.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		metric := "dewrite_" + sanitize(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", metric, metric, snap[name])
+	}
+}
+
+// sanitize maps a gauge name onto the Prometheus metric charset
+// [a-zA-Z0-9_]; every other rune becomes an underscore.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

@@ -1,0 +1,162 @@
+package monitor
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"dewrite/internal/experiments"
+	"dewrite/internal/timeline"
+)
+
+func TestRegistryGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Set("a.b", 1.5)
+	r.Add("a.b", 0.5)
+	r.Add("c", 3)
+	if got := r.Get("a.b"); got != 2 {
+		t.Fatalf("a.b = %v", got)
+	}
+	if got := r.Get("missing"); got != 0 {
+		t.Fatalf("missing = %v", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap["c"] != 3 {
+		t.Fatalf("snapshot %v", snap)
+	}
+}
+
+func TestRegistryConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Get("n"); got != 8000 {
+		t.Fatalf("n = %v, want 8000", got)
+	}
+}
+
+func TestPublishEpoch(t *testing.T) {
+	r := NewRegistry()
+	e := &timeline.Epoch{Index: 3, Requests: 4000, Writes: 2000, DupEliminated: 900, WearMax: 17}
+	r.PublishEpoch("mcf/DeWrite", e)
+	if got := r.Get("mcf/DeWrite.dup_eliminated"); got != 900 {
+		t.Fatalf("dup_eliminated = %v", got)
+	}
+	if got := r.Get("mcf/DeWrite.wear_max"); got != 17 {
+		t.Fatalf("wear_max = %v", got)
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServeLiveDuringParallelSuite is the acceptance-criteria check: while a
+// parallel job grid is running, the endpoint must answer /healthz, expose the
+// engine's per-worker progress gauges, and serve timeline gauges published
+// from inside running jobs.
+func TestServeLiveDuringParallelSuite(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	prev := experiments.SetProgress(reg.Progress())
+	defer experiments.SetProgress(prev)
+
+	// A small parallel grid; each job publishes an epoch and then probes the
+	// endpoint — genuinely mid-suite traffic.
+	release := make(chan struct{})
+	var probed sync.WaitGroup
+	probed.Add(1)
+	var once sync.Once
+	experiments.ForEach(4, 8, func(i int) {
+		reg.PublishEpoch("job", &timeline.Epoch{Index: uint64(i), Requests: uint64(i) * 100})
+		once.Do(func() {
+			defer probed.Done()
+			if code, body := get(t, base+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+				t.Errorf("/healthz = %d %q", code, body)
+			}
+			code, body := get(t, base+"/metrics")
+			if code != 200 {
+				t.Errorf("/metrics = %d", code)
+			}
+			for _, want := range []string{
+				"# TYPE dewrite_engine_jobs_total gauge",
+				"dewrite_engine_jobs_total 8",
+				"dewrite_engine_workers 4",
+				"dewrite_job_epoch",
+			} {
+				if !strings.Contains(body, want) {
+					t.Errorf("/metrics missing %q in:\n%s", want, body)
+				}
+			}
+			if code, body := get(t, base+"/debug/vars"); code != 200 || !strings.Contains(body, "dewrite") {
+				t.Errorf("/debug/vars = %d %q", code, body)
+			}
+			close(release)
+		})
+		<-release
+	})
+
+	probed.Wait()
+	if got := reg.Get("engine.jobs_done"); got != 8 {
+		t.Fatalf("jobs_done = %v, want 8", got)
+	}
+	if got := reg.Get("engine.jobs_active"); got != 0 {
+		t.Fatalf("jobs_active = %v, want 0 after the suite", got)
+	}
+}
+
+// TestServeSecondRegistry checks a fresh registry can be served later in the
+// same process without an expvar duplicate-publish panic, and that
+// /debug/vars follows the newest registry.
+func TestServeSecondRegistry(t *testing.T) {
+	r1 := NewRegistry()
+	s1, err := Serve("127.0.0.1:0", r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	r2 := NewRegistry()
+	r2.Set("generation", 2)
+	s2, err := Serve("127.0.0.1:0", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, body := get(t, "http://"+s2.Addr()+"/debug/vars"); !strings.Contains(body, "generation") {
+		t.Fatalf("expvar did not follow the new registry: %s", body)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("mcf/DeWrite.wear_max"); got != "mcf_DeWrite_wear_max" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

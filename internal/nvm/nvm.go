@@ -16,6 +16,7 @@ import (
 	"dewrite/internal/config"
 	"dewrite/internal/stats"
 	"dewrite/internal/telemetry"
+	"dewrite/internal/timeline"
 	"dewrite/internal/units"
 )
 
@@ -35,6 +36,17 @@ type Device struct {
 	wear     map[uint64]uint64
 	trc      *telemetry.Tracer // nil when tracing is off
 
+	// Incrementally maintained views of d.wear, so per-epoch sampling never
+	// scans the full wear map: cumulative writes per bank, and a wear-value →
+	// line-count histogram over the data region (addresses below wearBound;
+	// 0 = whole device). The histogram is built lazily on the first
+	// SampleEpoch — runs that never sample pay nothing — then kept current
+	// by Write; LoadContents invalidates it.
+	bankWear  []uint64
+	wearHist  map[uint64]uint64
+	wearBound uint64
+	histReady bool
+
 	// Statistics.
 	reads       stats.Counter
 	rowHits     stats.Counter
@@ -44,6 +56,8 @@ type Device struct {
 	readWait    stats.Latency // queueing delay of reads
 	writeWait   stats.Latency // queueing delay of writes
 	energyPJ    float64
+
+	wearScratch []uint64 // reused by SampleEpoch for DistHist (zero-alloc in steady state)
 }
 
 // New returns a device with the given geometry and timing/energy parameters.
@@ -61,6 +75,7 @@ func New(geom config.NVMGeometry, timing config.Timing, energy config.Energy) *D
 		banks:     make([]bankState, geom.Banks()),
 		store:     make(map[uint64][]byte),
 		wear:      make(map[uint64]uint64),
+		bankWear:  make([]uint64, geom.Banks()),
 	}
 	if geom.Channels > 0 {
 		d.channels = make([]units.Time, geom.Channels)
@@ -221,6 +236,18 @@ func (d *Device) Write(now units.Time, lineAddr uint64, data []byte) units.Time 
 	d.writeWait.Observe(start.Sub(units.Min(now, busDone)))
 	d.energyPJ += d.energy.NVMWriteLine
 	d.wear[lineAddr]++
+	d.bankWear[bank]++
+	if d.histReady && (d.wearBound == 0 || lineAddr < d.wearBound) {
+		nw := d.wear[lineAddr]
+		if nw > 1 {
+			if d.wearHist[nw-1] == 1 {
+				delete(d.wearHist, nw-1)
+			} else {
+				d.wearHist[nw-1]--
+			}
+		}
+		d.wearHist[nw]++
+	}
 
 	old := d.store[lineAddr]
 	flips := 0
@@ -329,6 +356,44 @@ func (d *Device) EmitSamples(trc *telemetry.Tracer, now units.Time) {
 	trc.Sample("nvm.writes", now, float64(d.writes.Value()))
 	trc.Sample("nvm.mean_read_wait_ns", now, d.readWait.Mean().Nanoseconds())
 	trc.Sample("nvm.mean_write_wait_ns", now, d.writeWait.Mean().Nanoseconds())
+}
+
+// SampleEpoch fills the device's share of a timeline epoch: cumulative
+// read/write/energy counters, the busy-bank gauge, per-bank cumulative wear
+// (whole device — metadata traffic is physical bank load), and the wear
+// distribution over touched lines below dataLines (0 samples every line),
+// restricting the distribution to the data region so a scheme's metadata
+// writebacks don't pollute the data-wear comparison. The schemes call this
+// from their own SampleEpoch with their layout's data bound.
+//
+// Both views are maintained incrementally by Write, so sampling costs
+// O(banks + distinct wear values), not O(touched lines); only the first
+// call (or a change of dataLines, which never happens within a run) pays
+// one full scan to seed the histogram.
+func (d *Device) SampleEpoch(e *timeline.Epoch, now units.Time, dataLines uint64) {
+	e.DevReads = d.reads.Value()
+	e.DevWrites = d.writes.Value()
+	e.EnergyPJ = d.energyPJ
+	e.NumBanks = len(d.banks)
+	busy := 0
+	for i := range d.banks {
+		if d.banks[i].busyUntil > now {
+			busy++
+		}
+	}
+	e.BanksBusy = busy
+	e.BankWear = append(e.BankWear[:0], d.bankWear...)
+	if !d.histReady || d.wearBound != dataLines {
+		d.wearBound = dataLines
+		d.wearHist = make(map[uint64]uint64)
+		for addr, n := range d.wear {
+			if dataLines == 0 || addr < dataLines {
+				d.wearHist[n]++
+			}
+		}
+		d.histReady = true
+	}
+	e.WearMax, e.WearMean, e.WearGini, e.WearCoV, d.wearScratch = timeline.DistHist(d.wearHist, d.wearScratch)
 }
 
 // AddEnergy accounts energy spent by logic attached to the device (AES, CRC,

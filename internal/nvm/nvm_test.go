@@ -2,11 +2,14 @@ package nvm
 
 import (
 	"bytes"
+	"math"
+	"slices"
 	"testing"
 	"testing/quick"
 
 	"dewrite/internal/config"
 	"dewrite/internal/rng"
+	"dewrite/internal/timeline"
 	"dewrite/internal/units"
 )
 
@@ -317,5 +320,93 @@ func TestClosePagePolicyNeverHits(t *testing.T) {
 	d.Read(done, 0)
 	if d.Stats().RowHits != 0 {
 		t.Fatalf("row hits = %d under closed-page policy", d.Stats().RowHits)
+	}
+}
+
+// sampleBrute recomputes what SampleEpoch's incremental views must report,
+// straight from the authoritative wear map.
+func sampleBrute(d *Device, dataLines uint64) (bw []uint64, vals []uint64) {
+	bw = make([]uint64, len(d.banks))
+	for addr, n := range d.wear {
+		bw[d.Bank(addr)] += n
+		if dataLines == 0 || addr < dataLines {
+			vals = append(vals, n)
+		}
+	}
+	return bw, vals
+}
+
+// TestSampleEpochMatchesBruteForce pins the incremental bank-wear and wear-
+// histogram maintenance against a full recompute: after the lazy seed,
+// through further writes (the maintained path), and across a save/restore
+// cycle (which invalidates the views).
+func TestSampleEpochMatchesBruteForce(t *testing.T) {
+	d := testDevice()
+	const dataBound = 1000
+	r := rng.New(99)
+	line := make([]byte, config.LineSize)
+	write := func(k int) {
+		for i := 0; i < k; i++ {
+			r.Fill(line)
+			// Mix data-region and metadata-region addresses, with repeats.
+			addr := r.Uint64() % 50
+			if i%3 == 0 {
+				addr = dataBound + r.Uint64()%20
+			}
+			d.Write(0, addr, line)
+		}
+	}
+	check := func(stage string) {
+		t.Helper()
+		var e timeline.Epoch
+		d.SampleEpoch(&e, 0, dataBound)
+		wantBW, vals := sampleBrute(d, dataBound)
+		if !slices.Equal(e.BankWear, wantBW) {
+			t.Fatalf("%s: BankWear = %v, want %v", stage, e.BankWear, wantBW)
+		}
+		wMax, wMean, wGini, wCoV := timeline.Dist(vals)
+		if e.WearMax != wMax || math.Abs(e.WearMean-wMean) > 1e-9 ||
+			math.Abs(e.WearGini-wGini) > 1e-9 || math.Abs(e.WearCoV-wCoV) > 1e-9 {
+			t.Fatalf("%s: dist = (%d %v %v %v), want (%d %v %v %v)",
+				stage, e.WearMax, e.WearMean, e.WearGini, e.WearCoV, wMax, wMean, wGini, wCoV)
+		}
+	}
+	write(40)
+	check("after lazy seed")
+	write(200) // exercises the incremental histogram updates
+	check("after incremental updates")
+
+	var buf bytes.Buffer
+	if err := d.SaveContents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2 := testDevice()
+	if err := d2.LoadContents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var e timeline.Epoch
+	d2.SampleEpoch(&e, 0, dataBound)
+	wantBW, vals := sampleBrute(d2, dataBound)
+	if !slices.Equal(e.BankWear, wantBW) {
+		t.Fatalf("after restore: BankWear = %v, want %v", e.BankWear, wantBW)
+	}
+	wMax, _, _, _ := timeline.Dist(vals)
+	if e.WearMax != wMax {
+		t.Fatalf("after restore: WearMax = %d, want %d", e.WearMax, wMax)
+	}
+	// And the restored device keeps maintaining correctly.
+	for i := 0; i < 50; i++ {
+		r.Fill(line)
+		d2.Write(0, r.Uint64()%30, line)
+	}
+	var e2 timeline.Epoch
+	d2.SampleEpoch(&e2, 0, dataBound)
+	wantBW2, vals2 := sampleBrute(d2, dataBound)
+	if !slices.Equal(e2.BankWear, wantBW2) {
+		t.Fatalf("restored+written: BankWear = %v, want %v", e2.BankWear, wantBW2)
+	}
+	wMax2, wMean2, _, _ := timeline.Dist(vals2)
+	if e2.WearMax != wMax2 || math.Abs(e2.WearMean-wMean2) > 1e-9 {
+		t.Fatalf("restored+written: (%d %v), want (%d %v)", e2.WearMax, e2.WearMean, wMax2, wMean2)
 	}
 }

@@ -90,6 +90,10 @@ func (d *Device) LoadContents(r io.Reader) error {
 	}
 	d.store = make(map[uint64][]byte, min64(count, 1<<16))
 	d.wear = make(map[uint64]uint64, min64(count, 1<<16))
+	// The incremental wear views track d.wear, which is being replaced:
+	// rebuild per-bank totals below and let SampleEpoch reseed the histogram.
+	clear(d.bankWear)
+	d.histReady = false
 	for i := uint64(0); i < count; i++ {
 		addr, err := readU64()
 		if err != nil {
@@ -109,6 +113,7 @@ func (d *Device) LoadContents(r io.Reader) error {
 		d.store[addr] = line
 		if wear > 0 {
 			d.wear[addr] = wear
+			d.bankWear[d.Bank(addr)] += wear
 		}
 	}
 	return nil

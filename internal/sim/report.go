@@ -8,13 +8,19 @@ import (
 	"dewrite/internal/baseline"
 	"dewrite/internal/core"
 	"dewrite/internal/nvm"
+	"dewrite/internal/timeline"
 	"dewrite/internal/units"
 	"dewrite/internal/workload"
 )
 
 // ReportSchema identifies the JSON layout of RunReport; bump it whenever a
 // field changes meaning so downstream tooling can detect incompatibility.
-const ReportSchema = "dewrite/run/v1"
+// v2 added the optional timeline block; every v1 field is unchanged, so v1
+// documents still decode (see DecodeRunReport).
+const ReportSchema = "dewrite/run/v2"
+
+// ReportSchemaV1 is the previous layout: identical minus the timeline block.
+const ReportSchemaV1 = "dewrite/run/v1"
 
 // LatencyQuantiles is the machine-readable latency section of a run report.
 // All durations are integer picoseconds of simulated time.
@@ -54,6 +60,10 @@ type RunReport struct {
 	// Exactly one of the following is set, matching the scheme family.
 	Controller *core.Report     `json:"controller,omitempty"`
 	Baseline   *baseline.Report `json:"baseline,omitempty"`
+
+	// Timeline is the epoch time series (v2), present when the run was
+	// collected with Options.Timeline.
+	Timeline *timeline.Report `json:"timeline,omitempty"`
 }
 
 // NewRunReport assembles the machine-readable report for a finished run. The
@@ -102,7 +112,25 @@ func NewRunReport(res Result, mem Memory) RunReport {
 		rep := m.Inner().Report()
 		r.Baseline = &rep
 	}
+	r.Timeline = res.Timeline
 	return r
+}
+
+// DecodeRunReport parses a run report, accepting both the current v2 layout
+// and v1 documents (whose fields are a strict subset — they decode with a nil
+// Timeline). Any other schema string is an error.
+func DecodeRunReport(data []byte) (RunReport, error) {
+	var r RunReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return RunReport{}, fmt.Errorf("run report: %w", err)
+	}
+	switch r.Schema {
+	case ReportSchema, ReportSchemaV1:
+		return r, nil
+	default:
+		return RunReport{}, fmt.Errorf("run report: unsupported schema %q (want %q or %q)",
+			r.Schema, ReportSchema, ReportSchemaV1)
+	}
 }
 
 // WriteJSON writes the report as one indented JSON object followed by a

@@ -15,6 +15,7 @@ import (
 	"dewrite/internal/nvm"
 	"dewrite/internal/stats"
 	"dewrite/internal/telemetry"
+	"dewrite/internal/timeline"
 	"dewrite/internal/trace"
 	"dewrite/internal/units"
 	"dewrite/internal/workload"
@@ -153,6 +154,12 @@ type Options struct {
 	// SampleEvery is the request period of the counter time series; 0 picks
 	// Requests/256 (at least 1). Ignored without a Tracer.
 	SampleEvery int
+	// Timeline, when non-nil, collects the epoch time series: the collector
+	// is ticked once per request and the closed epochs land in
+	// Result.Timeline. Like the Tracer it is purely observational — a run's
+	// other measurements are identical with and without it. Collectors are
+	// per-run; do not share one across runs.
+	Timeline *timeline.Collector
 	// Prepared, when non-nil, replays a pre-generated request stream instead
 	// of running a generator: the run consumes Prepared.Requests verbatim and
 	// takes its generator ground truth from the prepared snapshots. It must
@@ -242,6 +249,9 @@ type Result struct {
 
 	EnergyPJ float64
 	Device   nvm.Stats
+
+	// Timeline is the epoch time series, nil unless Options.Timeline was set.
+	Timeline *timeline.Report
 }
 
 // Run drives opts.Requests generator requests through mem and returns the
@@ -275,6 +285,22 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 		AttachTracer(mem, trc)
 	}
 	samplePeriod := opts.samplePeriod(opts.Requests)
+
+	// The timeline source combines the scheme's own epoch sampler (when it
+	// has one) with the harness-level zero-write count, which the schemes
+	// other than Shredder don't track themselves.
+	tl := opts.Timeline
+	var zeroWrites uint64
+	var tlSrc timeline.Sampler
+	if tl.Enabled() {
+		schemeSampler, _ := mem.(timeline.Sampler)
+		tlSrc = timeline.SamplerFunc(func(e *timeline.Epoch, now units.Time) {
+			if schemeSampler != nil {
+				schemeSampler.SampleEpoch(e, now)
+			}
+			e.ZeroWrites = zeroWrites
+		})
+	}
 
 	var res Result
 	res.App = app
@@ -334,6 +360,9 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 				// thread runs ahead, so later requests to that bank queue
 				// behind it — the paper's contention mechanism.
 				issue := machine.IssueWrite(th)
+				if tl.Enabled() && baseline.IsZeroLine(req.Data) {
+					zeroWrites++
+				}
 				done := mem.Write(issue, req.Addr, req.Data)
 				machine.RetireWrite(th, done)
 				trc.Span(telemetry.CatWrite, telemetry.TrackRequestBase+int32(th), "", issue, done, req.Addr)
@@ -360,6 +389,7 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 			if trc.Enabled() && (i+1)%samplePeriod == 0 {
 				emitSamples(mem, trc, lastDone, uint64(i+1))
 			}
+			tl.Tick(lastDone, uint64(i+1), tlSrc)
 			continue
 		}
 
@@ -388,6 +418,9 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 			if data == nil {
 				data = zeroLine[:]
 			}
+			if tl.Enabled() && baseline.IsZeroLine(data) {
+				zeroWrites++
+			}
 			issue := machine.IssueWrite(th)
 			done := mem.Write(issue, wb, data)
 			machine.RetireWrite(th, done)
@@ -403,7 +436,11 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 		if trc.Enabled() && (i+1)%samplePeriod == 0 {
 			emitSamples(mem, trc, lastDone, uint64(i+1))
 		}
+		tl.Tick(lastDone, uint64(i+1), tlSrc)
 	}
+
+	tl.Finish(lastDone, uint64(opts.Requests), tlSrc)
+	res.Timeline = tl.Report()
 
 	if prep != nil {
 		res.Gen = genDelta(prep.GenFinal, gen0)

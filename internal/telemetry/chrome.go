@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bufio"
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -73,7 +74,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`, id, TrackName(id)))
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`, id, jsonString(TrackName(id))))
 		// sort_index keeps tracks in conventional order regardless of first
 		// emission time.
 		emit(fmt.Sprintf(`{"name":"thread_sort_index","ph":"M","pid":1,"tid":%d,"args":{"sort_index":%d}}`, id, id))
@@ -84,16 +85,27 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		if name == "" {
 			name = e.Cat.String()
 		}
-		emit(fmt.Sprintf(`{"name":%q,"cat":%q,"ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,"args":{"addr":"0x%x"}}`,
-			name, e.Cat.String(), usec(uint64(e.Start)), usec(uint64(e.Dur)), e.Track, e.Addr))
+		emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,"args":{"addr":"0x%x"}}`,
+			jsonString(name), jsonString(e.Cat.String()), usec(uint64(e.Start)), usec(uint64(e.Dur)), e.Track, e.Addr))
 	}
 	for _, s := range samples {
-		emit(fmt.Sprintf(`{"name":%q,"ph":"C","ts":%s,"pid":1,"tid":0,"args":{"value":%s}}`,
-			s.Name, usec(uint64(s.Time)), strconv.FormatFloat(s.Value, 'g', -1, 64)))
+		emit(fmt.Sprintf(`{"name":%s,"ph":"C","ts":%s,"pid":1,"tid":0,"args":{"value":%s}}`,
+			jsonString(s.Name), usec(uint64(s.Time)), strconv.FormatFloat(s.Value, 'g', -1, 64)))
 	}
 
 	bw.WriteString("\n]}\n")
 	return bw.Flush()
+}
+
+// jsonString renders s as a JSON string literal. fmt's %q is not a JSON
+// escaper: it emits \x.. escapes for control bytes and \U.. for some runes,
+// both invalid JSON that Perfetto rejects wholesale.
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string, but stay total
+		return `""`
+	}
+	return string(b)
 }
 
 // usec renders a picosecond count as the trace format's fractional

@@ -1,0 +1,72 @@
+package timeline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// DistHist must agree with Dist on the expanded multiset: the grouped Gini
+// formula is an algebraic rearrangement, so the two should match to within
+// float rounding on any input.
+func TestDistHistAgreesWithDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		hist := make(map[uint64]uint64)
+		var expanded []uint64
+		// Skewed values (many small, a few huge) with varied multiplicities.
+		groups := 1 + rng.Intn(20)
+		for g := 0; g < groups; g++ {
+			v := uint64(rng.Intn(5))
+			if rng.Intn(4) == 0 {
+				v = uint64(rng.Intn(1 << 20))
+			}
+			c := uint64(1 + rng.Intn(50))
+			hist[v] += c
+			for i := uint64(0); i < c; i++ {
+				expanded = append(expanded, v)
+			}
+		}
+		wMax, wMean, wGini, wCoV := Dist(append([]uint64(nil), expanded...))
+		hMax, hMean, hGini, hCoV, _ := DistHist(hist, nil)
+		if hMax != wMax {
+			t.Fatalf("trial %d: max %d != %d", trial, hMax, wMax)
+		}
+		for _, p := range []struct {
+			name string
+			a, b float64
+		}{{"mean", hMean, wMean}, {"gini", hGini, wGini}, {"cov", hCoV, wCoV}} {
+			if math.Abs(p.a-p.b) > 1e-9*math.Max(1, math.Abs(p.b)) {
+				t.Fatalf("trial %d: %s %v != %v", trial, p.name, p.a, p.b)
+			}
+		}
+	}
+}
+
+func TestDistHistEmptyAndZeroCounts(t *testing.T) {
+	if max, mean, gini, cov, _ := DistHist(nil, nil); max != 0 || mean != 0 || gini != 0 || cov != 0 {
+		t.Fatalf("nil hist: %d %v %v %v", max, mean, gini, cov)
+	}
+	// Zero-count entries (left behind by decrement-to-zero maintenance that
+	// skips the delete) are ignored.
+	hist := map[uint64]uint64{3: 2, 9: 0}
+	max, mean, _, _, _ := DistHist(hist, nil)
+	if max != 3 || mean != 3 {
+		t.Fatalf("zero-count entry not ignored: max=%d mean=%v", max, mean)
+	}
+}
+
+func TestDistHistScratchReuse(t *testing.T) {
+	hist := map[uint64]uint64{1: 4, 2: 4}
+	_, _, _, _, scratch := DistHist(hist, nil)
+	before := cap(scratch)
+	_, _, _, _, scratch = DistHist(hist, scratch)
+	if cap(scratch) != before {
+		t.Fatalf("scratch reallocated: cap %d -> %d", before, cap(scratch))
+	}
+	// All-zero values: mean 0, gini/cov 0 (not NaN).
+	_, mean, gini, cov, _ := DistHist(map[uint64]uint64{0: 10}, scratch)
+	if mean != 0 || gini != 0 || cov != 0 || math.IsNaN(gini) {
+		t.Fatalf("all-zero hist: mean=%v gini=%v cov=%v", mean, gini, cov)
+	}
+}
