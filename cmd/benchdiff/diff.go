@@ -113,8 +113,27 @@ func (d *differ) compare(metric string, oldV, newV, threshold float64, dir int) 
 
 // ---- run-report mode ----
 
-// run compares two dewrite/run reports (v1 or v2): the paper's quality
-// metrics, all deterministic.
+// section decides whether an optional report block (timeline, faults) can be
+// diffed: both sides present → yes; one side missing (an older-schema or
+// differently-collected report) → a non-regression note, never a diff against
+// zeros; both missing → nothing to say.
+func (d *differ) section(name string, oldHas, newHas bool) bool {
+	switch {
+	case oldHas && newHas:
+		return true
+	case oldHas:
+		d.found = append(d.found, finding{Metric: name,
+			Note: "present only in baseline (current report lacks the block) — skipped"})
+	case newHas:
+		d.found = append(d.found, finding{Metric: name,
+			Note: "present only in current (baseline report lacks the block) — skipped"})
+	}
+	return false
+}
+
+// run compares two dewrite/run reports (v1, v2 or v3): the paper's quality
+// metrics, all deterministic. The optional timeline and faults blocks are
+// compared only when both reports carry them (see section).
 func (d *differ) run(oldBlob, newBlob []byte) error {
 	oldR, err := sim.DecodeRunReport(oldBlob)
 	if err != nil {
@@ -145,6 +164,30 @@ func (d *differ) run(oldBlob, newBlob []byte) error {
 	d.compare("energy_pj", oldR.EnergyPJ, newR.EnergyPJ, th, +1)
 	d.compare("device.writes", float64(oldR.Device.Writes), float64(newR.Device.Writes), th, +1)
 	d.compare("elapsed_ps", float64(oldR.ElapsedPs), float64(newR.ElapsedPs), th, +1)
+
+	if d.section("timeline", oldR.Timeline != nil, newR.Timeline != nil) {
+		o, n := oldR.Timeline, newR.Timeline
+		d.compare("timeline.epochs", float64(len(o.Epochs)), float64(len(n.Epochs)), th, 0)
+		if len(o.Epochs) > 0 && len(n.Epochs) > 0 {
+			ol, nl := o.Epochs[len(o.Epochs)-1], n.Epochs[len(n.Epochs)-1]
+			d.compare("timeline.final.wear_max", float64(ol.WearMax), float64(nl.WearMax), th, +1)
+			d.compare("timeline.final.wear_gini", ol.WearGini, nl.WearGini, th, +1)
+		}
+	}
+	if d.section("faults", oldR.Faults != nil, newR.Faults != nil) {
+		o, n := oldR.Faults.Device, newR.Faults.Device
+		d.compare("faults.worn_writes", float64(o.WornWrites), float64(n.WornWrites), th, +1)
+		d.compare("faults.ecp_corrections", float64(o.ECPCorrections), float64(n.ECPCorrections), th, +1)
+		d.compare("faults.remaps", float64(o.Remaps), float64(n.Remaps), th, +1)
+		d.compare("faults.stuck_lines", float64(o.StuckLines), float64(n.StuckLines), th, +1)
+		d.compare("faults.transient_bit_flips", float64(o.TransientBitFlips), float64(n.TransientBitFlips), th, 0)
+		if d.section("faults.crash", oldR.Faults.Crash != nil, newR.Faults.Crash != nil) {
+			oc, nc := oldR.Faults.Crash, newR.Faults.Crash
+			d.compare("faults.crash.lost_mappings", float64(oc.LostMappings), float64(nc.LostMappings), th, +1)
+			d.compare("faults.crash.recovered_mappings", float64(oc.RecoveredMappings), float64(nc.RecoveredMappings), th, -1)
+			d.compare("faults.crash.poisoned_lines", float64(oc.PoisonedLines), float64(nc.PoisonedLines), th, +1)
+		}
+	}
 	return nil
 }
 
@@ -153,11 +196,11 @@ func (d *differ) run(oldBlob, newBlob []byte) error {
 // benchDoc mirrors the dewrite/bench/v1 layout loosely: only the fields the
 // comparison consumes, so the real writer can grow fields freely.
 type benchDoc struct {
-	Schema   string  `json:"schema"`
-	Quick    bool    `json:"quick"`
-	Requests int     `json:"requests"`
-	Warmup   int     `json:"warmup"`
-	Seed     uint64  `json:"seed"`
+	Schema   string `json:"schema"`
+	Quick    bool   `json:"quick"`
+	Requests int    `json:"requests"`
+	Warmup   int    `json:"warmup"`
+	Seed     uint64 `json:"seed"`
 	Perf     *struct {
 		Workers          int     `json:"workers"`
 		WallMS           float64 `json:"wall_ms"`

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -249,5 +250,63 @@ func TestCellValue(t *testing.T) {
 		if num != c.num || (num && got != c.want) {
 			t.Errorf("cellValue(%q) = %v,%v want %v,%v", c.in, got, num, c.want, c.num)
 		}
+	}
+}
+
+// TestRunMissingBlocksSkippedWithNote: a report without the optional timeline
+// or faults blocks (an older schema, or a run that never armed them) is never
+// diffed against zeros — the mismatch is a note, not a regression.
+func TestRunMissingBlocksSkippedWithNote(t *testing.T) {
+	base := load(t, "run-baseline.json")
+	// Give the current report the v3 blocks the baseline lacks.
+	cur := strings.Replace(string(base), `"schema": "dewrite/run/v2"`,
+		`"schema": "dewrite/run/v3",
+  "timeline": {"epoch_by": "requests", "every": 100, "epochs": [{"index": 0, "wear_max": 9, "wear_gini": 0.4}]},
+  "faults": {"config": {"seed": 7, "endurance": 100}, "device": {"worn_writes": 1234, "stuck_lines": 9}}`, 1)
+
+	findings, _, err := diff(base, []byte(cur), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes := map[string]bool{}
+	for _, f := range findings {
+		if f.Regression {
+			t.Errorf("missing block flagged as regression: %s", f)
+		}
+		if f.Note == "" || !strings.Contains(f.Note, "skipped") {
+			t.Errorf("expected a skip note, got: %s", f)
+		}
+		notes[f.Metric] = true
+	}
+	if !notes["timeline"] || !notes["faults"] {
+		t.Fatalf("want skip notes for both timeline and faults, got: %v", findings)
+	}
+	// Same pair reversed: still notes, still no zero-diff regressions.
+	findings, _, err = diff([]byte(cur), base, defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Regression {
+			t.Errorf("reversed pair: missing block flagged as regression: %s", f)
+		}
+	}
+}
+
+// TestRunFaultsBlocksCompared: when both reports carry a faults block its
+// metrics are diffed like any other.
+func TestRunFaultsBlocksCompared(t *testing.T) {
+	base := load(t, "run-baseline.json")
+	withFaults := func(worn int) []byte {
+		return []byte(strings.Replace(string(base), `"schema": "dewrite/run/v2"`,
+			fmt.Sprintf(`"schema": "dewrite/run/v3",
+  "faults": {"config": {"seed": 7, "endurance": 100}, "device": {"worn_writes": %d}}`, worn), 1))
+	}
+	findings, _, err := diff(withFaults(1000), withFaults(1200), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !findings[0].Regression || findings[0].Metric != "faults.worn_writes" {
+		t.Fatalf("want one faults.worn_writes regression, got: %v", findings)
 	}
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +25,7 @@ import (
 	"dewrite/internal/config"
 	"dewrite/internal/core"
 	"dewrite/internal/experiments"
+	"dewrite/internal/fault"
 	"dewrite/internal/monitor"
 	"dewrite/internal/sim"
 	"dewrite/internal/telemetry"
@@ -117,6 +119,12 @@ func main() {
 		metricsCSV = flag.String("metrics", "", "write the counter time series as CSV")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address (e.g. localhost:6060)")
 
+		faultsFile = flag.String("faults", "", "fault-injection config as a JSON file (see internal/fault.Config)")
+		endurance  = flag.Uint64("endurance", 0, "mean per-line write endurance (0 = no wear-out faults)")
+		readBER    = flag.Float64("ber", 0, "transient bit-error probability per array read")
+		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the fault injector (independent of -seed)")
+		crashAt    = flag.Uint64("crash-at", 0, "cut power after this many requests (1-based), recover, and finish the run")
+
 		epochEvery  = flag.Uint64("epoch", 0, "timeline epoch size in requests (0 = requests/64)")
 		timelineCSV = flag.String("timeline-csv", "", "write the epoch time series as CSV (single run)")
 		heatmapOut  = flag.String("heatmap", "", "write the per-bank wear heatmap as CSV (single run)")
@@ -185,6 +193,34 @@ func main() {
 	cfg.NVM.Ranks = 2
 	cfg.NVM.BanksPerRank = 4
 
+	// Fault model: a -faults JSON file sets the base config; the individual
+	// flags override its fields.
+	var fcfg fault.Config
+	if *faultsFile != "" {
+		data, err := os.ReadFile(*faultsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-sim: faults: %v\n", err)
+			os.Exit(2)
+		}
+		if err := json.Unmarshal(data, &fcfg); err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-sim: faults: %s: %v\n", *faultsFile, err)
+			os.Exit(2)
+		}
+	}
+	if fcfg.Seed == 0 || *faultSeed != 1 {
+		fcfg.Seed = *faultSeed
+	}
+	if *endurance != 0 {
+		fcfg.Endurance = *endurance
+	}
+	if *readBER != 0 {
+		fcfg.ReadBER = *readBER
+	}
+	if *crashAt > uint64(*requests) {
+		fmt.Fprintf(os.Stderr, "dewrite-sim: -crash-at %d is beyond -requests %d\n", *crashAt, *requests)
+		os.Exit(2)
+	}
+
 	if *pprofAddr != "" {
 		addr, err := telemetry.ServeDebug(*pprofAddr)
 		if err != nil {
@@ -233,12 +269,17 @@ func main() {
 			prefix := j.prof.Name + "/" + j.sch.String()
 			tl.OnEpoch = func(e *timeline.Epoch) { reg.PublishEpoch(prefix, e) }
 		}
-		opts := sim.Options{Requests: *requests, Warmup: *warmup, Seed: *seed, Tracer: tracer, Timeline: tl}
+		opts := sim.Options{
+			Requests: *requests, Warmup: *warmup, Seed: *seed,
+			Tracer: tracer, Timeline: tl,
+			Faults: fcfg, CrashAt: *crashAt,
+		}
 		if *hierarchy {
 			opts.Hierarchy = cache.NewHierarchy(cfg.Hierarchy)
 		}
-		mems[i] = sim.NewMemory(j.sch, j.prof.WorkingSetLines, cfg)
-		results[i] = sim.Run(j.prof.Name, j.sch.String(), mems[i], j.prof, opts)
+		mem := sim.NewMemoryWith(j.sch, j.prof.WorkingSetLines, cfg, fcfg, *crashAt != 0)
+		results[i] = sim.Run(j.prof.Name, j.sch.String(), mem, j.prof, opts)
+		mems[i] = results[i].FinalMemory()
 	})
 
 	if *traceOut != "" {
@@ -303,6 +344,19 @@ func printText(res sim.Result, prof workload.Profile, mem sim.Memory) {
 		last := tl.Epochs[len(tl.Epochs)-1]
 		fmt.Printf("timeline      %d epochs (every %d %s): final max wear %d, Gini %.3f\n",
 			len(tl.Epochs), tl.Every, tl.EpochBy, last.WearMax, last.WearGini)
+	}
+	if dev := sim.DeviceOf(mem); dev != nil && dev.FaultsEnabled() {
+		fs := dev.FaultStats()
+		fmt.Printf("faults        %d worn writes: %d ECP-corrected, %d remapped (%d/%d spares), %d stuck; %d transient flips, %d banks retired\n",
+			fs.WornWrites, fs.ECPCorrections, fs.Remaps, fs.SpareUsed, fs.SpareLines,
+			fs.StuckLines, fs.TransientBitFlips, fs.BanksRetired)
+	}
+	if rep := res.Crash; rep != nil {
+		fmt.Printf("crash         at request %d: %d dirty meta lines lost; mappings %d lost, %d stale, %d dangling; %d divergent locations, %d refcounts repaired\n",
+			rep.CrashedAt, rep.DirtyMetaLines, rep.LostMappings, rep.StaleMappings,
+			rep.DanglingMappings, rep.DivergentLocations, rep.RefcountMismatches)
+		fmt.Printf("recovery      %d mappings over %d live locations recovered, %d lines poisoned\n",
+			rep.RecoveredMappings, rep.LiveLocations, rep.PoisonedLines)
 	}
 
 	if ctrl, ok := mem.(*core.Controller); ok {

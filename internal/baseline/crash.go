@@ -1,0 +1,174 @@
+package baseline
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"dewrite/internal/fault"
+	"dewrite/internal/units"
+)
+
+// Fault injection and crash-point recovery for the comparison baselines.
+// SecureNVM's only recoverable metadata is the counter table: a write whose
+// counter update was still dirty in the counter cache at the crash decrypts
+// to garbage afterwards, so recovery poisons exactly the lines whose current
+// counter differs from the persisted one. There is no dedup metadata to
+// scrub and no remapping — the baseline's degradation ladder ends at the
+// device's own ECP/spare machinery.
+
+// ErrPoisoned marks reads of lines whose data is known lost.
+var ErrPoisoned = errors.New("data lost (poisoned line)")
+
+// EnableFaults arms deterministic device-level fault injection. Call before
+// driving requests.
+func (s *SecureNVM) EnableFaults(cfg fault.Config) {
+	s.faultCfg = cfg
+	s.dev.EnableFaults(cfg)
+}
+
+// EnableCrashTracking turns on the persisted-counter shadow Crash requires.
+func (s *SecureNVM) EnableCrashTracking() {
+	s.track = true
+	if s.pCtr == nil {
+		s.pCtr = make(map[uint64]uint64)
+	}
+}
+
+// persistCounterLine records the counter values a counter-table line's
+// writeback made durable.
+func (s *SecureNVM) persistCounterLine(line uint64) {
+	first := (line - s.ctrBase) * CounterEntriesPerLine
+	end := first + CounterEntriesPerLine
+	if end > s.dataLines {
+		end = s.dataLines
+	}
+	for a := first; a < end; a++ {
+		if v := s.ctrs.Get(a); v != 0 {
+			s.pCtr[a] = v
+		} else {
+			delete(s.pCtr, a)
+		}
+	}
+}
+
+// Poisoned reports whether the logical line is marked data-lost.
+func (s *SecureNVM) Poisoned(logical uint64) bool { return s.poisoned[logical] }
+
+// ReadVerified is ReadInto with detected corruption surfaced: reads of
+// poisoned lines return zeros and a non-nil error.
+func (s *SecureNVM) ReadVerified(now units.Time, logical uint64, dst []byte) (units.Time, error) {
+	done := s.ReadInto(now, logical, dst)
+	if len(s.poisoned) != 0 && s.poisoned[logical] {
+		return done, fmt.Errorf("baseline: line %#x: %w", logical, ErrPoisoned)
+	}
+	return done, nil
+}
+
+// Crash models an unclean power loss: the arrays (contents, wear, fault
+// state) survive, dirty counter-cache lines are lost, and a recovered
+// controller is rebuilt from persisted state alone. Lines whose current
+// counter never reached NVM decrypt to garbage and are poisoned — reads
+// return zeros and are counted (ReadVerified surfaces the error). Requires
+// EnableCrashTracking.
+func (s *SecureNVM) Crash() (*SecureNVM, *fault.RecoveryReport, error) {
+	if !s.track {
+		return nil, nil, errors.New("baseline: crash recovery requires EnableCrashTracking")
+	}
+	rep := &fault.RecoveryReport{
+		DirtyMetaLines: len(s.ctrCache.DirtyBlocks()),
+	}
+
+	var buf bytes.Buffer
+	if err := s.dev.SaveContents(&buf); err != nil {
+		return nil, nil, fmt.Errorf("baseline: snapshotting arrays at crash: %w", err)
+	}
+	ns := NewSecureNVM(s.dataLines, s.cfg)
+	if s.faultCfg.Enabled() {
+		ns.EnableFaults(s.faultCfg)
+	}
+	ns.EnableCrashTracking()
+	if err := ns.dev.LoadContents(&buf); err != nil {
+		return nil, nil, fmt.Errorf("baseline: restoring arrays after crash: %w", err)
+	}
+
+	for _, a := range sortedCtrKeys(s.pCtr) {
+		ns.ctrs.Set(a, s.pCtr[a])
+		ns.pCtr[a] = s.pCtr[a]
+	}
+
+	// A line is recoverable iff its last write's counter persisted: the
+	// array always holds the latest ciphertext (data writes are durable when
+	// issued), so any older persisted counter yields a garbage OTP.
+	poison := make(map[uint64]bool)
+	for _, a := range s.ctrs.Addrs() {
+		if a >= s.dataLines {
+			continue // counter-table region bookkeeping, not a data line
+		}
+		if s.ctrs.Get(a) != s.pCtr[a] {
+			rep.DivergentLocations++
+			poison[a] = true
+		}
+	}
+	// Carry forward lines already poisoned before the crash (device
+	// exhaustion): their data is still lost.
+	for a := range s.poisoned {
+		poison[a] = true
+	}
+	if len(poison) > 0 {
+		ns.poisoned = poison
+	}
+	rep.PoisonedLines = len(poison)
+	rep.LostMappings = rep.DivergentLocations
+	return ns, rep, nil
+}
+
+// Crash models an unclean power loss for the Shredder wrapper: the inner
+// SecureNVM recovers as usual, and shred marks survive only for lines whose
+// counter state recovered consistently — the mark lives in the counter
+// metadata, so a lost counter line loses the mark with it (modelled
+// conservatively via the inner poison set).
+func (sh *Shredder) Crash() (*Shredder, *fault.RecoveryReport, error) {
+	inner, rep, err := sh.inner.Crash()
+	if err != nil {
+		return nil, nil, err
+	}
+	marks := make(map[uint64]bool, len(sh.shredded))
+	for a := range sh.shredded {
+		if !inner.Poisoned(a) {
+			marks[a] = true
+		}
+	}
+	return &Shredder{inner: inner, shredded: marks}, rep, nil
+}
+
+// EnableFaults arms fault injection on the wrapped SecureNVM.
+func (sh *Shredder) EnableFaults(cfg fault.Config) { sh.inner.EnableFaults(cfg) }
+
+// EnableCrashTracking turns on crash tracking on the wrapped SecureNVM.
+func (sh *Shredder) EnableCrashTracking() { sh.inner.EnableCrashTracking() }
+
+// Poisoned reports whether the line is marked data-lost (shredded lines are
+// always readable: the mark recovers with the counter metadata).
+func (sh *Shredder) Poisoned(logical uint64) bool {
+	return !sh.shredded[logical] && sh.inner.Poisoned(logical)
+}
+
+// ReadVerified is ReadInto with detected corruption surfaced.
+func (sh *Shredder) ReadVerified(now units.Time, logical uint64, dst []byte) (units.Time, error) {
+	done := sh.ReadInto(now, logical, dst)
+	if sh.Poisoned(logical) {
+		return done, fmt.Errorf("baseline: line %#x: %w", logical, ErrPoisoned)
+	}
+	return done, nil
+}
+
+func sortedCtrKeys(m map[uint64]uint64) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

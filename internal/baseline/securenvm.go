@@ -16,6 +16,7 @@ import (
 
 	"dewrite/internal/cme"
 	"dewrite/internal/config"
+	"dewrite/internal/fault"
 	"dewrite/internal/metacache"
 	"dewrite/internal/nvm"
 	"dewrite/internal/stats"
@@ -44,8 +45,17 @@ type SecureNVM struct {
 	aesMetaOps    stats.Counter
 	metaNVMReads  stats.Counter
 	metaNVMWrites stats.Counter
+	failedWrites  stats.Counter // writes lost entirely (line poisoned)
+	poisonedReads stats.Counter // reads answered from a known-lost line
 	writeLat      stats.Latency
 	readLat       stats.Latency
+
+	// Fault/crash state (see crash.go): the injection config for rebuilding
+	// after a crash, the persisted-counter shadow, and the data-lost set.
+	faultCfg fault.Config
+	track    bool
+	pCtr     map[uint64]uint64
+	poisoned map[uint64]bool
 
 	// Per-controller scratch lines keep the request hot path allocation-free
 	// (the controller is single-threaded).
@@ -79,7 +89,10 @@ func NewSecureNVM(dataLines uint64, cfg config.Config) *SecureNVM {
 	// Inherit the configured organization; only the capacity is resized.
 	geom := cfg.NVM
 	geom.CapacityBytes = total * config.LineSize
-	cacheBytes := 2 * units.MB
+	cacheBytes := cfg.MetaCache.CounterCacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = 2 * units.MB
+	}
 	return &SecureNVM{
 		cfg:       cfg,
 		dev:       nvm.New(geom, cfg.Timing, cfg.Energy),
@@ -172,6 +185,9 @@ func (s *SecureNVM) counterAccess(now units.Time, logical uint64, write bool) un
 			s.metaNVMWrites.Inc()
 			s.aesMetaOps.Inc()
 			s.dev.AddEnergy(s.cfg.Energy.AESBlock * config.AESBlocksPerLine)
+			if s.track {
+				s.persistCounterLine(ev.Block)
+			}
 		}
 	}
 	filled := done.Add(s.cfg.Timing.MetaCache)
@@ -199,7 +215,20 @@ func (s *SecureNVM) Write(now units.Time, logical uint64, data []byte) units.Tim
 
 	ct := s.ctScratch[:]
 	s.enc.EncryptLine(ct, data, logical, counter)
-	done := s.dev.Write(encDone, logical, ct)
+	done, ok := s.dev.WriteChecked(encDone, logical, ct)
+	if ok {
+		if len(s.poisoned) != 0 {
+			delete(s.poisoned, logical)
+		}
+	} else {
+		// No remapping layer in the baseline: once the device's own ECP and
+		// spare region are exhausted the line's data is simply lost.
+		s.failedWrites.Inc()
+		if s.poisoned == nil {
+			s.poisoned = make(map[uint64]bool)
+		}
+		s.poisoned[logical] = true
+	}
 	s.writeLat.Observe(done.Sub(now))
 	return done
 }
@@ -224,6 +253,13 @@ func (s *SecureNVM) ReadInto(now units.Time, logical uint64, dst []byte) units.T
 	s.reads.Inc()
 
 	ctrDone := s.counterAccess(now, logical, false)
+	if len(s.poisoned) != 0 && s.poisoned[logical] {
+		// Data known lost: zeros, counted; ReadVerified surfaces the error.
+		s.poisonedReads.Inc()
+		clear(dst)
+		s.readLat.Observe(ctrDone.Sub(now))
+		return ctrDone
+	}
 	ct := s.lineScratch[:]
 	readDone := s.dev.ReadInto(ctrDone, logical, ct)
 	otpDone := ctrDone.Add(s.cfg.Timing.AESLine)
@@ -245,6 +281,9 @@ type Report struct {
 	AESMetaOps    uint64
 	MetaNVMReads  uint64
 	MetaNVMWrites uint64
+	FailedWrites  uint64
+	PoisonedReads uint64
+	PoisonedLines int
 	MeanWriteLat  units.Duration
 	MeanReadLat   units.Duration
 	P50WriteLat   units.Duration
@@ -267,6 +306,9 @@ func (s *SecureNVM) Report() Report {
 		AESMetaOps:    s.aesMetaOps.Value(),
 		MetaNVMReads:  s.metaNVMReads.Value(),
 		MetaNVMWrites: s.metaNVMWrites.Value(),
+		FailedWrites:  s.failedWrites.Value(),
+		PoisonedReads: s.poisonedReads.Value(),
+		PoisonedLines: len(s.poisoned),
 		MeanWriteLat:  s.writeLat.Mean(),
 		MeanReadLat:   s.readLat.Mean(),
 		P50WriteLat:   s.writeLat.P50(),

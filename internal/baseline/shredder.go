@@ -68,6 +68,11 @@ func (sh *Shredder) Write(now units.Time, logical uint64, data []byte) units.Tim
 	if IsZeroLine(data) {
 		sh.eliminated.Inc()
 		sh.shredded[logical] = true
+		// The shred mark defines the line's value again, superseding any
+		// data previously lost to a crash or an exhausted device.
+		if len(sh.inner.poisoned) != 0 {
+			delete(sh.inner.poisoned, logical)
+		}
 		// Only the shred mark in the counter metadata is updated.
 		return sh.inner.counterAccess(now, logical, true)
 	}

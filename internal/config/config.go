@@ -135,10 +135,14 @@ type MetaCacheConfig struct {
 	FSMBytes     int
 	// TreeBytes caches integrity-tree nodes (used only when the optional
 	// integrity tree is enabled).
-	TreeBytes    int
-	Ways         int
-	BlockBytes   int // cached metadata block granularity (one NVM line)
-	PrefetchEnts int // entries prefetched per NVM access for sequential tables
+	TreeBytes int
+	// CounterCacheBytes sizes the comparison baselines' counter cache
+	// (SecureNVM and derivatives; 2 MB, matching DeWrite's total metadata
+	// budget). 0 means the default.
+	CounterCacheBytes int
+	Ways              int
+	BlockBytes        int // cached metadata block granularity (one NVM line)
+	PrefetchEnts      int // entries prefetched per NVM access for sequential tables
 }
 
 // DefaultMetaCache returns the paper's metadata cache configuration.

@@ -69,6 +69,11 @@ func Restore(r io.Reader, opts Options) (*Controller, error) {
 	for i := 0; i < 8; i++ {
 		savedLines |= uint64(b8[i]) << (8 * i)
 	}
+	// Bound before any sizing decision: a corrupt header must not drive
+	// controller construction (New allocates layout- and tree-sized state).
+	if savedLines == 0 || savedLines > 1<<32 {
+		return nil, fmt.Errorf("core: corrupt checkpoint header (%d data lines)", savedLines)
+	}
 	if opts.DataLines == 0 {
 		opts.DataLines = savedLines
 	}

@@ -34,14 +34,15 @@ import (
 	"dewrite/internal/cme"
 	"dewrite/internal/config"
 	"dewrite/internal/dedup"
+	"dewrite/internal/fault"
 	"dewrite/internal/hashes"
 	"dewrite/internal/integrity"
 	"dewrite/internal/metacache"
 	"dewrite/internal/nvm"
-	"dewrite/internal/timeline"
 	"dewrite/internal/predict"
 	"dewrite/internal/stats"
 	"dewrite/internal/telemetry"
+	"dewrite/internal/timeline"
 	"dewrite/internal/units"
 )
 
@@ -121,12 +122,21 @@ type Options struct {
 	// Reads verify their line's path; unique writes update it; eliminated
 	// duplicate writes need no tree maintenance at all.
 	Integrity bool
+	// Faults configures deterministic device-level fault injection (cell
+	// wear-out, transient read errors, spare-region degradation). The zero
+	// value disables injection.
+	Faults fault.Config
+	// TrackPersist maintains the crash-consistency shadow — which metadata
+	// entries have actually reached NVM — that Crash() needs. Off by default
+	// because the shadow bookkeeping runs on every metadata writeback.
+	TrackPersist bool
 }
 
 // Controller is a DeWrite secure-NVM memory controller. Not safe for
 // concurrent use; the simulator is single-threaded over simulated time.
 type Controller struct {
 	cfg     config.Config
+	opts    Options // as passed to New, for crash-time reconstruction
 	mode    Mode
 	persist PersistMode
 	dev     *nvm.Device
@@ -165,6 +175,23 @@ type Controller struct {
 	// the collision-triggered verify-read rate).
 	hashMask uint32
 
+	// Crash-consistency shadow (nil unless Options.TrackPersist): exactly
+	// which metadata entries have reached NVM, updated at writeback time.
+	// pReal carries a generation tag — the target location's counter at map
+	// time — so recovery can detect persisted mappings whose location was
+	// since rewritten. pCtr and pMeta mirror the persisted counter and
+	// inverted-hash (fingerprint + zero flag) entries per location.
+	track bool
+	pReal map[uint64]pMapping
+	pCtr  map[uint64]uint64
+	pMeta map[uint64]dedup.LocationMeta
+
+	// poisoned holds logical lines whose data is known lost (crash recovery
+	// or exhausted device): reads return a detected-corruption error instead
+	// of silent wrong data, and a fresh write clears the mark. nil until
+	// something poisons a line, so the hot path pays one len check.
+	poisoned map[uint64]bool
+
 	// Per-controller scratch lines keep the request hot path allocation-free.
 	// The controller is single-threaded (see the type comment), so one set
 	// suffices: lineScratch holds raw device lines, plainScratch decrypted
@@ -186,8 +213,17 @@ type Controller struct {
 	compareOps    stats.Counter
 	metaNVMReads  stats.Counter
 	metaNVMWrites stats.Counter
+	writeRetries  stats.Counter // placements redone after a device write failure
+	failedWrites  stats.Counter // writes lost entirely (line poisoned)
+	poisonedReads stats.Counter // reads answered with a detected-corruption error
 	writeLat      stats.Latency
 	readLat       stats.Latency
+}
+
+// pMapping is one persisted address-mapping entry: the location and the
+// generation tag (the location's counter when the mapping was persisted).
+type pMapping struct {
+	loc, tag uint64
 }
 
 var defaultKey = []byte("dewrite-sim-key!")
@@ -256,6 +292,16 @@ func New(opts Options) *Controller {
 		c.treeLines = treeLines
 		c.treeCache = metacache.New("tree", mc.TreeBytes, mc.BlockBytes, mc.Ways)
 	}
+	c.opts = opts
+	if opts.Faults.Enabled() {
+		c.dev.EnableFaults(opts.Faults)
+	}
+	if opts.TrackPersist {
+		c.track = true
+		c.pReal = make(map[uint64]pMapping)
+		c.pCtr = make(map[uint64]uint64)
+		c.pMeta = make(map[uint64]dedup.LocationMeta)
+	}
 	return c
 }
 
@@ -294,18 +340,20 @@ func (c *Controller) treeAccess(now units.Time, leaf uint64, write bool) units.T
 	return done
 }
 
-// verifyRead checks the integrity path for the line just read; a failure
-// indicates tampering (counted, never expected in simulation).
-func (c *Controller) verifyRead(now units.Time, loc uint64, ct []byte) units.Time {
+// verifyRead checks the integrity path for the line just read and reports
+// whether it verified; a failure indicates tampering or device corruption
+// (counted; surfaced to callers via ReadVerified).
+func (c *Controller) verifyRead(now units.Time, loc uint64, ct []byte) (units.Time, bool) {
 	if c.tree == nil {
-		return now
+		return now, true
 	}
 	d := c.tree.LeafDigest(loc, c.ctrs.Get(loc), ct)
-	if !c.tree.Verify(loc, d) {
+	ok := c.tree.Verify(loc, d)
+	if !ok {
 		c.treeFailed.Inc()
 	}
 	c.treeChecks.Inc()
-	return c.treeAccess(now, loc, false)
+	return c.treeAccess(now, loc, false), ok
 }
 
 // updateTree refreshes the integrity path after a unique write.
@@ -453,6 +501,9 @@ func (c *Controller) writebackMeta(now units.Time, line uint64) {
 	c.metaNVMWrites.Inc()
 	c.aesMetaOps.Inc()
 	c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
+	if c.track {
+		c.persistLine(line)
+	}
 }
 
 var zeroLine [config.LineSize]byte
@@ -479,6 +530,11 @@ func (c *Controller) metaUpdate(now units.Time, cache *metacache.Cache, line uin
 func (c *Controller) Write(now units.Time, logical uint64, data []byte) units.Time {
 	c.checkLine(data)
 	c.writes.Inc()
+	if len(c.poisoned) != 0 {
+		// A fresh write supersedes whatever data was lost; writeUnique
+		// re-poisons if this write itself cannot be persisted.
+		delete(c.poisoned, logical)
+	}
 	t := c.cfg.Timing
 
 	predictedDup := c.pred.Predict()
@@ -653,7 +709,17 @@ func (c *Controller) writeUnique(now, detect units.Time, logical uint64, data []
 		staleRemoved = true
 	}
 
-	chosen, freed, didFree := c.tables.PlaceUnique(logical, h)
+	chosen, freed, didFree, placed := c.tables.TryPlaceUnique(logical, h)
+	if !placed {
+		// Retirements have consumed every location: the write has nowhere to
+		// land. Poison the line; detection time was still spent.
+		c.failedWrites.Inc()
+		if c.poisoned == nil {
+			c.poisoned = make(map[uint64]bool)
+		}
+		c.poisoned[logical] = true
+		return detect
+	}
 	if isZeroLine(data) {
 		c.tables.SetZeroFlag(chosen)
 	}
@@ -693,10 +759,54 @@ func (c *Controller) writeUnique(now, detect units.Time, logical uint64, data []
 		done = c.metaUpdate(done, c.fsmCache, c.layout.FSMLine(freed), c.pfFSM)
 	}
 
-	// The array write, then (when enabled) the integrity-path update.
-	done = c.dev.Write(done, chosen, ct)
+	// The array write, then (when enabled) the integrity-path update. A
+	// write-verify failure the device could not absorb (ECP and spare region
+	// exhausted) triggers relocation: retire the stuck location, re-place,
+	// re-encrypt under the new location's counter, and redo the affected
+	// metadata updates.
+	done, ok := c.dev.WriteChecked(done, chosen, ct)
+	for retries := 0; !ok && retries < maxPlaceRetries; retries++ {
+		c.writeRetries.Inc()
+		prev := chosen
+		var placed bool
+		chosen, placed = c.tables.RelocateStuck(logical)
+		if !placed {
+			break // allocation pool exhausted by retirements
+		}
+		if isZeroLine(data) {
+			c.tables.SetZeroFlag(chosen)
+		}
+		counter = c.ctrs.Bump(chosen)
+		redo := done.Add(t.AESLine)
+		c.aesLineOps.Inc()
+		c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
+		c.enc.EncryptLine(ct, data, chosen, counter)
+		redo = c.metaUpdate(redo, c.addrCache, c.layout.AddrMapLine(logical), c.pfAddr)
+		redo = c.metaUpdate(redo, c.fsmCache, c.layout.FSMLine(prev), c.pfFSM)
+		if chosen != logical {
+			redo = c.metaUpdate(redo, c.fsmCache, c.layout.FSMLine(chosen), c.pfFSM)
+		}
+		redo = c.metaUpdate(redo, c.invCache, c.layout.InvHashLine(prev), c.pfInv)
+		redo = c.metaUpdate(redo, c.invCache, c.layout.InvHashLine(chosen), c.pfInv)
+		redo = c.metaUpdate(redo, c.hashCache, c.layout.HashLine(h), 1)
+		done, ok = c.dev.WriteChecked(redo, chosen, ct)
+	}
+	if !ok {
+		// The data never reached the array: poison the line so reads fail
+		// detectably instead of returning stale or zero bytes.
+		c.failedWrites.Inc()
+		if c.poisoned == nil {
+			c.poisoned = make(map[uint64]bool)
+		}
+		c.poisoned[logical] = true
+		return done
+	}
 	return c.updateTree(done, chosen, counter, ct)
 }
+
+// maxPlaceRetries bounds how many stuck locations one write may retire
+// before the controller gives up and poisons the logical line.
+const maxPlaceRetries = 4
 
 func mustHash(t *dedup.Tables, loc uint64) uint32 {
 	h, ok := t.HashOf(loc)
@@ -716,8 +826,25 @@ func (c *Controller) Read(now units.Time, logical uint64) ([]byte, units.Time) {
 }
 
 // ReadInto is Read without the per-call allocation: the plaintext is
-// decrypted into dst, which must hold one line.
+// decrypted into dst, which must hold one line. Detected corruption
+// (poisoned lines, integrity failures) is counted but not surfaced; callers
+// that must distinguish it use ReadVerified.
 func (c *Controller) ReadInto(now units.Time, logical uint64, dst []byte) units.Time {
+	done, _ := c.readInto(now, logical, dst)
+	return done
+}
+
+// ReadVerified is ReadInto with detected corruption surfaced: a poisoned
+// line (data lost to a crash or an exhausted device) or an integrity-tree
+// verification failure returns a non-nil error alongside the completion
+// time. dst then holds zeros (poisoned) or the unverified plaintext
+// (integrity failure). Never returns silent wrong data when the integrity
+// tree is enabled.
+func (c *Controller) ReadVerified(now units.Time, logical uint64, dst []byte) (units.Time, error) {
+	return c.readInto(now, logical, dst)
+}
+
+func (c *Controller) readInto(now units.Time, logical uint64, dst []byte) (units.Time, error) {
 	if logical >= c.layout.DataLines {
 		panic(fmt.Sprintf("core: read of %#x beyond %d data lines", logical, c.layout.DataLines))
 	}
@@ -729,6 +856,15 @@ func (c *Controller) ReadInto(now units.Time, logical uint64, dst []byte) units.
 	// counter of a non-deduplicated line is colocated in the same entry.
 	mapDone := c.metaAccess(now, c.addrCache, c.layout.AddrMapLine(logical), false, c.pfAddr)
 
+	if len(c.poisoned) != 0 && c.poisoned[logical] {
+		// Data known lost: the mapping lookup is the detection cost; the
+		// caller gets zeros plus an explicit error, never stale bytes.
+		c.poisonedReads.Inc()
+		clear(dst)
+		c.readLat.Observe(mapDone.Sub(now))
+		return mapDone, fmt.Errorf("core: line %#x: %w", logical, ErrPoisoned)
+	}
+
 	loc, written := c.tables.LocationOf(logical)
 	if !written {
 		// Architecturally undefined read; the device still performs an array
@@ -737,7 +873,7 @@ func (c *Controller) ReadInto(now units.Time, logical uint64, dst []byte) units.
 		clear(dst)
 		done = done.Add(t.XOR)
 		c.readLat.Observe(done.Sub(now))
-		return done
+		return done, nil
 	}
 
 	ctrDone := mapDone
@@ -755,11 +891,14 @@ func (c *Controller) ReadInto(now units.Time, logical uint64, dst []byte) units.
 	done := units.Max(readDone, otpDone).Add(t.XOR)
 	c.aesLineOps.Inc()
 	c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
-	done = c.verifyRead(done, loc, ct)
+	done, okv := c.verifyRead(done, loc, ct)
 
 	c.enc.DecryptLine(dst, ct, loc, c.ctrs.Get(loc))
 	c.readLat.Observe(done.Sub(now))
-	return done
+	if !okv {
+		return done, fmt.Errorf("core: line %#x (location %#x): %w", logical, loc, ErrIntegrity)
+	}
+	return done, nil
 }
 
 // Report is a snapshot of the controller's statistics.
@@ -777,6 +916,10 @@ type Report struct {
 	CompareOps    uint64
 	MetaNVMReads  uint64
 	MetaNVMWrites uint64
+	WriteRetries  uint64
+	FailedWrites  uint64
+	PoisonedReads uint64
+	PoisonedLines int
 	TreeUpdates   uint64
 	TreeChecks    uint64
 	TreeFailed    uint64
@@ -829,6 +972,10 @@ func (c *Controller) Report() Report {
 		CompareOps:    c.compareOps.Value(),
 		MetaNVMReads:  c.metaNVMReads.Value(),
 		MetaNVMWrites: c.metaNVMWrites.Value(),
+		WriteRetries:  c.writeRetries.Value(),
+		FailedWrites:  c.failedWrites.Value(),
+		PoisonedReads: c.poisonedReads.Value(),
+		PoisonedLines: len(c.poisoned),
 		TreeUpdates:   c.treeUpdates.Value(),
 		TreeChecks:    c.treeChecks.Value(),
 		TreeFailed:    c.treeFailed.Value(),

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"dewrite/internal/config"
+	"dewrite/internal/units"
+)
+
+// FuzzRestore checks the checkpoint parser against truncated and corrupted
+// input: it must return an error — never panic, never size an allocation from
+// an unvalidated length prefix — and anything it accepts must satisfy the
+// dedup-table invariants.
+func FuzzRestore(f *testing.F) {
+	const lines = 64
+	opts := Options{DataLines: lines, Config: config.Default()}
+	c := New(opts)
+	var now units.Time
+	var data [config.LineSize]byte
+	for i := uint64(0); i < 16; i++ {
+		for j := range data {
+			data[j] = byte(i * 3)
+		}
+		now = c.Write(now, i%lines, data[:])
+	}
+	var buf bytes.Buffer
+	if err := c.SaveState(now, &buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	for _, cut := range []int{1, 6, 14, len(valid) / 2, len(valid) - 1} {
+		if cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	// A header claiming an enormous line count must be rejected before any
+	// sizing decision.
+	huge := append([]byte("DWCP1\n"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff)
+	f.Add(huge)
+	f.Add([]byte("DWCP1\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		got, err := Restore(bytes.NewReader(blob), opts)
+		if err != nil {
+			return
+		}
+		if err := got.Tables().CheckInvariants(); err != nil {
+			t.Fatalf("accepted checkpoint violates dedup invariants: %v", err)
+		}
+		// An accepted checkpoint must round-trip.
+		var out bytes.Buffer
+		if err := got.SaveState(0, &out); err != nil {
+			t.Fatalf("accepted checkpoint failed to re-save: %v", err)
+		}
+		if _, err := Restore(bytes.NewReader(out.Bytes()), opts); err != nil {
+			t.Fatalf("re-saved checkpoint rejected: %v", err)
+		}
+	})
+}

@@ -139,7 +139,7 @@ func ReadTables(r io.Reader) (*Tables, error) {
 	if err != nil {
 		return nil, err
 	}
-	if lines == 0 || maxRef == 0 {
+	if lines == 0 || lines > 1<<32 || maxRef == 0 || maxRef > 1<<32 {
 		return nil, fmt.Errorf("dedup: corrupt snapshot header (lines=%d maxRef=%d)", lines, maxRef)
 	}
 	t := NewTables(lines, uint(maxRef))
@@ -196,6 +196,9 @@ func ReadTables(r io.Reader) (*Tables, error) {
 		if addr >= lines {
 			return nil, fmt.Errorf("dedup: snapshot location %#x out of range", addr)
 		}
+		if h > 1<<32-1 || refs > lines || z > 1 {
+			return nil, fmt.Errorf("dedup: corrupt snapshot location %#x (hash=%#x refs=%d zero=%d)", addr, h, refs, z)
+		}
 		l := &location{hash: uint32(h), refs: uint(refs), isZero: z == 1}
 		t.loc[addr] = l
 		t.hash[l.hash] = append(t.hash[l.hash], addr)
@@ -212,6 +215,9 @@ func ReadTables(r io.Reader) (*Tables, error) {
 		a, err := readU64()
 		if err != nil {
 			return nil, err
+		}
+		if a >= lines {
+			return nil, fmt.Errorf("dedup: snapshot freed location %#x out of range", a)
 		}
 		t.freed = append(t.freed, a)
 	}

@@ -44,19 +44,24 @@ type Tables struct {
 	freed     []uint64 // freed locations available for reuse (LIFO)
 	freshScan uint64   // cursor over never-allocated locations
 
+	// retired holds locations permanently removed from allocation (their
+	// device lines are stuck); nil until the first retirement.
+	retired map[uint64]bool
+
 	// mappedAway counts logical lines whose data lives at a foreign
 	// location, maintained incrementally so per-epoch sampling does not
 	// rescan the mapping table.
 	mappedAway uint64
 
-	refHist    stats.Histogram
-	duplicates stats.Counter // writes eliminated as duplicates
-	selfDups   stats.Counter // duplicates of the line's own current data
-	uniques    stats.Counter // writes stored as unique data
-	collisions stats.Counter // fingerprint matches whose data differed
-	saturated  stats.Counter // duplicates skipped due to refcount saturation
-	displaced  stats.Counter // unique writes placed away from their own slot
-	frees      stats.Counter // locations returned to the free pool
+	refHist     stats.Histogram
+	duplicates  stats.Counter // writes eliminated as duplicates
+	selfDups    stats.Counter // duplicates of the line's own current data
+	uniques     stats.Counter // writes stored as unique data
+	collisions  stats.Counter // fingerprint matches whose data differed
+	saturated   stats.Counter // duplicates skipped due to refcount saturation
+	displaced   stats.Counter // unique writes placed away from their own slot
+	frees       stats.Counter // locations returned to the free pool
+	relocations stats.Counter // placements redone after a device write failure
 }
 
 type location struct {
@@ -232,13 +237,27 @@ func (t *Tables) SetZeroFlag(loc uint64) {
 // It returns the chosen location and the location freed by the release, if
 // any and if different from the chosen one.
 func (t *Tables) PlaceUnique(logical uint64, hash uint32) (chosen uint64, freed uint64, didFree bool) {
+	chosen, freed, didFree, ok := t.TryPlaceUnique(logical, hash)
+	if !ok {
+		panic("dedup: no free location (pool exhausted by retirements, or refcount accounting broken)")
+	}
+	return chosen, freed, didFree
+}
+
+// TryPlaceUnique is PlaceUnique for devices that may have retired locations:
+// when every non-retired location is live it reports ok=false instead of
+// panicking. The release still happened — logical is then left unmapped and
+// the caller must poison it.
+func (t *Tables) TryPlaceUnique(logical uint64, hash uint32) (chosen uint64, freed uint64, didFree, ok bool) {
 	t.checkAddr(logical)
 	freed, didFree = t.release(logical)
 
-	if t.loc[logical] == nil {
+	if t.loc[logical] == nil && !t.retired[logical] {
 		chosen = logical
 	} else {
-		chosen = t.allocate()
+		if chosen, ok = t.tryAllocate(); !ok {
+			return 0, freed, didFree, false
+		}
 		t.displaced.Inc()
 	}
 	if didFree && freed == chosen {
@@ -251,7 +270,7 @@ func (t *Tables) PlaceUnique(logical uint64, hash uint32) (chosen uint64, freed 
 	t.hash[hash] = append(t.hash[hash], chosen)
 	t.setMapping(logical, chosen)
 	t.uniques.Inc()
-	return chosen, freed, didFree
+	return chosen, freed, didFree, true
 }
 
 // release detaches logical from its current data, decrementing the reference
@@ -304,26 +323,36 @@ func (t *Tables) removeHash(h uint32, locAddr uint64) {
 	panic(fmt.Sprintf("dedup: stale hash %#x for location %#x not found", h, locAddr))
 }
 
-// allocate returns a free location. A free location always exists when
-// allocate is called: it is only reached from PlaceUnique after the writing
-// logical line has been released, so live locations < logical lines.
-func (t *Tables) allocate() uint64 {
+// tryAllocate returns a free location. Absent retirements a free location
+// always exists when it is called: it is only reached from TryPlaceUnique
+// after the writing logical line has been released, so live locations <
+// logical lines. Retired locations shrink the pool, so exhaustion is
+// possible once the device runs out of spares; it then reports false.
+func (t *Tables) tryAllocate() (uint64, bool) {
 	for len(t.freed) > 0 {
 		a := t.freed[len(t.freed)-1]
 		t.freed = t.freed[:len(t.freed)-1]
-		if t.loc[a] == nil {
-			return a
+		if t.loc[a] == nil && !t.retired[a] {
+			return a, true
 		}
-		// Stale entry: the location was re-claimed via own-slot preference.
+		// Stale entry: re-claimed via own-slot preference, or since retired.
 	}
 	for ; t.freshScan < t.lines; t.freshScan++ {
-		if t.loc[t.freshScan] == nil {
+		if t.loc[t.freshScan] == nil && !t.retired[t.freshScan] {
 			a := t.freshScan
 			t.freshScan++
-			return a
+			return a, true
 		}
 	}
-	panic("dedup: no free location (refcount accounting broken)")
+	// Last resort: rescan for locations freed then lost to stale-entry
+	// skipping. Only reachable when retirements have fragmented the pool,
+	// so the scan cost never shows up in healthy runs.
+	for a := uint64(0); a < t.lines; a++ {
+		if t.loc[a] == nil && !t.retired[a] {
+			return a, true
+		}
+	}
+	return 0, false
 }
 
 // ObserveRefs samples the current reference count of every live location
@@ -339,29 +368,33 @@ func (t *Tables) RefHistogram() *stats.Histogram { return &t.refHist }
 
 // Stats is a snapshot of the dedup counters.
 type Stats struct {
-	Duplicates uint64 // writes eliminated (including self-duplicates)
-	SelfDups   uint64
-	Uniques    uint64
-	Collisions uint64
-	Saturated  uint64
-	Displaced  uint64
-	Frees      uint64
-	LiveLines  uint64
-	MappedAway uint64 // logical lines whose data lives at a foreign location
+	Duplicates  uint64 // writes eliminated (including self-duplicates)
+	SelfDups    uint64
+	Uniques     uint64
+	Collisions  uint64
+	Saturated   uint64
+	Displaced   uint64
+	Frees       uint64
+	LiveLines   uint64
+	MappedAway  uint64 // logical lines whose data lives at a foreign location
+	Relocations uint64 // placements redone after a device write failure
+	Retired     uint64 // locations permanently removed from allocation
 }
 
 // Snapshot returns the current counters.
 func (t *Tables) Snapshot() Stats {
 	return Stats{
-		Duplicates: t.duplicates.Value(),
-		SelfDups:   t.selfDups.Value(),
-		Uniques:    t.uniques.Value(),
-		Collisions: t.collisions.Value(),
-		Saturated:  t.saturated.Value(),
-		Displaced:  t.displaced.Value(),
-		Frees:      t.frees.Value(),
-		LiveLines:  uint64(len(t.loc)),
-		MappedAway: t.mappedAway,
+		Duplicates:  t.duplicates.Value(),
+		SelfDups:    t.selfDups.Value(),
+		Uniques:     t.uniques.Value(),
+		Collisions:  t.collisions.Value(),
+		Saturated:   t.saturated.Value(),
+		Displaced:   t.displaced.Value(),
+		Frees:       t.frees.Value(),
+		LiveLines:   uint64(len(t.loc)),
+		MappedAway:  t.mappedAway,
+		Relocations: t.relocations.Value(),
+		Retired:     uint64(len(t.retired)),
 	}
 }
 
@@ -414,6 +447,12 @@ func (t *Tables) CheckInvariants() error {
 		}
 		if !found {
 			return fmt.Errorf("live location %#x missing from hash chain %#x", locAddr, l.hash)
+		}
+	}
+	// Retired locations are out of the pool and must never be live.
+	for locAddr := range t.retired {
+		if t.loc[locAddr] != nil {
+			return fmt.Errorf("retired location %#x is live", locAddr)
 		}
 	}
 	// Hash chains only list live locations with that hash.

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"dewrite/internal/config"
+	"dewrite/internal/fault"
+	"dewrite/internal/sim"
+	"dewrite/internal/workload"
+)
+
+// TestFaultReportsDeterministicAcrossWorkers: a fault campaign must produce
+// byte-identical run reports (faults block included) no matter how many
+// engine workers execute the grid — every injector draw is a pure function of
+// the fault seed and stable per-run state.
+func TestFaultReportsDeterministicAcrossWorkers(t *testing.T) {
+	prof, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("profile mcf missing")
+	}
+	prof.WorkingSetLines = 1 << 9 // hammer a small set so wear-out fires
+	const requests, warmup, seed = 2000, 200, 42
+
+	schemes := []sim.Scheme{sim.SchemeDeWrite, sim.SchemeSecureNVM, sim.SchemeShredder}
+	type job struct {
+		sch     sim.Scheme
+		crashAt uint64
+		faults  fault.Config
+	}
+	var jobs []job
+	for _, sch := range schemes {
+		jobs = append(jobs,
+			job{sch: sch, crashAt: requests / 2},
+			job{sch: sch, faults: fault.Config{Seed: 7, Endurance: 60, ReadBER: 1e-3}},
+			job{sch: sch, crashAt: 3 * requests / 4,
+				faults: fault.Config{Seed: 7, Endurance: 60, ReadBER: 1e-3}},
+		)
+	}
+	prep := sim.Prepare(prof, sim.Options{Requests: requests, Warmup: warmup, Seed: seed})
+
+	runGrid := func(workers int) [][]byte {
+		out := make([][]byte, len(jobs))
+		ForEach(workers, len(jobs), func(i int) {
+			j := jobs[i]
+			opts := sim.Options{
+				Requests: requests, Warmup: warmup, Prepared: prep,
+				CrashAt: j.crashAt, Faults: j.faults,
+			}
+			res, mem := sim.RunScheme(j.sch, prof, config.Default(), opts)
+			var buf bytes.Buffer
+			if err := sim.NewRunReport(res, mem).WriteJSON(&buf); err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			out[i] = buf.Bytes()
+		})
+		return out
+	}
+
+	base := runGrid(1)
+	for i, b := range base {
+		if len(b) == 0 {
+			t.Fatalf("job %d produced an empty report", i)
+		}
+		if jobs[i].crashAt != 0 && !bytes.Contains(b, []byte(`"crash"`)) {
+			t.Errorf("job %d: crash point fired but report has no crash block", i)
+		}
+	}
+	for _, workers := range []int{2, 4} {
+		got := runGrid(workers)
+		for i := range jobs {
+			if !bytes.Equal(base[i], got[i]) {
+				t.Errorf("workers=%d: job %d (%s crash@%d %+v) report differs from sequential run",
+					workers, i, jobs[i].sch, jobs[i].crashAt, jobs[i].faults)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dewrite/internal/fault"
+	"dewrite/internal/sim"
+	"dewrite/internal/stats"
+	"dewrite/internal/units"
+	"dewrite/internal/workload"
+)
+
+// campaignProfile picks the fault campaign's application: mcf (mid-range
+// duplication, both request classes well represented) when the option set
+// includes it, otherwise the first profile.
+func campaignProfile(s *Suite) workload.Profile {
+	profs := s.Opts.Profiles()
+	for _, p := range profs {
+		if p.Name == "mcf" {
+			return p
+		}
+	}
+	return profs[0]
+}
+
+// crashFractions are the points (as fractions of the request count) at which
+// the campaign cuts power.
+var crashFractions = []float64{0.25, 0.50, 0.75}
+
+// campaignBERs are the transient read bit-error rates the campaign sweeps.
+var campaignBERs = []float64{1e-4, 1e-3}
+
+// FaultCampaign sweeps crash points, wear-out budgets, and transient error
+// rates across every scheme. All runs are hermetic and seeded, so the tables
+// are byte-identical between sequential and parallel suite execution.
+func FaultCampaign(s *Suite) []*stats.Table {
+	prof := campaignProfile(s)
+
+	// Crash-point sweep: cut power at each fraction of the run, recover, and
+	// report what the scrub found and what the recovered controller serves.
+	// The sweep shrinks the metadata cache far below the working set's
+	// metadata footprint: at the paper's 2 MB the whole footprint stays
+	// cached, so no writeback ever persists a mapping and a crash loses
+	// everything — under pressure the recovery story (persisted vs dirty vs
+	// stale) actually shows.
+	crashCfg := s.cfg
+	crashCfg.MetaCache.HashBytes = 16 * units.KB
+	crashCfg.MetaCache.AddrMapBytes = 16 * units.KB
+	crashCfg.MetaCache.InvHashBytes = 16 * units.KB
+	crashCfg.MetaCache.FSMBytes = 4 * units.KB
+	crashCfg.MetaCache.TreeBytes = 8 * units.KB
+	crashCfg.MetaCache.CounterCacheBytes = 16 * units.KB
+	crash := stats.NewTable("Fault campaign: crash-point recovery scrub ("+prof.Name+", 60 KB metadata cache)",
+		"scheme", "crash@", "dirty meta", "lost", "stale", "dangling",
+		"divergent", "refcnt fixed", "recovered", "poisoned")
+	for _, sch := range perfSchemes {
+		for _, frac := range crashFractions {
+			opts := s.simOptions()
+			opts.Prepared = s.Prepared(prof)
+			opts.CrashAt = uint64(float64(opts.Requests) * frac)
+			res, _ := sim.RunScheme(sch, prof, crashCfg, opts)
+			rep := res.Crash
+			crash.AddRow(sch.String(), fmt.Sprintf("%d%%", int(frac*100)),
+				rep.DirtyMetaLines, rep.LostMappings, rep.StaleMappings,
+				rep.DanglingMappings, rep.DivergentLocations,
+				rep.RefcountMismatches, rep.RecoveredMappings, rep.PoisonedLines)
+		}
+	}
+
+	// Wear-out sweep: hammer a tiny working set so lines exceed their drawn
+	// lifetimes, and report how far each scheme walks the degradation ladder.
+	// DeWrite's eliminated writes never age the array, so it consumes the
+	// endurance budget more slowly than the baselines.
+	hot := prof
+	hot.Name = prof.Name + "-hot"
+	hot.WorkingSetLines = 256
+	wear := stats.NewTable("Fault campaign: wear-out degradation ladder ("+hot.Name+", 256 lines)",
+		"scheme", "endurance", "worn writes", "ECP", "remaps", "spare used",
+		"stuck", "banks retired")
+	for _, sch := range perfSchemes {
+		for _, endurance := range []uint64{400, 150} {
+			opts := s.simOptions()
+			opts.Prepared = s.Prepared(hot)
+			opts.Faults = fault.Config{Seed: s.Opts.Seed, Endurance: endurance}
+			_, mem := sim.RunScheme(sch, hot, s.cfg, opts)
+			fs := sim.DeviceOf(mem).FaultStats()
+			wear.AddRow(sch.String(), endurance, fs.WornWrites, fs.ECPCorrections,
+				fs.Remaps, fmt.Sprintf("%d/%d", fs.SpareUsed, fs.SpareLines),
+				fs.StuckLines, fs.BanksRetired)
+		}
+	}
+
+	// Transient-error sweep: single-bit read flips at each BER. The flip count
+	// scales with each scheme's timed array reads (metadata reads included),
+	// so schemes that read less expose less.
+	ber := stats.NewTable("Fault campaign: transient read errors ("+prof.Name+")",
+		"scheme", "read BER", "device reads", "bit flips")
+	for _, sch := range perfSchemes {
+		for _, rate := range campaignBERs {
+			opts := s.simOptions()
+			opts.Prepared = s.Prepared(prof)
+			opts.Faults = fault.Config{Seed: s.Opts.Seed, ReadBER: rate}
+			_, mem := sim.RunScheme(sch, prof, s.cfg, opts)
+			dev := sim.DeviceOf(mem)
+			ber.AddRow(sch.String(), fmt.Sprintf("%.0e", rate),
+				dev.Stats().Reads, dev.FaultStats().TransientBitFlips)
+		}
+	}
+
+	return []*stats.Table{crash, wear, ber}
+}

@@ -1,0 +1,244 @@
+// Package fault is the seeded, deterministic fault layer the NVM device and
+// the controllers consult: per-line cell wear-out (each line draws a lifetime
+// from a configurable distribution around the endurance budget; writes past
+// it become stuck-at faults surfaced as write-verify failures), transient bit
+// errors on read at a configurable rate, and the shared vocabulary for
+// graceful degradation (ECP-style correction budgets, spare-region remapping,
+// bank retirement) and crash recovery.
+//
+// Determinism is the design constraint: every draw is a pure function of the
+// configured seed plus stable simulation state (the line address, the
+// device's read ordinal), never of wall-clock time or map iteration order, so
+// the same seed and configuration produce byte-identical fault reports across
+// parallel and sequential runs.
+package fault
+
+import (
+	"math"
+
+	"dewrite/internal/config"
+)
+
+// Config describes one run's fault model. The zero value disables injection
+// entirely; Enabled reports whether any mechanism is active.
+type Config struct {
+	// Seed drives every random draw. Independent of the workload seed so a
+	// fault campaign can vary one axis at a time.
+	Seed uint64 `json:"seed"`
+	// Endurance is the mean per-line lifetime in array writes (e.g. 1e8 for
+	// PCM; simulations use much smaller budgets to reach wear-out). 0
+	// disables wear-out faults.
+	Endurance uint64 `json:"endurance,omitempty"`
+	// LifetimeCoV is the relative spread of per-line lifetimes around
+	// Endurance (process variation). Defaults to DefaultLifetimeCoV when
+	// Endurance is set.
+	LifetimeCoV float64 `json:"lifetime_cov,omitempty"`
+	// ReadBER is the probability that one timed array read suffers a single
+	// transient bit flip. 0 disables transient errors.
+	ReadBER float64 `json:"read_ber,omitempty"`
+	// ECPBudget is the number of ECP-style correction entries per line: a
+	// write-verify failure on a worn line consumes one and the write still
+	// succeeds. Defaults to DefaultECPBudget.
+	ECPBudget int `json:"ecp_budget,omitempty"`
+	// SpareFrac is the fraction of the device's line count reserved as a
+	// spare region; a line that exhausts its correction budget is remapped
+	// there. Defaults to DefaultSpareFrac.
+	SpareFrac float64 `json:"spare_frac,omitempty"`
+	// BankRetireLimit is the number of stuck lines after which a bank counts
+	// as retired. Defaults to DefaultBankRetireLimit.
+	BankRetireLimit int `json:"bank_retire_limit,omitempty"`
+}
+
+// Degradation-policy defaults, applied by WithDefaults when the corresponding
+// field is zero and injection is enabled.
+const (
+	DefaultLifetimeCoV     = 0.15
+	DefaultECPBudget       = 2
+	DefaultSpareFrac       = 1.0 / 64
+	DefaultBankRetireLimit = 8
+)
+
+// Enabled reports whether any injection mechanism is configured.
+func (c Config) Enabled() bool { return c.Endurance > 0 || c.ReadBER > 0 }
+
+// WithDefaults returns the config with the degradation-policy fields filled
+// in. A disabled config is returned unchanged.
+func (c Config) WithDefaults() Config {
+	if !c.Enabled() {
+		return c
+	}
+	if c.Endurance > 0 && c.LifetimeCoV == 0 {
+		c.LifetimeCoV = DefaultLifetimeCoV
+	}
+	if c.ECPBudget == 0 {
+		c.ECPBudget = DefaultECPBudget
+	}
+	if c.SpareFrac == 0 {
+		c.SpareFrac = DefaultSpareFrac
+	}
+	if c.BankRetireLimit == 0 {
+		c.BankRetireLimit = DefaultBankRetireLimit
+	}
+	return c
+}
+
+// Injector draws the faults for one device. The nil *Injector is the disabled
+// injector; every method is nil-safe so the device carries it unconditionally.
+// Not safe for concurrent use (one injector per device per run).
+type Injector struct {
+	cfg   Config
+	reads uint64 // ordinal of timed reads, the transient-draw index
+}
+
+// New returns an injector for cfg (with policy defaults applied), or nil when
+// cfg disables injection.
+func New(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Injector{cfg: cfg.WithDefaults()}
+}
+
+// Config returns the effective (default-filled) configuration. The zero
+// Config for the nil injector.
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// mix is the splitmix64 finalizer — the stateless hash every draw derives
+// from, pinned here so fault sequences never shift under toolchain changes.
+func mix(v uint64) uint64 {
+	v += 0x9e3779b97f4a7c15
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
+}
+
+// unit maps 64 random bits to a float64 in [0, 1).
+func unit(v uint64) float64 { return float64(v>>11) / (1 << 53) }
+
+// Domain-separation salts so the lifetime and transient streams are
+// independent even for equal seeds.
+const (
+	saltLifetime  = 0xd1b54a32d192ed03
+	saltTransient = 0x2545f4914f6cdd1d
+)
+
+// Lifetime returns the line's drawn write lifetime, or 0 when wear-out is
+// disabled (0 = immortal). The draw is a pure function of (seed, line), so it
+// is independent of access order: a Gaussian around Endurance with relative
+// spread LifetimeCoV, floored at 1/20 of the budget (no line is born dead).
+func (in *Injector) Lifetime(line uint64) uint64 {
+	if in == nil || in.cfg.Endurance == 0 {
+		return 0
+	}
+	h1 := mix(in.cfg.Seed ^ saltLifetime ^ line*0x9e3779b97f4a7c15)
+	h2 := mix(h1)
+	u1 := unit(h1)
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	g := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*unit(h2))
+	life := float64(in.cfg.Endurance) * (1 + in.cfg.LifetimeCoV*g)
+	floor := float64(in.cfg.Endurance) / 20
+	if floor < 1 {
+		floor = 1
+	}
+	if life < floor {
+		life = floor
+	}
+	return uint64(life)
+}
+
+// WornOut reports whether a line at the given cumulative wear has exceeded
+// its drawn lifetime — the stuck-at condition a write-verify detects.
+func (in *Injector) WornOut(line, wear uint64) bool {
+	lt := in.Lifetime(line)
+	return lt != 0 && wear > lt
+}
+
+// ReadFault draws the transient-error outcome for one timed array read,
+// advancing the injector's read ordinal. When the draw fires it returns the
+// bit index (within the 2048-bit line) to flip and true. Deterministic given
+// the seed and the sequence of reads, which the single-threaded device makes
+// reproducible.
+func (in *Injector) ReadFault(line uint64) (bit int, faulted bool) {
+	if in == nil || in.cfg.ReadBER <= 0 {
+		return 0, false
+	}
+	in.reads++
+	h := mix(in.cfg.Seed ^ saltTransient ^ in.reads*0x9e3779b97f4a7c15 ^ mix(line))
+	if unit(h) >= in.cfg.ReadBER {
+		return 0, false
+	}
+	return int(mix(h^saltTransient) % config.LineBits), true
+}
+
+// DeviceStats is the device-level fault and degradation census, reported in
+// the run report's faults block and sampled per epoch.
+type DeviceStats struct {
+	// WornWrites counts array writes that hit a line past its lifetime (each
+	// triggers a write-verify failure handled by the degradation ladder).
+	WornWrites uint64 `json:"worn_writes"`
+	// ECPCorrections counts write-verify failures absorbed by a line's
+	// correction budget.
+	ECPCorrections uint64 `json:"ecp_corrections"`
+	// Remaps counts lines remapped to the spare region after exhausting
+	// their correction budget.
+	Remaps uint64 `json:"remaps"`
+	// SpareLines is the provisioned spare-region size; SpareUsed how much of
+	// it is allocated.
+	SpareLines uint64 `json:"spare_lines"`
+	SpareUsed  uint64 `json:"spare_used"`
+	// StuckLines is the number of lines that are permanently stuck (worn
+	// out, correction budget exhausted, spare region full); StuckWrites the
+	// writes that failed against them.
+	StuckLines  uint64 `json:"stuck_lines"`
+	StuckWrites uint64 `json:"stuck_writes"`
+	// TransientBitFlips counts reads corrupted by a transient bit error.
+	TransientBitFlips uint64 `json:"transient_bit_flips"`
+	// BanksRetired is the number of banks whose stuck-line count reached the
+	// retirement limit.
+	BanksRetired int `json:"banks_retired"`
+}
+
+// RecoveryReport is the outcome of one crash-point recovery scrub: what the
+// dirty metadata caches lost, what the scrub dropped or repaired, and what
+// the recovered controller serves. All fields are deterministic for a given
+// seed/config/crash point.
+type RecoveryReport struct {
+	// CrashedAt is the request index at which the run was cut.
+	CrashedAt uint64 `json:"crashed_at"`
+	// DirtyMetaLines is the number of dirty cached metadata lines whose
+	// updates were lost (never written back before the crash).
+	DirtyMetaLines int `json:"dirty_meta_lines"`
+	// LostMappings counts logical lines whose latest mapping never reached
+	// NVM — unreachable after the crash, poisoned.
+	LostMappings int `json:"lost_mappings"`
+	// StaleMappings counts persisted mappings dropped because their
+	// generation tag predates the location's recovered counter (the location
+	// was freed and rewritten after the mapping was persisted).
+	StaleMappings int `json:"stale_mappings"`
+	// DanglingMappings counts persisted mappings dropped because their
+	// target location failed verification (no persisted fingerprint, or the
+	// location was dropped as divergent).
+	DanglingMappings int `json:"dangling_mappings"`
+	// DivergentLocations counts locations dropped because the stored
+	// ciphertext does not decrypt consistently under the recovered counter —
+	// detected via the persisted fingerprint or the integrity tree.
+	DivergentLocations int `json:"divergent_locations"`
+	// RefcountMismatches counts locations whose recovered reference count
+	// differs from the pre-crash in-memory count (the divergence the scrub
+	// repaired by recounting reachable mappings).
+	RefcountMismatches int `json:"refcount_mismatches"`
+	// RecoveredMappings / LiveLocations describe the consistent state the
+	// scrub rebuilt.
+	RecoveredMappings int `json:"recovered_mappings"`
+	LiveLocations     int `json:"live_locations"`
+	// PoisonedLines is the number of logical lines that now return a
+	// detected-corruption error instead of data.
+	PoisonedLines int `json:"poisoned_lines"`
+}

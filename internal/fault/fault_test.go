@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"dewrite/internal/config"
+)
+
+func TestConfigEnabledAndDefaults(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config must be disabled")
+	}
+	if !(Config{Endurance: 100}).Enabled() || !(Config{ReadBER: 1e-6}).Enabled() {
+		t.Fatal("endurance or BER alone must enable injection")
+	}
+
+	// A disabled config passes through WithDefaults untouched.
+	if got := (Config{Seed: 7}).WithDefaults(); got != (Config{Seed: 7}) {
+		t.Fatalf("disabled config mutated by WithDefaults: %+v", got)
+	}
+
+	got := Config{Endurance: 1000}.WithDefaults()
+	if got.LifetimeCoV != DefaultLifetimeCoV || got.ECPBudget != DefaultECPBudget ||
+		got.SpareFrac != DefaultSpareFrac || got.BankRetireLimit != DefaultBankRetireLimit {
+		t.Fatalf("defaults not applied: %+v", got)
+	}
+
+	// Explicit values survive.
+	keep := Config{Endurance: 1000, LifetimeCoV: 0.5, ECPBudget: 9, SpareFrac: 0.25, BankRetireLimit: 3}
+	if got := keep.WithDefaults(); got != keep {
+		t.Fatalf("explicit values overwritten: %+v", got)
+	}
+}
+
+func TestNilInjectorIsSafeAndInert(t *testing.T) {
+	var in *Injector
+	if in != New(Config{}) {
+		t.Fatal("disabled config must yield the nil injector")
+	}
+	if in.Config() != (Config{}) {
+		t.Fatal("nil injector Config must be zero")
+	}
+	if in.Lifetime(42) != 0 {
+		t.Fatal("nil injector must report immortal lines")
+	}
+	if in.WornOut(42, math.MaxUint64) {
+		t.Fatal("nil injector must never report wear-out")
+	}
+	if _, faulted := in.ReadFault(42); faulted {
+		t.Fatal("nil injector must never fault a read")
+	}
+}
+
+func TestLifetimeDeterministicAndOrderIndependent(t *testing.T) {
+	cfg := Config{Seed: 99, Endurance: 10000}
+	a, b := New(cfg), New(cfg)
+
+	// Same (seed, line) → same lifetime, regardless of which other lines were
+	// drawn first or how often.
+	want := a.Lifetime(5)
+	for line := uint64(0); line < 64; line++ {
+		b.Lifetime(63 - line)
+	}
+	if got := b.Lifetime(5); got != want {
+		t.Fatalf("lifetime draw depends on draw order: %d vs %d", got, want)
+	}
+	if got := a.Lifetime(5); got != want {
+		t.Fatalf("repeated draw differs: %d vs %d", got, want)
+	}
+
+	// A different seed shifts the draws.
+	c := New(Config{Seed: 100, Endurance: 10000})
+	same := 0
+	for line := uint64(0); line < 256; line++ {
+		if a.Lifetime(line) == c.Lifetime(line) {
+			same++
+		}
+	}
+	if same > 8 {
+		t.Fatalf("%d/256 lifetimes identical across seeds", same)
+	}
+}
+
+func TestLifetimeDistribution(t *testing.T) {
+	const (
+		endurance = 100000
+		n         = 20000
+	)
+	in := New(Config{Seed: 1, Endurance: endurance})
+	floor := uint64(endurance / 20)
+	var sum float64
+	for line := uint64(0); line < n; line++ {
+		lt := in.Lifetime(line)
+		if lt < floor {
+			t.Fatalf("line %d lifetime %d below floor %d", line, lt, floor)
+		}
+		sum += float64(lt)
+	}
+	mean := sum / n
+	// Gaussian around the budget with CoV 0.15: the sample mean lands within
+	// a percent of the endurance budget.
+	if mean < endurance*0.99 || mean > endurance*1.01 {
+		t.Fatalf("mean lifetime %.0f, want ≈%d", mean, endurance)
+	}
+	var sq float64
+	for line := uint64(0); line < n; line++ {
+		d := float64(in.Lifetime(line)) - mean
+		sq += d * d
+	}
+	cov := math.Sqrt(sq/n) / mean
+	if cov < 0.12 || cov > 0.18 {
+		t.Fatalf("lifetime CoV %.3f, want ≈%.2f", cov, DefaultLifetimeCoV)
+	}
+}
+
+func TestWornOut(t *testing.T) {
+	in := New(Config{Seed: 4, Endurance: 1000})
+	lt := in.Lifetime(7)
+	if in.WornOut(7, lt) {
+		t.Fatal("wear equal to lifetime must not be worn out yet")
+	}
+	if !in.WornOut(7, lt+1) {
+		t.Fatal("wear past lifetime must be worn out")
+	}
+	// Wear-out disabled: immortal regardless of wear.
+	if New(Config{Seed: 4, ReadBER: 0.1}).WornOut(7, math.MaxUint64) {
+		t.Fatal("BER-only injector must not report wear-out")
+	}
+}
+
+func TestReadFaultRateAndDeterminism(t *testing.T) {
+	const (
+		ber   = 1e-3
+		reads = 200000
+	)
+	run := func() (hits int, bits []int) {
+		in := New(Config{Seed: 11, ReadBER: ber})
+		for i := 0; i < reads; i++ {
+			if bit, faulted := in.ReadFault(uint64(i % 512)); faulted {
+				hits++
+				bits = append(bits, bit)
+			}
+		}
+		return
+	}
+	hits1, bits1 := run()
+	hits2, bits2 := run()
+	if hits1 != hits2 {
+		t.Fatalf("fault count not reproducible: %d vs %d", hits1, hits2)
+	}
+	for i := range bits1 {
+		if bits1[i] != bits2[i] {
+			t.Fatalf("flip %d targets different bits across runs: %d vs %d", i, bits1[i], bits2[i])
+		}
+	}
+
+	// Hit rate near the configured BER (binomial sd ≈ 14 for these numbers).
+	want := float64(reads) * ber
+	if float64(hits1) < want*0.7 || float64(hits1) > want*1.3 {
+		t.Fatalf("observed %d faults over %d reads, want ≈%.0f", hits1, reads, want)
+	}
+	for _, bit := range bits1 {
+		if bit < 0 || bit >= config.LineBits {
+			t.Fatalf("flip bit %d outside the %d-bit line", bit, config.LineBits)
+		}
+	}
+}

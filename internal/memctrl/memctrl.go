@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"dewrite/internal/config"
+	"dewrite/internal/fault"
 	"dewrite/internal/stats"
 	"dewrite/internal/telemetry"
 	"dewrite/internal/units"
@@ -93,6 +94,14 @@ type Config struct {
 	Banks    int
 	RowLines uint64
 	Timing   config.Timing
+
+	// Faults arms the wear-out model for the open-loop run: writes past a
+	// line's drawn lifetime fail the write-verify and walk the degradation
+	// ladder (ECP correction, spare-region rewrite), which shows up as extra
+	// service time on the bank. Transient read errors are not modelled here —
+	// the open-loop simulator carries no data to corrupt. The zero value
+	// disables injection.
+	Faults fault.Config
 }
 
 // DefaultConfig mirrors the experiment device: 8 banks, 16-line rows, the
@@ -104,11 +113,99 @@ func DefaultConfig() Config {
 // Simulate services every request and returns completions in the order the
 // requests were given. Requests need not be pre-sorted by arrival.
 func Simulate(reqs []Request, cfg Config, policy Policy) []Completion {
+	out, _ := SimulateStats(reqs, cfg, policy)
+	return out
+}
+
+// wearState is the per-run wear-out bookkeeping SimulateStats threads through
+// the bank loops. Every map is keyed by external line address; each address
+// belongs to exactly one bank, so sequential per-bank simulation never races
+// and — the injector's lifetime draw being a pure function of (seed, line) —
+// the outcome is independent of bank iteration order.
+type wearState struct {
+	inj     *fault.Injector
+	cfg     fault.Config
+	wear    map[uint64]uint64
+	ecpUsed map[uint64]int
+	remaps  map[uint64]int // remap generation: how many spare lines consumed
+	stuck   map[uint64]bool
+	spares  uint64
+	stats   fault.DeviceStats
+}
+
+// physKey derives the injector's lifetime key for an address in its current
+// remap generation — a remapped line is physically a fresh spare, so it draws
+// a fresh lifetime.
+func (ws *wearState) physKey(addr uint64) uint64 {
+	return addr ^ (uint64(ws.remaps[addr]) * 0xa0761d6478bd642f)
+}
+
+// onWrite walks the degradation ladder for one scheduled write and returns the
+// extra service time it costs: a worn line fails the write-verify (one
+// row-open read), then either an ECP entry absorbs it, a spare-region rewrite
+// re-programs it (one extra write pulse), or the line is permanently stuck.
+func (ws *wearState) onWrite(addr uint64, t config.Timing) units.Duration {
+	if ws.inj == nil {
+		return 0
+	}
+	if ws.stuck[addr] {
+		ws.stats.StuckWrites++
+		return t.NVMRowHit
+	}
+	ws.wear[addr]++
+	key := ws.physKey(addr)
+	if !ws.inj.WornOut(key, ws.wear[addr]) {
+		return 0
+	}
+	ws.stats.WornWrites++
+	extra := t.NVMRowHit // the verify read that catches the stuck bits
+	switch {
+	case ws.ecpUsed[key] < ws.cfg.ECPBudget:
+		ws.ecpUsed[key]++
+		ws.stats.ECPCorrections++
+	case ws.stats.SpareUsed < ws.spares:
+		ws.stats.SpareUsed++
+		ws.stats.Remaps++
+		ws.remaps[addr]++
+		ws.wear[addr] = 0 // the spare line starts unworn
+		extra += t.NVMWrite
+	default:
+		ws.stuck[addr] = true
+		ws.stats.StuckLines++
+		ws.stats.StuckWrites++
+	}
+	return extra
+}
+
+// SimulateStats is Simulate with the wear-out census surfaced. Without an
+// armed Config.Faults the census is the zero value.
+func SimulateStats(reqs []Request, cfg Config, policy Policy) ([]Completion, fault.DeviceStats) {
 	if cfg.Banks <= 0 {
 		panic("memctrl: no banks")
 	}
 	if cfg.RowLines == 0 {
 		cfg.RowLines = 1
+	}
+
+	var ws *wearState
+	if inj := fault.New(cfg.Faults); inj != nil {
+		var maxAddr uint64
+		for _, r := range reqs {
+			if r.Addr > maxAddr {
+				maxAddr = r.Addr
+			}
+		}
+		fc := inj.Config()
+		ws = &wearState{
+			inj:     inj,
+			cfg:     fc,
+			wear:    make(map[uint64]uint64),
+			ecpUsed: make(map[uint64]int),
+			remaps:  make(map[uint64]int),
+			stuck:   make(map[uint64]bool),
+			spares:  uint64(fc.SpareFrac * float64(maxAddr+1)),
+		}
+		ws.stats.SpareLines = ws.spares
 	}
 
 	// Partition per bank, keeping each request's original index so results
@@ -149,6 +246,9 @@ func Simulate(reqs []Request, cfg Config, policy Policy) []Completion {
 			switch {
 			case r.Op == Write:
 				service = cfg.Timing.NVMWrite
+				if ws != nil {
+					service += ws.onWrite(r.Addr, cfg.Timing)
+				}
 			case hit:
 				service = cfg.Timing.NVMRowHit
 			default:
@@ -162,7 +262,10 @@ func Simulate(reqs []Request, cfg Config, policy Policy) []Completion {
 			out[r.idx] = Completion{Request: r.Request, Start: start, Done: done, Hit: hit}
 		}
 	}
-	return out
+	if ws != nil {
+		return out, ws.stats
+	}
+	return out, fault.DeviceStats{}
 }
 
 // SimulateTraced is Simulate plus telemetry: each completion is emitted as a

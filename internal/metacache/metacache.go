@@ -13,6 +13,7 @@ package metacache
 
 import (
 	"fmt"
+	"sort"
 
 	"dewrite/internal/stats"
 	"dewrite/internal/telemetry"
@@ -208,4 +209,20 @@ func (c *Cache) EmitSamples(trc *telemetry.Tracer, now units.Time) {
 		return
 	}
 	trc.Sample("metacache."+c.name+".hit_rate", now, c.HitRate())
+}
+
+// DirtyBlocks returns the blocks currently cached dirty, sorted, without
+// mutating any cache state — the crash model's census of metadata updates
+// that never reached NVM.
+func (c *Cache) DirtyBlocks() []uint64 {
+	var dirty []uint64
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid && c.sets[s][i].dirty {
+				dirty = append(dirty, c.sets[s][i].block)
+			}
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	return dirty
 }

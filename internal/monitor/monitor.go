@@ -109,6 +109,12 @@ func (r *Registry) PublishEpoch(prefix string, e *timeline.Epoch) {
 	r.Set(prefix+".banks_busy", float64(e.BanksBusy))
 	r.Set(prefix+".wear_max", float64(e.WearMax))
 	r.Set(prefix+".wear_gini", e.WearGini)
+	r.Set(prefix+".fault_ecp", float64(e.FaultECP))
+	r.Set(prefix+".fault_remaps", float64(e.FaultRemaps))
+	r.Set(prefix+".fault_stuck", float64(e.FaultStuck))
+	r.Set(prefix+".fault_flips", float64(e.FaultFlips))
+	r.Set(prefix+".fault_spare_used", float64(e.FaultSpareUsed))
+	r.Set(prefix+".fault_banks_retired", float64(e.FaultBanksRetired))
 }
 
 // Progress returns an engine observer that maintains the suite-level gauges

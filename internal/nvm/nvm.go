@@ -35,6 +35,7 @@ type Device struct {
 	store    map[uint64][]byte
 	wear     map[uint64]uint64
 	trc      *telemetry.Tracer // nil when tracing is off
+	faults   *faultState       // nil when the fault layer is not armed
 
 	// Incrementally maintained views of d.wear, so per-epoch sampling never
 	// scans the full wear map: cumulative writes per bank, and a wear-value →
@@ -169,6 +170,7 @@ func (d *Device) read(now units.Time, lineAddr uint64, open bool) ([]byte, units
 
 func (d *Device) readInto(now units.Time, lineAddr uint64, open bool, dst []byte) units.Time {
 	d.checkAddr(lineAddr)
+	lineAddr = d.resolve(lineAddr)
 	bank := d.Bank(lineAddr)
 	b := &d.banks[bank]
 	row := d.row(lineAddr)
@@ -207,38 +209,63 @@ func (d *Device) readInto(now units.Time, lineAddr uint64, open bool, dst []byte
 			clear(dst)
 		}
 	}
+	if d.faults != nil {
+		// Draw the transient-error outcome even for timing-only reads so the
+		// fault sequence depends only on the (deterministic) access stream.
+		if bit, ok := d.faults.inj.ReadFault(lineAddr); ok {
+			d.faults.transientFlips++
+			if dst != nil {
+				dst[bit>>3] ^= 1 << (uint(bit) & 7)
+			}
+		}
+	}
 	return done
 }
 
 // Write performs a timed array write of one line and returns the completion
 // time. The device records the number of bits that actually flipped relative
 // to the previous contents, which the bit-level write-reduction experiments
-// consume.
+// consume. With the fault layer armed, a write that the degradation ladder
+// cannot place fails silently here — callers that can relocate data should
+// use WriteChecked instead.
 func (d *Device) Write(now units.Time, lineAddr uint64, data []byte) units.Time {
+	done, _ := d.WriteChecked(now, lineAddr, data)
+	return done
+}
+
+func (d *Device) checkWriteArgs(lineAddr uint64, data []byte) {
 	if len(data) != config.LineSize {
 		panic(fmt.Sprintf("nvm: write of %d bytes, want %d", len(data), config.LineSize))
 	}
 	d.checkAddr(lineAddr)
+}
+
+// writeArray is the timed array write at the physical address phys (which may
+// lie in the spare region, past the nominal address range). mutate=false
+// models a write whose verify will fail: the bank is occupied, energy is
+// spent and the cells are pulsed (wear accrues), but the stored contents do
+// not change and no bit-flip statistics are recorded.
+func (d *Device) writeArray(now units.Time, phys uint64, data []byte, mutate bool) units.Time {
 	// The line is transferred over the channel before the array programs it.
-	bank := d.Bank(lineAddr)
+	bank := d.Bank(phys)
 	busDone := d.busTransfer(bank, now)
 	b := &d.banks[bank]
 	start := units.Max(busDone, b.busyUntil)
 	done := start.Add(d.writeLat)
 	b.busyUntil = done
-	b.openRow, b.hasOpen = d.row(lineAddr), !d.geom.ClosePage
+	b.openRow, b.hasOpen = d.row(phys), !d.geom.ClosePage
 	if start > now {
-		d.trc.Span(telemetry.CatBankQueue, telemetry.TrackBankBase+int32(bank), "", now, start, lineAddr)
+		d.trc.Span(telemetry.CatBankQueue, telemetry.TrackBankBase+int32(bank), "", now, start, phys)
 	}
-	d.trc.Span(telemetry.CatBankService, telemetry.TrackBankBase+int32(bank), "write", start, done, lineAddr)
+	d.trc.Span(telemetry.CatBankService, telemetry.TrackBankBase+int32(bank), "write", start, done, phys)
 
 	d.writes.Inc()
 	d.writeWait.Observe(start.Sub(units.Min(now, busDone)))
 	d.energyPJ += d.energy.NVMWriteLine
-	d.wear[lineAddr]++
+	d.wear[phys]++
 	d.bankWear[bank]++
-	if d.histReady && (d.wearBound == 0 || lineAddr < d.wearBound) {
-		nw := d.wear[lineAddr]
+	if d.histReady && (d.wearBound == 0 || phys < d.wearBound) {
+		nw := d.wear[phys]
 		if nw > 1 {
 			if d.wearHist[nw-1] == 1 {
 				delete(d.wearHist, nw-1)
@@ -248,8 +275,11 @@ func (d *Device) Write(now units.Time, lineAddr uint64, data []byte) units.Time 
 		}
 		d.wearHist[nw]++
 	}
+	if !mutate {
+		return done
+	}
 
-	old := d.store[lineAddr]
+	old := d.store[phys]
 	flips := 0
 	if old == nil {
 		for _, b := range data {
@@ -263,16 +293,16 @@ func (d *Device) Write(now units.Time, lineAddr uint64, data []byte) units.Time 
 	d.bitsFlipped.Add(uint64(flips))
 	d.bitsWritten.Add(config.LineBits)
 
-	d.Poke(lineAddr, data)
+	d.pokeRaw(phys, data)
 	return done
 }
 
 // Peek returns a copy of the line contents without advancing time or
-// statistics. Unwritten lines read as zero.
+// statistics, following any spare-region remap. Unwritten lines read as zero.
 func (d *Device) Peek(lineAddr uint64) []byte {
 	d.checkAddr(lineAddr)
 	out := make([]byte, config.LineSize)
-	if line, ok := d.store[lineAddr]; ok {
+	if line, ok := d.store[d.resolve(lineAddr)]; ok {
 		copy(out, line)
 	}
 	return out
@@ -282,10 +312,14 @@ func (d *Device) Peek(lineAddr uint64) []byte {
 // warmup and tests only.
 func (d *Device) Poke(lineAddr uint64, data []byte) {
 	d.checkAddr(lineAddr)
-	line, ok := d.store[lineAddr]
+	d.pokeRaw(d.resolve(lineAddr), data)
+}
+
+func (d *Device) pokeRaw(phys uint64, data []byte) {
+	line, ok := d.store[phys]
 	if !ok {
 		line = make([]byte, config.LineSize)
-		d.store[lineAddr] = line
+		d.store[phys] = line
 	}
 	copy(line, data)
 }
@@ -394,6 +428,14 @@ func (d *Device) SampleEpoch(e *timeline.Epoch, now units.Time, dataLines uint64
 		d.histReady = true
 	}
 	e.WearMax, e.WearMean, e.WearGini, e.WearCoV, d.wearScratch = timeline.DistHist(d.wearHist, d.wearScratch)
+	if fs := d.faults; fs != nil {
+		e.FaultECP = fs.ecpCorrections
+		e.FaultRemaps = fs.remaps
+		e.FaultStuck = uint64(len(fs.stuck))
+		e.FaultFlips = fs.transientFlips
+		e.FaultSpareUsed = fs.spareNext
+		e.FaultBanksRetired = uint64(fs.banksRetired)
+	}
 }
 
 // AddEnergy accounts energy spent by logic attached to the device (AES, CRC,

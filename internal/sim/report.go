@@ -7,6 +7,7 @@ import (
 
 	"dewrite/internal/baseline"
 	"dewrite/internal/core"
+	"dewrite/internal/fault"
 	"dewrite/internal/nvm"
 	"dewrite/internal/timeline"
 	"dewrite/internal/units"
@@ -15,11 +16,15 @@ import (
 
 // ReportSchema identifies the JSON layout of RunReport; bump it whenever a
 // field changes meaning so downstream tooling can detect incompatibility.
-// v2 added the optional timeline block; every v1 field is unchanged, so v1
-// documents still decode (see DecodeRunReport).
-const ReportSchema = "dewrite/run/v2"
+// v3 added the optional faults block, v2 the optional timeline block; every
+// earlier field is unchanged, so v2 and v1 documents still decode (see
+// DecodeRunReport).
+const ReportSchema = "dewrite/run/v3"
 
-// ReportSchemaV1 is the previous layout: identical minus the timeline block.
+// ReportSchemaV2 is the previous layout: identical minus the faults block.
+const ReportSchemaV2 = "dewrite/run/v2"
+
+// ReportSchemaV1 is the original layout: v2 minus the timeline block.
 const ReportSchemaV1 = "dewrite/run/v1"
 
 // LatencyQuantiles is the machine-readable latency section of a run report.
@@ -64,6 +69,19 @@ type RunReport struct {
 	// Timeline is the epoch time series (v2), present when the run was
 	// collected with Options.Timeline.
 	Timeline *timeline.Report `json:"timeline,omitempty"`
+
+	// Faults is the fault-injection block (v3), present when the run armed
+	// device fault injection or fired a crash point.
+	Faults *FaultReport `json:"faults,omitempty"`
+}
+
+// FaultReport is the faults block of a v3 run report: the armed injection
+// config (defaults applied), the device's degradation census, and — when a
+// crash point fired — the recovery scrub's report.
+type FaultReport struct {
+	Config fault.Config          `json:"config"`
+	Device fault.DeviceStats     `json:"device"`
+	Crash  *fault.RecoveryReport `json:"crash,omitempty"`
 }
 
 // NewRunReport assembles the machine-readable report for a finished run. The
@@ -113,23 +131,32 @@ func NewRunReport(res Result, mem Memory) RunReport {
 		r.Baseline = &rep
 	}
 	r.Timeline = res.Timeline
+	if dev := DeviceOf(mem); dev != nil && (dev.FaultsEnabled() || res.Crash != nil) {
+		r.Faults = &FaultReport{
+			Config: dev.FaultConfig(),
+			Device: dev.FaultStats(),
+			Crash:  res.Crash,
+		}
+	} else if res.Crash != nil {
+		r.Faults = &FaultReport{Crash: res.Crash}
+	}
 	return r
 }
 
-// DecodeRunReport parses a run report, accepting both the current v2 layout
-// and v1 documents (whose fields are a strict subset — they decode with a nil
-// Timeline). Any other schema string is an error.
+// DecodeRunReport parses a run report, accepting the current v3 layout as
+// well as v2 and v1 documents (whose fields are strict subsets — they decode
+// with nil Faults / Timeline blocks). Any other schema string is an error.
 func DecodeRunReport(data []byte) (RunReport, error) {
 	var r RunReport
 	if err := json.Unmarshal(data, &r); err != nil {
 		return RunReport{}, fmt.Errorf("run report: %w", err)
 	}
 	switch r.Schema {
-	case ReportSchema, ReportSchemaV1:
+	case ReportSchema, ReportSchemaV2, ReportSchemaV1:
 		return r, nil
 	default:
-		return RunReport{}, fmt.Errorf("run report: unsupported schema %q (want %q or %q)",
-			r.Schema, ReportSchema, ReportSchemaV1)
+		return RunReport{}, fmt.Errorf("run report: unsupported schema %q (want %q, %q or %q)",
+			r.Schema, ReportSchema, ReportSchemaV2, ReportSchemaV1)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"dewrite/internal/config"
 	"dewrite/internal/core"
 	"dewrite/internal/cpu"
+	"dewrite/internal/fault"
 	"dewrite/internal/nvm"
 	"dewrite/internal/stats"
 	"dewrite/internal/telemetry"
@@ -118,19 +119,64 @@ func (s Scheme) String() string {
 
 // NewMemory constructs a fresh memory of the given scheme over dataLines.
 func NewMemory(s Scheme, dataLines uint64, cfg config.Config) Memory {
+	return NewMemoryWith(s, dataLines, cfg, fault.Config{}, false)
+}
+
+// NewMemoryWith is NewMemory with the fault layer armed (when faults is
+// enabled) and, with track set, crash-consistency tracking so the memory
+// supports Crash() mid-run.
+func NewMemoryWith(s Scheme, dataLines uint64, cfg config.Config, faults fault.Config, track bool) Memory {
+	mode, ok := map[Scheme]core.Mode{
+		SchemeDeWrite:  core.ModeDeWrite,
+		SchemeDirect:   core.ModeDirect,
+		SchemeParallel: core.ModeParallel,
+	}[s]
+	if ok {
+		return core.New(core.Options{
+			DataLines: dataLines, Config: cfg, Mode: mode,
+			Faults: faults, TrackPersist: track,
+		})
+	}
 	switch s {
-	case SchemeDeWrite:
-		return core.New(core.Options{DataLines: dataLines, Config: cfg, Mode: core.ModeDeWrite})
-	case SchemeDirect:
-		return core.New(core.Options{DataLines: dataLines, Config: cfg, Mode: core.ModeDirect})
-	case SchemeParallel:
-		return core.New(core.Options{DataLines: dataLines, Config: cfg, Mode: core.ModeParallel})
 	case SchemeSecureNVM:
-		return baseline.NewSecureNVM(dataLines, cfg)
+		m := baseline.NewSecureNVM(dataLines, cfg)
+		if faults.Enabled() {
+			m.EnableFaults(faults)
+		}
+		if track {
+			m.EnableCrashTracking()
+		}
+		return m
 	case SchemeShredder:
-		return baseline.NewShredder(dataLines, cfg)
+		m := baseline.NewShredder(dataLines, cfg)
+		if faults.Enabled() {
+			m.EnableFaults(faults)
+		}
+		if track {
+			m.EnableCrashTracking()
+		}
+		return m
 	default:
 		panic(fmt.Sprintf("sim: unknown scheme %d", s))
+	}
+}
+
+// crashRecover cuts the power on mem without flushing its metadata caches
+// and returns the recovered memory plus the scrub's report. Schemes that
+// cannot crash (opaque memories) return an error.
+func crashRecover(mem Memory) (Memory, *fault.RecoveryReport, error) {
+	switch m := mem.(type) {
+	case *core.Controller:
+		nc, rep, err := m.Crash()
+		return nc, rep, err
+	case *baseline.SecureNVM:
+		ns, rep, err := m.Crash()
+		return ns, rep, err
+	case *baseline.Shredder:
+		ns, rep, err := m.Crash()
+		return ns, rep, err
+	default:
+		return nil, nil, fmt.Errorf("sim: scheme %T does not support crash points", mem)
 	}
 }
 
@@ -167,6 +213,16 @@ type Options struct {
 	// Seed is ignored. Several runs (one per scheme) may share one Prepared
 	// concurrently — the stream is immutable.
 	Prepared *Prepared
+	// CrashAt, when non-zero, cuts power after that many requests (1-based,
+	// must be ≤ Requests) without flushing metadata caches, recovers, and
+	// finishes the run on the recovered memory. The memory must have been
+	// built with crash tracking (see NewMemoryWith). Post-crash device
+	// counters restart from the recovered state; Result.Crash carries the
+	// recovery report.
+	CrashAt uint64
+	// Faults arms deterministic device-fault injection on memories built by
+	// RunScheme; ignored when the caller constructs the memory itself.
+	Faults fault.Config
 }
 
 // Prepared is one application's request stream materialized once so every
@@ -252,7 +308,19 @@ type Result struct {
 
 	// Timeline is the epoch time series, nil unless Options.Timeline was set.
 	Timeline *timeline.Report
+
+	// Crash is the recovery scrub's report, nil unless Options.CrashAt fired.
+	Crash *fault.RecoveryReport
+
+	// finalMem is the memory that finished the run — the crash-recovered
+	// successor when CrashAt fired, the original otherwise.
+	finalMem Memory
 }
+
+// FinalMemory returns the memory that finished the run: after a crash point
+// the recovered controller, otherwise the one passed to Run. Reports must be
+// built from this, not from the memory handed to Run.
+func (r Result) FinalMemory() Memory { return r.finalMem }
 
 // Run drives opts.Requests generator requests through mem and returns the
 // measurements.
@@ -262,6 +330,9 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 	}
 	if opts.Warmup < 0 || opts.Warmup >= opts.Requests {
 		panic("sim: warmup must be in [0, Requests)")
+	}
+	if opts.CrashAt > uint64(opts.Requests) {
+		panic("sim: CrashAt beyond Requests")
 	}
 	prep := opts.Prepared
 	var gen *workload.Generator
@@ -292,8 +363,9 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 	tl := opts.Timeline
 	var zeroWrites uint64
 	var tlSrc timeline.Sampler
+	var schemeSampler timeline.Sampler
 	if tl.Enabled() {
-		schemeSampler, _ := mem.(timeline.Sampler)
+		schemeSampler, _ = mem.(timeline.Sampler)
 		tlSrc = timeline.SamplerFunc(func(e *timeline.Epoch, now units.Time) {
 			if schemeSampler != nil {
 				schemeSampler.SampleEpoch(e, now)
@@ -325,6 +397,32 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 		}
 		_, done := mem.Read(issue, addr)
 		return done
+	}
+
+	// doCrash swaps mem for its crash-recovered successor mid-loop. Recovery
+	// is instantaneous in simulated time (the scrub runs at boot); the CPU
+	// machine state deliberately survives — the crash model covers the memory
+	// system, not the cores. The recovered device's counters restart from the
+	// loaded state, so the warmup baseline is re-zeroed: pre-crash device
+	// traffic is lost from the measurement, exactly as it is lost to the
+	// power cut.
+	doCrash := func() {
+		nm, rep, err := crashRecover(mem)
+		if err != nil {
+			panic(fmt.Sprintf("sim: crash point at %d: %v (build the memory with NewMemoryWith track=true)",
+				opts.CrashAt, err))
+		}
+		rep.CrashedAt = opts.CrashAt
+		res.Crash = rep
+		mem = nm
+		if trc.Enabled() {
+			AttachTracer(mem, trc)
+		}
+		ri, _ = mem.(readerInto)
+		if tl.Enabled() {
+			schemeSampler, _ = mem.(timeline.Sampler)
+		}
+		dev0 = nvm.Stats{}
 	}
 
 	for i := 0; i < opts.Requests; i++ {
@@ -390,6 +488,9 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 				emitSamples(mem, trc, lastDone, uint64(i+1))
 			}
 			tl.Tick(lastDone, uint64(i+1), tlSrc)
+			if opts.CrashAt != 0 && uint64(i+1) == opts.CrashAt {
+				doCrash()
+			}
 			continue
 		}
 
@@ -437,6 +538,9 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 			emitSamples(mem, trc, lastDone, uint64(i+1))
 		}
 		tl.Tick(lastDone, uint64(i+1), tlSrc)
+		if opts.CrashAt != 0 && uint64(i+1) == opts.CrashAt {
+			doCrash()
+		}
 	}
 
 	tl.Finish(lastDone, uint64(opts.Requests), tlSrc)
@@ -468,6 +572,7 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 		res.EnergyPJ = st.EnergyPJ
 		res.Device = st
 	}
+	res.finalMem = mem
 	return res
 }
 
@@ -505,9 +610,9 @@ func devDelta(a, b nvm.Stats) nvm.Stats {
 // RunScheme is the common construct-and-run helper: it builds a fresh memory
 // of the scheme sized to the profile's working set and drives it.
 func RunScheme(s Scheme, prof workload.Profile, cfg config.Config, opts Options) (Result, Memory) {
-	mem := NewMemory(s, prof.WorkingSetLines, cfg)
+	mem := NewMemoryWith(s, prof.WorkingSetLines, cfg, opts.Faults, opts.CrashAt != 0)
 	res := Run(prof.Name, s.String(), mem, prof, opts)
-	return res, mem
+	return res, res.FinalMemory()
 }
 
 // WriteSpeedup returns base's total write latency over r's (Figure 14).

@@ -40,6 +40,14 @@ type Record struct {
 	DedupLive   uint64 `json:"dedup_live"`
 	DedupMapped uint64 `json:"dedup_mapped"`
 
+	// Fault/degradation gauges, cumulative (all zero when injection is off).
+	FaultECP          uint64 `json:"fault_ecp,omitempty"`
+	FaultRemaps       uint64 `json:"fault_remaps,omitempty"`
+	FaultStuck        uint64 `json:"fault_stuck,omitempty"`
+	FaultFlips        uint64 `json:"fault_flips,omitempty"`
+	FaultSpareUsed    uint64 `json:"fault_spare_used,omitempty"`
+	FaultBanksRetired uint64 `json:"fault_banks_retired,omitempty"`
+
 	BankWear []uint64 `json:"bank_wear,omitempty"` // cumulative writes per bank
 }
 
@@ -47,9 +55,9 @@ type Record struct {
 // per-epoch records in chronological order. It is the `timeline` block of
 // the dewrite/run/v2 report schema.
 type Report struct {
-	EpochBy string   `json:"epoch_by"`           // "requests" | "time"
-	Every   uint64   `json:"every"`              // requests, or picoseconds for "time"
-	Dropped uint64   `json:"dropped_epochs"`     // overwritten by the ring
+	EpochBy string   `json:"epoch_by"`       // "requests" | "time"
+	Every   uint64   `json:"every"`          // requests, or picoseconds for "time"
+	Dropped uint64   `json:"dropped_epochs"` // overwritten by the ring
 	Epochs  []Record `json:"epochs"`
 }
 
@@ -78,24 +86,30 @@ func (c *Collector) Report() *Report {
 // for the delta-rate fields.
 func makeRecord(e, prev *Epoch) Record {
 	rec := Record{
-		Epoch:         e.Index,
-		EndPs:         uint64(e.EndTime),
-		Requests:      e.Requests,
-		Writes:        e.Writes,
-		DupEliminated: e.DupEliminated,
-		ZeroWrites:    e.ZeroWrites,
-		DevReads:      e.DevReads,
-		DevWrites:     e.DevWrites,
-		EnergyPJ:      e.EnergyPJ,
-		BanksBusy:     e.BanksBusy,
-		QueueDepth:    e.QueueDepth,
-		WearMax:       e.WearMax,
-		WearMean:      e.WearMean,
-		WearGini:      e.WearGini,
-		WearCoV:       e.WearCoV,
-		DedupLive:     e.DedupLive,
-		DedupMapped:   e.DedupMapped,
-		BankWear:      append([]uint64(nil), e.BankWear...),
+		Epoch:             e.Index,
+		EndPs:             uint64(e.EndTime),
+		Requests:          e.Requests,
+		Writes:            e.Writes,
+		DupEliminated:     e.DupEliminated,
+		ZeroWrites:        e.ZeroWrites,
+		DevReads:          e.DevReads,
+		DevWrites:         e.DevWrites,
+		EnergyPJ:          e.EnergyPJ,
+		BanksBusy:         e.BanksBusy,
+		QueueDepth:        e.QueueDepth,
+		WearMax:           e.WearMax,
+		WearMean:          e.WearMean,
+		WearGini:          e.WearGini,
+		WearCoV:           e.WearCoV,
+		DedupLive:         e.DedupLive,
+		DedupMapped:       e.DedupMapped,
+		FaultECP:          e.FaultECP,
+		FaultRemaps:       e.FaultRemaps,
+		FaultStuck:        e.FaultStuck,
+		FaultFlips:        e.FaultFlips,
+		FaultSpareUsed:    e.FaultSpareUsed,
+		FaultBanksRetired: e.FaultBanksRetired,
+		BankWear:          append([]uint64(nil), e.BankWear...),
 	}
 	if e.NumBanks > 0 {
 		rec.Occupancy = float64(e.BanksBusy) / float64(e.NumBanks)
@@ -124,6 +138,7 @@ var csvHeader = []string{
 	"banks_busy", "occupancy", "queue_depth",
 	"wear_max", "wear_mean", "wear_gini", "wear_cov",
 	"meta_hit_rate", "dedup_live", "dedup_mapped",
+	"fault_ecp", "fault_remaps", "fault_stuck", "fault_flips",
 }
 
 // WriteCSV writes one row per epoch in csvHeader order. The encoding is
@@ -145,6 +160,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			strconv.Itoa(rec.BanksBusy), f(rec.Occupancy), strconv.Itoa(rec.QueueDepth),
 			u(rec.WearMax), f(rec.WearMean), f(rec.WearGini), f(rec.WearCoV),
 			f(rec.MetaHitRate), u(rec.DedupLive), u(rec.DedupMapped),
+			u(rec.FaultECP), u(rec.FaultRemaps), u(rec.FaultStuck), u(rec.FaultFlips),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

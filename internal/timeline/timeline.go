@@ -55,19 +55,19 @@ type Epoch struct {
 	Requests uint64     // cumulative requests retired
 
 	// Device state (filled by nvm.Device.SampleEpoch).
-	DevReads  uint64  // cumulative array reads
-	DevWrites uint64  // cumulative array writes
-	EnergyPJ  float64 // cumulative memory-system energy
-	BanksBusy int     // banks still servicing at EndTime (queue-depth gauge)
-	NumBanks  int     // device bank count (occupancy denominator)
-	QueueDepth int    // requests arrived but not completed (open-loop only)
+	DevReads   uint64  // cumulative array reads
+	DevWrites  uint64  // cumulative array writes
+	EnergyPJ   float64 // cumulative memory-system energy
+	BanksBusy  int     // banks still servicing at EndTime (queue-depth gauge)
+	NumBanks   int     // device bank count (occupancy denominator)
+	QueueDepth int     // requests arrived but not completed (open-loop only)
 
 	// Wear distribution over the sampled line region (data lines when the
 	// scheme knows its layout, the whole device otherwise).
 	WearMax  uint64
 	WearMean float64
-	WearGini float64 // Gini coefficient of per-line wear (0 = even)
-	WearCoV  float64 // coefficient of variation (stddev / mean)
+	WearGini float64  // Gini coefficient of per-line wear (0 = even)
+	WearCoV  float64  // coefficient of variation (stddev / mean)
 	BankWear []uint64 // cumulative array writes per bank (heatmap rows)
 
 	// Scheme state (filled by the controller/baseline SampleEpoch).
@@ -78,6 +78,15 @@ type Epoch struct {
 	MetaMisses    uint64
 	DedupLive     uint64 // live (referenced) locations
 	DedupMapped   uint64 // logical lines mapped away from their own slot
+
+	// Fault and degradation gauges (cumulative; filled by the device's
+	// SampleEpoch when the fault layer is armed, zero otherwise).
+	FaultECP          uint64 // ECP corrections consumed
+	FaultRemaps       uint64 // lines remapped to the spare region
+	FaultStuck        uint64 // permanently stuck lines
+	FaultFlips        uint64 // transient read bit flips injected
+	FaultSpareUsed    uint64 // spare lines allocated
+	FaultBanksRetired uint64 // banks past the stuck-line retirement limit
 }
 
 // reset clears an epoch slot for reuse, keeping its BankWear backing array.
