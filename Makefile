@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all build test lint vet bench
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint runs go vet plus dewrite-vet, the repository's custom analyzer suite
+# (determinism, poolrecycle, nilsafe, reportcompat — see DESIGN.md §10).
+lint: vet
+	$(GO) run ./cmd/dewrite-vet ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...

@@ -1,0 +1,94 @@
+// Command dewrite-vet runs the repository's custom static-analysis suite
+// (internal/lint) over Go packages: determinism, poolrecycle, nilsafe and
+// reportcompat. It is the multichecker CI runs as a required step.
+//
+// Usage:
+//
+//	dewrite-vet [-list] [-only analyzer[,analyzer]] [packages...]
+//
+// Packages default to ./... resolved in the current module. The exit status
+// is 0 when the tree is clean, 1 when any diagnostic fires, 2 on a driver
+// or load failure. Justified violations are silenced in place with
+// "//dewrite:allow <analyzer> <reason>" on the offending line or the line
+// above; see DESIGN.md section 10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dewrite/internal/lint"
+	"dewrite/internal/lint/analysis"
+	"dewrite/internal/lint/packages"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dewrite-vet [flags] [packages]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
+		printAnalyzers(os.Stderr)
+	}
+	flag.Parse()
+
+	if *list {
+		printAnalyzers(os.Stdout)
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "dewrite-vet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := packages.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dewrite-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	bad := false
+	for _, pkg := range pkgs {
+		diags, err := lint.RunPackage(pkg, analyzers...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-vet: %s: %v\n", pkg.ImportPath, err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			bad = true
+			fmt.Printf("%s\n", d)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func printAnalyzers(w *os.File) {
+	for _, a := range lint.Analyzers() {
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, summaryLine(a))
+	}
+}
+
+func summaryLine(a *analysis.Analyzer) string {
+	if i := strings.IndexByte(a.Doc, '\n'); i >= 0 {
+		return a.Doc[:i]
+	}
+	return a.Doc
+}

@@ -1,3 +1,9 @@
+// Deliberately dependency-free: the whole evaluation stack, including the
+// dewrite-vet static-analysis suite, builds against the standard library
+// alone. internal/lint/analysis mirrors the golang.org/x/tools/go/analysis
+// API so the analyzers could be repointed at a pinned x/tools if this module
+// ever takes on dependencies (see DESIGN.md §10 for why it is not pinned
+// today).
 module dewrite
 
 go 1.22

@@ -48,11 +48,11 @@ func TableI(s *Suite) []*stats.Table {
 
 func measureNsPerOp(f func()) float64 {
 	const iters = 2000
-	start := time.Now()
+	start := time.Now() //dewrite:allow determinism host-clock calibration feeds the "this host" columns benchdiff skips
 	for i := 0; i < iters; i++ {
 		f()
 	}
-	return float64(time.Since(start).Nanoseconds()) / iters
+	return float64(time.Since(start).Nanoseconds()) / iters //dewrite:allow determinism host-clock calibration feeds the "this host" columns benchdiff skips
 }
 
 // Figure2 reproduces Figure 2: the fraction of duplicate lines written to

@@ -122,9 +122,9 @@ type Outcome struct {
 func RunAll(s *Suite, exps []Experiment, workers int) []Outcome {
 	out := make([]Outcome, len(exps))
 	ForEach(workers, len(exps), func(i int) {
-		start := time.Now()
+		start := time.Now() //dewrite:allow determinism Outcome.Wall is observational host time, gated with TimeThreshold
 		tables := exps[i].Run(s)
-		out[i] = Outcome{Experiment: exps[i], Tables: tables, Wall: time.Since(start)}
+		out[i] = Outcome{Experiment: exps[i], Tables: tables, Wall: time.Since(start)} //dewrite:allow determinism Outcome.Wall is observational host time, gated with TimeThreshold
 	})
 	return out
 }

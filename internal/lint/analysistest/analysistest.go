@@ -1,0 +1,161 @@
+// Package analysistest runs dewrite-vet analyzers over fixture packages and
+// checks their diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest convention:
+//
+//	start := time.Now() // want `reads the wall clock`
+//
+// Each fixture is a directory of Go files under testdata/src/<analyzer>/.
+// Directory basenames are meaningful: the analyzers gate on the last
+// element of the package path, so a fixture named .../determinism/sim is
+// analyzed as a deterministic package while .../determinism/other is not.
+//
+// A line may carry several want patterns (` // want "a" "b" `), and a line
+// with a //dewrite:allow directive demonstrates suppression by carrying no
+// want at all: if suppression broke, the unexpected diagnostic fails the
+// test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dewrite/internal/lint"
+	"dewrite/internal/lint/analysis"
+	"dewrite/internal/lint/packages"
+)
+
+// wantRe captures the expectation list of one want comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads each fixture directory (paths are resolved from the test's
+// working directory; moduleDir is where `go list` runs so module-internal
+// imports resolve), applies the analyzer, and reports mismatches between the
+// diagnostics and the fixtures' want comments.
+func Run(t *testing.T, moduleDir string, a *analysis.Analyzer, fixtureDirs ...string) {
+	t.Helper()
+	pkgs, err := packages.LoadDirs(moduleDir, fixtureDirs...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.RunPackage(pkg, a)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Dir, err)
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type expectation struct {
+	pattern *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// checkWants compares diagnostics against the want comments of one package.
+func checkWants(t *testing.T, pkg *packages.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+
+	for _, d := range diags {
+		key := wantKey{file: d.Position.Filename, line: d.Position.Line}
+		exps := wants[key]
+		matched := false
+		for _, e := range exps {
+			if !e.matched && e.pattern.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Position, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", key.file, key.line, e.raw)
+			}
+		}
+	}
+}
+
+// collectWants parses every want comment in the package.
+func collectWants(t *testing.T, pkg *packages.Package) map[wantKey][]*expectation {
+	t.Helper()
+	wants := make(map[wantKey][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				patterns, err := splitPatterns(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					key := wantKey{file: pos.Filename, line: pos.Line}
+					wants[key] = append(wants[key], &expectation{pattern: re, raw: p})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses a want payload: a sequence of double-quoted or
+// backquoted strings.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for len(s) > 0 {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			q, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, q)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want")
+	}
+	return out, nil
+}

@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dewrite/internal/lint/analysis"
+)
+
+// deterministicPkgs are the packages whose observable behavior must be a
+// pure function of configuration and seed: the simulation engine, every
+// scheme, the workload and fault generators, and the table/time-series
+// layers whose output lands in golden files. The gate is the import path's
+// last element so analysistest fixtures can opt in by directory name.
+var deterministicPkgs = map[string]bool{
+	"sim":         true,
+	"core":        true,
+	"baseline":    true,
+	"dedup":       true,
+	"nvm":         true,
+	"workload":    true,
+	"experiments": true,
+	"fault":       true,
+	"memctrl":     true,
+	"timeline":    true,
+	"stats":       true,
+}
+
+// Determinism reports constructs that make a deterministic package's output
+// depend on anything but configuration and seed.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: `forbid wall-clock time, global math/rand, and order-dependent map iteration in deterministic packages
+
+The repository's headline results are golden byte-identity tests: the same
+seed must produce the same bytes on every machine, at every -parallel count.
+Inside the deterministic packages this analyzer forbids (1) time.Now and
+time.Since, (2) importing math/rand (seeded internal/rng sources are the
+only permitted randomness), and (3) ranging over a map while appending to an
+outer slice that is never sorted afterwards, accumulating floats or strings,
+sending on a channel, or emitting output — the classic silently
+order-dependent loops.`,
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *analysis.Pass) (interface{}, error) {
+	if !deterministicPkgs[pathBase(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		checkForbiddenImports(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				checkWallClock(pass, sel)
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkMapRanges(pass, fn.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkForbiddenImports flags math/rand: its global functions share one
+// process-wide source, and even seeded local sources tie results to the Go
+// runtime's generator rather than to this repository's pinned internal/rng.
+func checkForbiddenImports(pass *analysis.Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		switch strings.Trim(imp.Path.Value, `"`) {
+		case "math/rand", "math/rand/v2":
+			pass.Reportf(imp.Pos(), "deterministic package imports %s; use the seeded sources in internal/rng instead", imp.Path.Value)
+		}
+	}
+}
+
+// checkWallClock flags references to time.Now and time.Since.
+func checkWallClock(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	obj, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return
+	}
+	if name := obj.Name(); name == "Now" || name == "Since" {
+		pass.Reportf(sel.Pos(), "deterministic package reads the wall clock (time.%s); simulated time must come from the event clock", name)
+	}
+}
+
+// checkMapRanges walks one function body looking for range-over-map loops
+// whose iteration order leaks into results.
+func checkMapRanges(pass *analysis.Pass, body *ast.BlockStmt) {
+	// candidate is an append target fed inside a map-range loop; it is
+	// cleared by a later sort call over the same variable.
+	type candidate struct {
+		obj types.Object
+		pos token.Pos // the offending append
+		end token.Pos // end of the range statement
+	}
+	var candidates []candidate
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(inner ast.Node) bool {
+			switch inner := inner.(type) {
+			case *ast.SendStmt:
+				pass.Reportf(inner.Pos(), "channel send inside map iteration delivers values in nondeterministic order")
+			case *ast.CallExpr:
+				if name, ok := emittingCall(pass, inner); ok {
+					pass.Reportf(inner.Pos(), "%s inside map iteration emits output in nondeterministic order", name)
+				}
+			case *ast.AssignStmt:
+				if obj, pos, ok := outerAppend(pass, inner, rng); ok {
+					candidates = append(candidates, candidate{obj: obj, pos: pos, end: rng.End()})
+				}
+				if obj, pos, ok := orderDependentAccum(pass, inner, rng); ok {
+					pass.Reportf(pos, "%s accumulation over map iteration is order-dependent; iterate sorted keys instead", obj)
+				}
+			}
+			return true
+		})
+		return true
+	})
+	if len(candidates) == 0 {
+		return
+	}
+
+	// A candidate survives only if no later sort call covers its variable.
+	sorted := make(map[types.Object]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortCall(pass, call) {
+			return true
+		}
+		var ids []*ast.Ident
+		for _, arg := range call.Args {
+			ids = exprIdents(arg, ids)
+		}
+		for _, id := range ids {
+			if obj := pass.ObjectOf(id); obj != nil {
+				if prev, ok := sorted[obj]; !ok || call.Pos() > prev {
+					sorted[obj] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	for _, c := range candidates {
+		if p, ok := sorted[c.obj]; ok && p > c.end {
+			continue
+		}
+		pass.Reportf(c.pos, "append to %q during map iteration without a later sort makes its order nondeterministic", c.obj.Name())
+	}
+}
+
+// emittingCall reports whether call writes observable output: an fmt print
+// family function or any Write*/Print*/Encode method. Emitting bytes while
+// walking a map serializes the map's iteration order.
+func emittingCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return "", false
+	}
+	name := obj.Name()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return "fmt." + name, true
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		// AddRow is this repository's table-emission call: rows land in the
+		// bench JSON and golden tables in append order.
+		if strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Print") ||
+			name == "Encode" || name == "AddRow" {
+			return "method " + name, true
+		}
+	}
+	return "", false
+}
+
+// outerAppend matches `x = append(x, ...)` where x is declared outside the
+// range statement.
+func outerAppend(pass *analysis.Pass, assign *ast.AssignStmt, rng *ast.RangeStmt) (types.Object, token.Pos, bool) {
+	if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return nil, token.NoPos, false
+	}
+	lhs, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, token.NoPos, false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, token.NoPos, false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil, token.NoPos, false
+	}
+	if b, ok := pass.ObjectOf(fn).(*types.Builtin); !ok || b.Name() != "append" {
+		return nil, token.NoPos, false
+	}
+	obj := pass.ObjectOf(lhs)
+	if obj == nil || obj.Pos() >= rng.Pos() {
+		return nil, token.NoPos, false // declared inside the loop: order can't leak
+	}
+	return obj, assign.Pos(), true
+}
+
+// orderDependentAccum matches `x op= v` on an outer variable whose type
+// makes the result order-dependent: float arithmetic is non-associative and
+// string concatenation is order-sensitive. Integer accumulation commutes and
+// is left alone.
+func orderDependentAccum(pass *analysis.Pass, assign *ast.AssignStmt, rng *ast.RangeStmt) (string, token.Pos, bool) {
+	switch assign.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return "", token.NoPos, false
+	}
+	if len(assign.Lhs) != 1 {
+		return "", token.NoPos, false
+	}
+	lhs, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return "", token.NoPos, false
+	}
+	obj := pass.ObjectOf(lhs)
+	if obj == nil || obj.Pos() >= rng.Pos() {
+		return "", token.NoPos, false
+	}
+	basic, ok := obj.Type().Underlying().(*types.Basic)
+	if !ok {
+		return "", token.NoPos, false
+	}
+	switch {
+	case basic.Info()&types.IsFloat != 0:
+		return "floating-point", assign.Pos(), true
+	case basic.Info()&types.IsString != 0 && assign.Tok == token.ADD_ASSIGN:
+		return "string", assign.Pos(), true
+	}
+	return "", token.NoPos, false
+}
+
+// isSortCall recognizes the sort and slices package entry points.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort", "slices":
+	default:
+		return false
+	}
+	name := obj.Name()
+	return strings.HasPrefix(name, "Sort") || strings.HasPrefix(name, "Slice") ||
+		name == "Strings" || name == "Ints" || name == "Float64s" || name == "Stable"
+}

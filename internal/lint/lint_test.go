@@ -1,0 +1,81 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dewrite/internal/lint"
+	"dewrite/internal/lint/analysistest"
+	"dewrite/internal/lint/packages"
+)
+
+// The fixture tests exercise each analyzer against three kinds of package:
+// a gated package full of violations (every one carries a // want comment,
+// including one suppressed case that must NOT be reported), a gated package
+// that follows the rules, and a package outside the gate where even blatant
+// violations are ignored.
+
+func TestDeterminismFixtures(t *testing.T) {
+	analysistest.Run(t, "../..", lint.Determinism,
+		"testdata/src/determinism/sim",
+		"testdata/src/determinism/core",
+		"testdata/src/determinism/other",
+	)
+}
+
+func TestPoolRecycleFixtures(t *testing.T) {
+	analysistest.Run(t, "../..", lint.PoolRecycle,
+		"testdata/src/poolrecycle/workload",
+		"testdata/src/poolrecycle/dedup",
+		"testdata/src/poolrecycle/other",
+	)
+}
+
+func TestNilSafeFixtures(t *testing.T) {
+	analysistest.Run(t, "../..", lint.NilSafe,
+		"testdata/src/nilsafe/telemetry",
+		"testdata/src/nilsafe/timeline",
+		"testdata/src/nilsafe/other",
+	)
+}
+
+func TestReportCompatFixtures(t *testing.T) {
+	analysistest.Run(t, "../..", lint.ReportCompat,
+		"testdata/src/reportcompat/sim",
+		"testdata/src/reportcompat/dewrite-bench",
+		"testdata/src/reportcompat/other",
+	)
+}
+
+// TestRepoClean pins the tentpole invariant: the full dewrite-vet suite over
+// the real repository reports zero diagnostics. Any new violation must be
+// fixed or carry a justified //dewrite:allow before it lands.
+func TestRepoClean(t *testing.T) {
+	pkgs, err := packages.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded from module root")
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.RunPackage(pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestByName keeps the -only flag's lookup honest.
+func TestByName(t *testing.T) {
+	for _, a := range lint.Analyzers() {
+		if got := lint.ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if lint.ByName("nosuch") != nil {
+		t.Error("ByName of an unknown analyzer should return nil")
+	}
+}

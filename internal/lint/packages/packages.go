@@ -1,0 +1,255 @@
+// Package packages loads and type-checks Go packages for the dewrite-vet
+// analyzers using only the standard library and the go command.
+//
+// It is a small stand-in for golang.org/x/tools/go/packages (which this
+// dependency-free module does not vendor): `go list -deps -export` supplies
+// the file lists and compiled export data for every dependency, the target
+// packages themselves are re-parsed from source so analyzers get syntax
+// trees, and go/types stitches the two together through the gc importer's
+// lookup hook.
+package packages
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Name       string // package name ("sim", "main", ...)
+	ImportPath string // full import path ("dewrite/internal/sim")
+	Dir        string // directory holding the source files
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in the module rooted at (or containing) dir, parses
+// each matched package's non-test sources, and type-checks them against the
+// export data of their dependencies. Test files are deliberately excluded:
+// the invariants dewrite-vet enforces concern simulation code, and the
+// golden tests already pin test behavior.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string, len(listed))
+	var targets []*listPackage
+	for _, lp := range listed {
+		if lp.Error != nil && !lp.DepOnly {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newLookupImporter(fset, exports)
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg, err := typecheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// LoadDirs parses and type-checks ad-hoc directories that the go command
+// does not list (analysistest fixture packages under testdata). Imports are
+// resolved with `go list -deps -export` over the union of the fixtures'
+// import paths, run from moduleDir so module-internal imports resolve.
+func LoadDirs(moduleDir string, dirs ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	type fixture struct {
+		dir   string
+		files []*ast.File
+		name  string
+	}
+	var fixtures []fixture
+	importSet := make(map[string]bool)
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var files []*ast.File
+		name := ""
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+			name = f.Name.Name
+			for _, imp := range f.Imports {
+				importSet[strings.Trim(imp.Path.Value, `"`)] = true
+			}
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no Go files in %s", dir)
+		}
+		fixtures = append(fixtures, fixture{dir: dir, files: files, name: name})
+	}
+
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		var paths []string
+		for p := range importSet {
+			if p != "unsafe" {
+				paths = append(paths, p)
+			}
+		}
+		sort.Strings(paths)
+		listed, err := goList(moduleDir, paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+
+	imp := newLookupImporter(fset, exports)
+	var pkgs []*Package
+	for _, fx := range fixtures {
+		// The directory basename is the fixture's import path, so the
+		// analyzers' package gates (which look at the path's last element)
+		// see fixtures exactly as they see real packages.
+		path := filepath.Base(fx.dir)
+		info := newInfo()
+		conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+		tpkg, err := conf.Check(path, fset, fx.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", fx.dir, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Name:       fx.name,
+			ImportPath: path,
+			Dir:        fx.dir,
+			Fset:       fset,
+			Files:      fx.files,
+			Types:      tpkg,
+			TypesInfo:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -deps -export -json` and decodes the JSON stream.
+func goList(dir string, args []string) ([]*listPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-deps", "-export", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var out []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// newLookupImporter returns a go/types importer that resolves import paths
+// through the export-data files `go list -export` reported. The gc importer
+// caches packages internally, so one importer serves a whole Load.
+func newLookupImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// typecheck parses lp's sources and type-checks them.
+func typecheck(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Name:       lp.Name,
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

@@ -1,0 +1,366 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"dewrite/internal/lint/analysis"
+)
+
+// poolPkgs are the packages bound by the recycle contract: their sync.Pools
+// feed the zero-allocation hot path, so a leaked buffer silently regresses
+// the AllocsPerRun pins and a buffer touched after Put races with its next
+// owner.
+var poolPkgs = map[string]bool{
+	"workload": true,
+	"dedup":    true,
+}
+
+// PoolRecycle enforces the sync.Pool recycle contract in the hot-path
+// packages.
+var PoolRecycle = &analysis.Analyzer{
+	Name: "poolrecycle",
+	Doc: `enforce the sync.Pool recycle contract in the workload and dedup hot paths
+
+A buffer taken from a sync.Pool getter must either be recycled (Put) before
+the function returns on every path, or escape to an owner that assumes the
+recycle obligation (returned, stored into a structure, or passed on). The
+analyzer reports buffers that are obtained and then dropped, return
+statements that bail out between Get and the first Put/escape, and any use
+of a buffer after it has been recycled.
+
+The check is a source-order approximation of the control flow, which the
+straight-line hot paths satisfy; a justified exception is annotated with
+//dewrite:allow poolrecycle <reason>.`,
+	Run: runPoolRecycle,
+}
+
+func runPoolRecycle(pass *analysis.Pass) (interface{}, error) {
+	if !poolPkgs[pathBase(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkPoolFunc(pass, fn)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// poolMethod reports whether call is (*sync.Pool).Get or (*sync.Pool).Put.
+func poolMethod(pass *analysis.Pass, call *ast.CallExpr) (name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	fn, isFn := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !isFn || (fn.Name() != "Get" && fn.Name() != "Put") {
+		return "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" || obj.Name() != "Pool" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// tracked is the lifecycle of one local variable bound to a pooled buffer.
+type tracked struct {
+	obj      types.Object
+	getPos   token.Pos   // NoPos when the variable was only seen at a Put
+	puts     []token.Pos // non-deferred Put calls
+	deferred bool        // a deferred Put covers every return path
+	escapes  []token.Pos // ownership transfers: return, store, call argument
+	uses     []token.Pos // any other mention
+	reassign []token.Pos // positions where the variable is rebound
+}
+
+// checkPoolFunc applies the recycle rules to one function using a
+// source-order walk: events are classified per tracked variable, then the
+// rules compare positions.
+func checkPoolFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	vars := make(map[types.Object]*tracked)
+	var order []*tracked
+	track := func(obj types.Object) *tracked {
+		t := vars[obj]
+		if t == nil {
+			t = &tracked{obj: obj, getPos: token.NoPos}
+			vars[obj] = t
+			order = append(order, t)
+		}
+		return t
+	}
+
+	// consumed maps AST nodes already classified (Get assignments, Put
+	// arguments) so the generic ident walk below skips them.
+	consumed := make(map[ast.Node]bool)
+	var returns []*ast.ReturnStmt
+
+	// Pass 1: structural events — Get bindings, Put calls, bare Gets.
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			returns = append(returns, n)
+		case *ast.AssignStmt:
+			if obj, ident, ok := getBinding(pass, n); ok {
+				t := track(obj)
+				t.getPos = n.Pos()
+				consumed[ident] = true
+			}
+		case *ast.CallExpr:
+			name, ok := poolMethod(pass, n)
+			if !ok {
+				return true
+			}
+			switch name {
+			case "Put":
+				if len(n.Args) == 1 {
+					if id, ok := n.Args[0].(*ast.Ident); ok {
+						if obj := pass.ObjectOf(id); obj != nil && isLocalVar(obj) {
+							t := track(obj)
+							if underDefer(parents, n) {
+								t.deferred = true
+							} else {
+								t.puts = append(t.puts, n.Pos())
+							}
+							consumed[id] = true
+						}
+					}
+				}
+			case "Get":
+				// A Get whose result is bound by an assignment was consumed
+				// above; otherwise the result must flow somewhere that takes
+				// ownership (return, argument, composite, store).
+				if !getIsOwned(parents, n) {
+					pass.Reportf(n.Pos(), "result of %s discarded: the pooled buffer can never be recycled", exprText(n.Fun))
+				}
+			}
+		}
+		return true
+	})
+	if len(order) == 0 {
+		return
+	}
+
+	// Pass 2: classify every remaining mention of the tracked variables.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || consumed[id] {
+			return true
+		}
+		obj := pass.ObjectOf(id)
+		t := vars[obj]
+		if t == nil {
+			return true
+		}
+		switch kind := classifyUse(parents, id); kind {
+		case useEscape:
+			t.escapes = append(t.escapes, id.Pos())
+		case useReassign:
+			t.reassign = append(t.reassign, id.Pos())
+		default:
+			t.uses = append(t.uses, id.Pos())
+		}
+		return true
+	})
+
+	for _, t := range order {
+		sort.Slice(t.puts, func(i, j int) bool { return t.puts[i] < t.puts[j] })
+		name := t.obj.Name()
+
+		if t.getPos.IsValid() {
+			firstSafe := token.Pos(0)
+			for _, p := range append(append([]token.Pos{}, t.puts...), t.escapes...) {
+				if p > t.getPos && (firstSafe == 0 || p < firstSafe) {
+					firstSafe = p
+				}
+			}
+			switch {
+			case !t.deferred && firstSafe == 0:
+				pass.Reportf(t.getPos, "pooled buffer %q is never recycled (no Put) and never escapes", name)
+			case !t.deferred:
+				for _, ret := range returns {
+					if ret.Pos() > t.getPos && ret.Pos() < firstSafe {
+						pass.Reportf(ret.Pos(), "return before pooled buffer %q is recycled or handed off", name)
+					}
+				}
+			}
+		}
+
+		// Use-after-recycle: any mention after a non-deferred Put with no
+		// rebinding in between.
+		for _, put := range t.puts {
+			for _, u := range append(append([]token.Pos{}, t.uses...), t.escapes...) {
+				if u <= put {
+					continue
+				}
+				rebound := false
+				for _, r := range t.reassign {
+					if r > put && r < u {
+						rebound = true
+						break
+					}
+				}
+				if !rebound {
+					pass.Reportf(u, "pooled buffer %q used after being recycled to the pool", name)
+				}
+			}
+		}
+	}
+}
+
+// underDefer reports whether n sits under a defer statement, directly
+// (defer pool.Put(v)) or through a deferred closure.
+func underDefer(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for ; n != nil; n = parents[n] {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// getBinding matches `v := pool.Get()` or `v := pool.Get().(T)` with a
+// single plain local target, returning the bound object and its ident.
+func getBinding(pass *analysis.Pass, assign *ast.AssignStmt) (types.Object, *ast.Ident, bool) {
+	if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return nil, nil, false
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, nil, false
+	}
+	rhs := assign.Rhs[0]
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+		rhs = ta.X
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	if name, ok := poolMethod(pass, call); !ok || name != "Get" {
+		return nil, nil, false
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil || !isLocalVar(obj) {
+		return nil, nil, false
+	}
+	return obj, id, true
+}
+
+// getIsOwned reports whether a non-assigned Get result still acquires an
+// owner: it is returned, passed as an argument, stored, or part of a larger
+// expression that is. Only a bare expression statement discards it.
+func getIsOwned(parents map[ast.Node]ast.Node, call *ast.CallExpr) bool {
+	for n := ast.Node(call); n != nil; n = parents[n] {
+		switch n.(type) {
+		case *ast.ExprStmt:
+			return false
+		case *ast.ReturnStmt, *ast.AssignStmt, *ast.CallExpr, *ast.CompositeLit,
+			*ast.SendStmt, *ast.KeyValueExpr, *ast.IndexExpr:
+			if n != ast.Node(call) {
+				return true
+			}
+		}
+	}
+	return true
+}
+
+type useKind int
+
+const (
+	usePlain useKind = iota
+	useEscape
+	useReassign
+)
+
+// classifyUse decides what a mention of a tracked variable does with it.
+func classifyUse(parents map[ast.Node]ast.Node, id *ast.Ident) useKind {
+	parent := parents[id]
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == ast.Expr(id) {
+				return useReassign // v = ... rebinds the name
+			}
+		}
+		// v on the RHS: escapes when the matching LHS is not a plain local
+		// (stored through a selector, index, or dereference).
+		for _, lhs := range p.Lhs {
+			if _, plain := lhs.(*ast.Ident); !plain {
+				return useEscape
+			}
+		}
+		return useEscape // v handed to another variable: ownership is shared
+	case *ast.ReturnStmt:
+		return useEscape
+	case *ast.CallExpr:
+		for _, arg := range p.Args {
+			if arg == ast.Expr(id) {
+				return useEscape
+			}
+		}
+		return usePlain // the callee position (method value, conversion)
+	case *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+		return useEscape
+	case *ast.IndexExpr:
+		// v[i] reads through the buffer; m[v] = x stores under it. Both are
+		// plain uses of the buffer itself unless the index expression as a
+		// whole escapes, which the walk sees at the parent level.
+		return usePlain
+	case *ast.UnaryExpr, *ast.StarExpr, *ast.SelectorExpr:
+		return usePlain
+	default:
+		return usePlain
+	}
+}
+
+// isLocalVar reports whether obj is a function-local variable (not a
+// package-level var, field, or function).
+func isLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return v.Parent() != nil && v.Parent() != v.Pkg().Scope()
+}
+
+// exprText renders a short expression (pool.Get) for a message.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	default:
+		return "pool.Get"
+	}
+}

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"dewrite/internal/lint/analysis"
+)
+
+// reportPkgs are the packages whose JSON layouts are consumed outside one
+// process lifetime: run reports (sim), the bench snapshot writer
+// (dewrite-bench), and the CI regression gate that decodes both (benchdiff).
+var reportPkgs = map[string]bool{
+	"sim":           true,
+	"benchdiff":     true,
+	"dewrite-bench": true,
+}
+
+// frozenTags pins the JSON field names that the dewrite/run/v1..v3 and
+// dewrite/bench/v1 schema constants promised. Removing or renaming one
+// breaks every committed baseline file (BENCH_<date>.json, the golden run
+// reports) and the benchdiff gate, so the analyzer treats it as an error.
+// Adding fields is always fine — that is what the schema bump discipline in
+// sim/report.go is for.
+var frozenTags = map[string][]string{
+	// dewrite/run/v1..v3 (sim/report.go).
+	"RunReport": {
+		"schema", "app", "scheme", "requests", "mem_writes", "mem_reads",
+		"instructions", "cycles", "ipc", "elapsed_ps",
+		"write_latency", "read_latency", "energy_pj", "generator", "device",
+		"controller", "baseline", "timeline", "faults",
+	},
+	"LatencyQuantiles": {"count", "mean_ps", "p50_ps", "p95_ps", "p99_ps", "sum_ps"},
+	"FaultReport":      {"config", "device", "crash"},
+	// dewrite/bench/v1, writer side (cmd/dewrite-bench).
+	"benchFile":  {"schema", "date", "quick", "requests", "warmup", "seed", "perf", "experiments"},
+	"benchPerf":  {"workers", "wall_ms", "mallocs", "allocs_per_request", "seq_wall_ms", "speedup"},
+	"benchEntry": {"id", "title", "wall_ms", "tables"},
+	// dewrite/bench/v1, reader side (cmd/benchdiff).
+	"benchDoc": {"schema", "quick", "requests", "warmup", "seed", "perf", "experiments"},
+}
+
+// ReportCompat keeps the machine-readable report schemas honest.
+var ReportCompat = &analysis.Analyzer{
+	Name: "reportcompat",
+	Doc: `enforce explicit, collision-free, backward-compatible JSON tags on report structs
+
+Downstream tooling (benchdiff, plotting scripts, committed BENCH_<date>.json
+baselines) parses these documents by field name, so in the report packages
+every exported field of a JSON-marshalled struct must carry an explicit json
+tag, two fields must never map to the same name, and the names promised by
+the dewrite/run/v1..v3 and dewrite/bench/v1 schemas must keep existing.`,
+	Run: runReportCompat,
+}
+
+func runReportCompat(pass *analysis.Pass) (interface{}, error) {
+	if !reportPkgs[pathBase(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if ok {
+				if st, isStruct := ts.Type.(*ast.StructType); isStruct {
+					checkStruct(pass, ts.Name.Name, st)
+					return false // nested anonymous structs handled in checkStruct
+				}
+			}
+			if st, ok := n.(*ast.StructType); ok {
+				checkStruct(pass, "", st)
+				return false
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkStruct applies the tag rules to one struct type (recursing into
+// anonymous nested structs, which share the owning document's schema).
+func checkStruct(pass *analysis.Pass, name string, st *ast.StructType) {
+	type taggedField struct {
+		field *ast.Field
+		name  string // effective JSON name; "" when excluded via "-"
+	}
+	var fields []taggedField
+	jsonStruct := false
+
+	for _, field := range st.Fields.List {
+		tag, hasTag := jsonTag(field)
+		if hasTag {
+			jsonStruct = true
+		}
+		if isExported(field) {
+			fields = append(fields, taggedField{field: field, name: tag})
+		}
+		// Recurse into anonymous nested struct types regardless of tags.
+		t := field.Type
+		if arr, ok := t.(*ast.ArrayType); ok {
+			t = arr.Elt
+		}
+		if ptr, ok := t.(*ast.StarExpr); ok {
+			t = ptr.X
+		}
+		if nested, ok := t.(*ast.StructType); ok {
+			checkStruct(pass, "", nested)
+		}
+	}
+	if !jsonStruct {
+		return
+	}
+
+	seen := make(map[string]*ast.Field)
+	for _, tf := range fields {
+		fieldName := fieldDisplayName(tf.field)
+		switch tf.name {
+		case "":
+			if _, hasTag := jsonTag(tf.field); !hasTag {
+				pass.Reportf(tf.field.Pos(), "exported field %s of JSON struct %s needs an explicit json tag (or json:\"-\")", fieldName, displayStruct(name))
+			} else {
+				pass.Reportf(tf.field.Pos(), "field %s of JSON struct %s has a json tag without a name; name it explicitly", fieldName, displayStruct(name))
+			}
+		case "-":
+			// Explicitly excluded: fine, and exempt from collisions.
+		default:
+			if prev, dup := seen[tf.name]; dup {
+				pass.Reportf(tf.field.Pos(), "json tag %q of field %s collides with field %s", tf.name, fieldName, fieldDisplayName(prev))
+			} else {
+				seen[tf.name] = tf.field
+			}
+		}
+	}
+
+	if required, frozen := frozenTags[name]; frozen {
+		for _, want := range required {
+			if _, ok := seen[want]; !ok {
+				pass.Reportf(st.Pos(), "struct %s no longer carries json tag %q promised by its frozen schema; removing fields breaks committed baselines — add it back or bump the schema across the toolchain", name, want)
+			}
+		}
+	}
+}
+
+// jsonTag extracts the effective JSON name of a field: the tag value before
+// the first comma. hasTag distinguishes "no json tag at all" from an empty
+// name. A tag of "-" means excluded.
+func jsonTag(field *ast.Field) (name string, hasTag bool) {
+	if field.Tag == nil {
+		return "", false
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return "", false
+	}
+	val, ok := reflect.StructTag(raw).Lookup("json")
+	if !ok {
+		return "", false
+	}
+	if i := strings.IndexByte(val, ','); i >= 0 {
+		val = val[:i]
+	}
+	return val, true
+}
+
+// isExported reports whether the field is visible to encoding/json.
+func isExported(field *ast.Field) bool {
+	if len(field.Names) == 0 {
+		// Embedded field: exported iff its type name is.
+		t := field.Type
+		if ptr, ok := t.(*ast.StarExpr); ok {
+			t = ptr.X
+		}
+		switch t := t.(type) {
+		case *ast.Ident:
+			return t.IsExported()
+		case *ast.SelectorExpr:
+			return t.Sel.IsExported()
+		}
+		return false
+	}
+	for _, n := range field.Names {
+		if n.IsExported() {
+			return true
+		}
+	}
+	return false
+}
+
+func fieldDisplayName(field *ast.Field) string {
+	if len(field.Names) > 0 {
+		return field.Names[0].Name
+	}
+	return "embedded"
+}
+
+func displayStruct(name string) string {
+	if name == "" {
+		return "(anonymous)"
+	}
+	return name
+}

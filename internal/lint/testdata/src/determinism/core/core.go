@@ -1,0 +1,29 @@
+// Package core is a clean determinism fixture: a deterministic package that
+// follows every rule, so the analyzer must stay silent.
+package core
+
+import "sort"
+
+func sortedKeys(m map[uint64]bool) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func rebuild(m map[uint64]uint64) map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(m))
+	for k, v := range m {
+		out[k] = v // map-to-map rebuild is order-independent
+	}
+	return out
+}
+
+func count(m map[uint64]uint64) (n uint64) {
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,15 @@
+// Package other is outside the deterministic set: the analyzer must ignore
+// even blatant wall-clock use here.
+package other
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Keys(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

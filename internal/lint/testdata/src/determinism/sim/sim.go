@@ -1,0 +1,86 @@
+// Package sim is a determinism fixture: its path ends in a deterministic
+// package name, so every forbidden construct below must be reported.
+package sim
+
+import (
+	"fmt"
+	"math/rand" // want `deterministic package imports "math/rand"`
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	start := time.Now()   // want `reads the wall clock \(time\.Now\)`
+	_ = time.Since(start) // want `reads the wall clock \(time\.Since\)`
+	return rand.Int63()
+}
+
+func unsortedKeys(m map[uint64]uint64) []uint64 {
+	var keys []uint64
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" during map iteration without a later sort`
+	}
+	return keys
+}
+
+func sortedKeysOK(m map[uint64]uint64) []uint64 {
+	var keys []uint64
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func innerSliceOK(m map[uint64]uint64) {
+	for k := range m {
+		row := []uint64{}
+		row = append(row, k) // declared inside the loop: order cannot leak
+		_ = row
+	}
+}
+
+func floatAccum(m map[uint64]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation over map iteration`
+	}
+	return sum
+}
+
+func stringAccum(m map[uint64]string) string {
+	var s string
+	for _, v := range m {
+		s += v // want `string accumulation over map iteration`
+	}
+	return s
+}
+
+func intAccumOK(m map[uint64]uint64) uint64 {
+	var n uint64
+	for _, v := range m {
+		n += v // integer accumulation commutes: not reported
+	}
+	return n
+}
+
+func emits(m map[uint64]uint64) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside map iteration emits output`
+	}
+}
+
+func send(m map[uint64]uint64, ch chan uint64) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+func suppressed() time.Time {
+	return time.Now() //dewrite:allow determinism fixture demonstrates suppression
+}
+
+func reasonlessSuppression() time.Time {
+	//dewrite:allow determinism
+	return time.Now() // want `reads the wall clock \(time\.Now\)`
+}

@@ -1,0 +1,9 @@
+// Package other is outside the instrumentation set: unguarded exported
+// methods here are not the analyzer's business.
+package other
+
+type Widget struct{ n int }
+
+func (w *Widget) Poke() {
+	w.n++
+}

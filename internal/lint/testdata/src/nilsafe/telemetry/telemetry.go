@@ -1,0 +1,75 @@
+// Package telemetry is a nilsafe fixture: exported pointer-receiver methods
+// must begin by handling the nil ("disabled") receiver.
+package telemetry
+
+type Tracer struct {
+	spans int
+	sink  func(string)
+}
+
+// Guarded begins with the canonical guard.
+func (t *Tracer) Guarded(name string) {
+	if t == nil {
+		return
+	}
+	t.spans++
+}
+
+// GuardedOr uses the guard as one operand of a compound condition.
+func (t *Tracer) GuardedOr(name string) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	t.sink(name)
+}
+
+// GuardedPanic neutralizes nil loudly instead of with a stray deref.
+func (t *Tracer) GuardedPanic(name string) {
+	if t == nil {
+		panic("telemetry: use of disabled tracer")
+	}
+	t.spans++
+}
+
+// Enabled is a predicate over the receiver's nilness.
+func (t *Tracer) Enabled() bool {
+	return t != nil
+}
+
+// Delegates hands off to a guarded sibling as its entire body.
+func (t *Tracer) Delegates(name string) {
+	t.Guarded(name)
+}
+
+// DelegatesReturn delegates through a return statement.
+func (t *Tracer) DelegatesReturn() bool {
+	return t.Enabled()
+}
+
+// unexported methods are only reachable through guarded exported ones.
+func (t *Tracer) bump() {
+	t.spans++
+}
+
+// Count copies the receiver: nil cannot reach a value receiver's fields
+// through a method call on a non-nil interface path, so it is exempt.
+func (t Tracer) Count() int {
+	return t.spans
+}
+
+func (t *Tracer) Unguarded(name string) { // want `exported method Unguarded must begin with a nil-receiver guard`
+	t.spans++
+}
+
+func (t *Tracer) GuardedLate(name string) { // want `exported method GuardedLate must begin with a nil-receiver guard`
+	name += "!"
+	if t == nil {
+		return
+	}
+	t.sink(name)
+}
+
+//dewrite:allow nilsafe fixture demonstrates suppression
+func (t *Tracer) Suppressed(name string) {
+	t.spans++
+}

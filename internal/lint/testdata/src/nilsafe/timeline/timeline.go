@@ -1,0 +1,29 @@
+// Package timeline is a clean nilsafe fixture mirroring the real package's
+// guard idioms.
+package timeline
+
+type Collector struct {
+	rows int
+	next int64
+}
+
+func (c *Collector) due(now int64) bool {
+	return now >= c.next
+}
+
+// Tick guards with a compound condition whose first operand is the nil test.
+func (c *Collector) Tick(now int64) {
+	if c == nil || !c.due(now) {
+		return
+	}
+	c.rows++
+	c.next = now + 1
+}
+
+// Rows is a nil-tolerant accessor.
+func (c *Collector) Rows() int {
+	if c == nil {
+		return 0
+	}
+	return c.rows
+}

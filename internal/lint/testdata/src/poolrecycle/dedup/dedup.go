@@ -1,0 +1,28 @@
+// Package dedup is a clean poolrecycle fixture mirroring the real package's
+// idiom: buffers escape into the location table on allocation and are
+// recycled on release.
+package dedup
+
+import "sync"
+
+type location struct {
+	hash uint32
+	refs uint
+}
+
+var locPool = sync.Pool{New: func() interface{} { return new(location) }}
+
+func place(m map[uint64]*location, addr uint64, hash uint32) {
+	l := locPool.Get().(*location)
+	*l = location{hash: hash, refs: 1}
+	m[addr] = l
+}
+
+func release(m map[uint64]*location, addr uint64) {
+	l := m[addr]
+	if l == nil {
+		return
+	}
+	delete(m, addr)
+	locPool.Put(l)
+}

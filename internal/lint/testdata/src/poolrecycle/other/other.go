@@ -1,0 +1,12 @@
+// Package other is outside the pool-contract set: leaks here are someone
+// else's problem and must not be reported.
+package other
+
+import "sync"
+
+var pool = sync.Pool{New: func() interface{} { return new([64]byte) }}
+
+func Leak() {
+	b := pool.Get().(*[64]byte)
+	b[0] = 1
+}

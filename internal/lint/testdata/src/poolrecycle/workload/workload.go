@@ -1,0 +1,65 @@
+// Package workload is a poolrecycle fixture: every violation of the recycle
+// contract below must be reported.
+package workload
+
+import "sync"
+
+type buf [64]byte
+
+var pool = sync.Pool{New: func() interface{} { return new(buf) }}
+
+func leak() {
+	b := pool.Get().(*buf) // want `pooled buffer "b" is never recycled`
+	b[0] = 1
+}
+
+func earlyReturn(cond bool) {
+	b := pool.Get().(*buf)
+	if cond {
+		return // want `return before pooled buffer "b" is recycled`
+	}
+	pool.Put(b)
+}
+
+func useAfterPut() byte {
+	b := pool.Get().(*buf)
+	pool.Put(b)
+	return b[0] // want `pooled buffer "b" used after being recycled`
+}
+
+func discarded() {
+	pool.Get() // want `result of pool\.Get discarded`
+}
+
+func deferredOK() {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	b[0] = 1
+}
+
+func deferredClosureOK() {
+	b := pool.Get().(*buf)
+	defer func() { pool.Put(b) }()
+	b[0] = 1
+}
+
+func escapeViaReturnOK() *buf {
+	return pool.Get().(*buf)
+}
+
+func escapeViaStoreOK(m map[int]*buf) {
+	b := pool.Get().(*buf)
+	m[0] = b
+}
+
+func putThenRebindOK() byte {
+	b := pool.Get().(*buf)
+	pool.Put(b)
+	b = new(buf) // rebinding severs the pooled buffer: uses below are fine
+	return b[0]
+}
+
+func suppressedLeak() {
+	b := pool.Get().(*buf) //dewrite:allow poolrecycle fixture demonstrates suppression
+	b[0] = 1
+}

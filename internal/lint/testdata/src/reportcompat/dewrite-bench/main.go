@@ -1,0 +1,35 @@
+// Command dewrite-bench (fixture) writes the dewrite/bench/v1 snapshot; its
+// writer-side structs carry frozen tags.
+package main
+
+// benchFile dropped the "date" field that committed BENCH_<date>.json
+// baselines are keyed by.
+type benchFile struct { // want `struct benchFile no longer carries json tag "date" promised by its frozen schema`
+	Schema      string       `json:"schema"`
+	Quick       bool         `json:"quick"`
+	Requests    int          `json:"requests"`
+	Warmup      int          `json:"warmup"`
+	Seed        int64        `json:"seed"`
+	Perf        benchPerf    `json:"perf"`
+	Experiments []benchEntry `json:"experiments"`
+}
+
+// benchPerf keeps every promised name: clean.
+type benchPerf struct {
+	Workers          int     `json:"workers"`
+	WallMS           float64 `json:"wall_ms"`
+	Mallocs          uint64  `json:"mallocs"`
+	AllocsPerRequest float64 `json:"allocs_per_request"`
+	SeqWallMS        float64 `json:"seq_wall_ms"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// benchEntry keeps every promised name: clean.
+type benchEntry struct {
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	WallMS float64  `json:"wall_ms"`
+	Tables []string `json:"tables"`
+}
+
+func main() {}

@@ -1,0 +1,9 @@
+// Package other is outside the report set: sloppy tags here are not part of
+// any frozen schema.
+package other
+
+type Doc struct {
+	Named int `json:"named"`
+	Loose int
+	Dup   int `json:"named"`
+}

@@ -1,0 +1,52 @@
+// Package sim is a reportcompat fixture: report structs here carry the
+// frozen dewrite/run schema names and the explicit-tag discipline.
+package sim
+
+// LatencyQuantiles dropped sum_ps, which dewrite/run/v2 promised.
+type LatencyQuantiles struct { // want `struct LatencyQuantiles no longer carries json tag "sum_ps" promised by its frozen schema`
+	Count  uint64  `json:"count"`
+	MeanPS float64 `json:"mean_ps"`
+	P50PS  uint64  `json:"p50_ps"`
+	P95PS  uint64  `json:"p95_ps"`
+	P99PS  uint64  `json:"p99_ps"`
+}
+
+// FaultReport keeps every promised name: clean.
+type FaultReport struct {
+	Config string `json:"config"`
+	Device string `json:"device"`
+	Crash  string `json:"crash"`
+}
+
+// Mixed violates the explicit-tag rules three different ways.
+type Mixed struct {
+	Named     int `json:"named"`
+	Loose     int // want `exported field Loose of JSON struct Mixed needs an explicit json tag`
+	Unnamed   int `json:",omitempty"` // want `field Unnamed of JSON struct Mixed has a json tag without a name`
+	Colliding int `json:"named"`      // want `json tag "named" of field Colliding collides with field Named`
+	Skipped   int `json:"-"`
+	hidden    int
+}
+
+// Nested documents share the owning document's schema, so the anonymous
+// struct is held to the same rules.
+type Nested struct {
+	Schema string `json:"schema"`
+	Inner  struct {
+		Value int `json:"value"`
+		Bare  int // want `exported field Bare of JSON struct \(anonymous\) needs an explicit json tag`
+	} `json:"inner"`
+}
+
+// NotJSON carries no json tags at all, so it is not a JSON document and the
+// explicit-tag rule does not apply.
+type NotJSON struct {
+	Internal int
+	State    string
+}
+
+// Suppressed shows the escape hatch for a deliberate exception.
+type Suppressed struct {
+	Tagged int `json:"tagged"`
+	Loose  int //dewrite:allow reportcompat fixture demonstrates suppression
+}

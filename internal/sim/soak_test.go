@@ -2,6 +2,9 @@ package sim
 
 import (
 	"bytes"
+	"os"
+	"strconv"
+	"strings"
 	"testing"
 
 	"dewrite/internal/config"
@@ -10,6 +13,31 @@ import (
 	"dewrite/internal/rng"
 	"dewrite/internal/units"
 )
+
+// soakGrid returns the crash-point grid for TestSoakCrashRecoverResume: one
+// entry per segment, each the number of steps to run before the next crash.
+// The DEWRITE_SOAK_GRID environment variable (comma-separated positive step
+// counts, e.g. "500,1000,1500") overrides the default 4×3000 grid and also
+// lifts the -short skip, so CI's race-short job can exercise a reduced grid
+// under the race detector without paying for the full soak.
+func soakGrid(t *testing.T) []int {
+	env := os.Getenv("DEWRITE_SOAK_GRID")
+	if env == "" {
+		if testing.Short() {
+			t.Skip("soak test skipped in -short mode (set DEWRITE_SOAK_GRID to run a reduced grid)")
+		}
+		return []int{3000, 3000, 3000, 3000}
+	}
+	var grid []int
+	for _, part := range strings.Split(env, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			t.Fatalf("bad DEWRITE_SOAK_GRID entry %q: want comma-separated positive step counts", part)
+		}
+		grid = append(grid, n)
+	}
+	return grid
+}
 
 // TestSoakAllSchemesStayConsistent drives a long adversarial mix of writes
 // and reads through every scheme simultaneously and checks, continuously,
@@ -130,14 +158,8 @@ type readVerifier interface {
 // (recovery may legitimately serve an older persisted generation) or a
 // detected-corruption error — never silent wrong data.
 func TestSoakCrashRecoverResume(t *testing.T) {
-	if testing.Short() {
-		t.Skip("soak test skipped in -short mode")
-	}
-	const (
-		lines    = 1024
-		segments = 4
-		steps    = 3000
-	)
+	grid := soakGrid(t)
+	const lines = 1024
 	cfg := testConfig()
 
 	for _, scheme := range []Scheme{SchemeDeWrite, SchemeSecureNVM, SchemeShredder} {
@@ -156,7 +178,7 @@ func TestSoakCrashRecoverResume(t *testing.T) {
 			zero := make([]byte, config.LineSize)
 			buf := make([]byte, config.LineSize)
 
-			for seg := 0; seg < segments; seg++ {
+			for seg, steps := range grid {
 				for step := 0; step < steps; step++ {
 					addr := src.Zipf(lines, 0.7)
 					if src.Bool(0.5) {
