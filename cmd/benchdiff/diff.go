@@ -113,10 +113,10 @@ func (d *differ) compare(metric string, oldV, newV, threshold float64, dir int) 
 
 // ---- run-report mode ----
 
-// section decides whether an optional report block (timeline, faults) can be
-// diffed: both sides present → yes; one side missing (an older-schema or
-// differently-collected report) → a non-regression note, never a diff against
-// zeros; both missing → nothing to say.
+// section decides whether an optional report block (timeline, faults,
+// attribution) can be diffed: both sides present → yes; one side missing (an
+// older-schema or differently-collected report) → a non-regression note, never
+// a diff against zeros; both missing → nothing to say.
 func (d *differ) section(name string, oldHas, newHas bool) bool {
 	switch {
 	case oldHas && newHas:
@@ -131,9 +131,9 @@ func (d *differ) section(name string, oldHas, newHas bool) bool {
 	return false
 }
 
-// run compares two dewrite/run reports (v1, v2 or v3): the paper's quality
-// metrics, all deterministic. The optional timeline and faults blocks are
-// compared only when both reports carry them (see section).
+// run compares two dewrite/run reports (v1 through v4): the paper's quality
+// metrics, all deterministic. The optional timeline, faults and attribution
+// blocks are compared only when both reports carry them (see section).
 func (d *differ) run(oldBlob, newBlob []byte) error {
 	oldR, err := sim.DecodeRunReport(oldBlob)
 	if err != nil {
@@ -186,6 +186,30 @@ func (d *differ) run(oldBlob, newBlob []byte) error {
 			d.compare("faults.crash.lost_mappings", float64(oc.LostMappings), float64(nc.LostMappings), th, +1)
 			d.compare("faults.crash.recovered_mappings", float64(oc.RecoveredMappings), float64(nc.RecoveredMappings), th, -1)
 			d.compare("faults.crash.poisoned_lines", float64(oc.PoisonedLines), float64(nc.PoisonedLines), th, +1)
+		}
+	}
+	if d.section("attribution", oldR.Attribution != nil, newR.Attribution != nil) {
+		o, n := oldR.Attribution, newR.Attribution
+		if o.SamplePeriod != n.SamplePeriod {
+			d.found = append(d.found, finding{Metric: "attribution.sample_period",
+				Note: fmt.Sprintf("sample periods differ (%d vs %d) — sampled phase totals not comparable, skipped",
+					o.SamplePeriod, n.SamplePeriod)})
+		}
+		d.compare("attribution.total_line_writes", float64(o.TotalLineWrites), float64(n.TotalLineWrites), th, +1)
+		d.compare("attribution.energy_pj", o.EnergyPJ, n.EnergyPJ, th, +1)
+		// Per-cause write counters matched by cause name: more writes of any
+		// provenance is the bad direction (wear and energy). Causes only one
+		// side knows (a newer taxonomy) are left alone.
+		oldCauses := make(map[string]uint64, len(o.Causes))
+		for _, c := range o.Causes {
+			oldCauses[c.Cause] = c.Writes
+		}
+		for _, nc := range n.Causes {
+			ow, ok := oldCauses[nc.Cause]
+			if !ok {
+				continue
+			}
+			d.compare("attribution.writes."+nc.Cause, float64(ow), float64(nc.Writes), th, +1)
 		}
 	}
 	return nil

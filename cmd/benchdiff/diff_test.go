@@ -293,6 +293,83 @@ func TestRunMissingBlocksSkippedWithNote(t *testing.T) {
 	}
 }
 
+// TestRunAttributionBlocksCompared: when both reports carry the v4
+// attribution block, the total and per-cause write counters are diffed with
+// more-writes-is-worse direction; a baseline without the block yields a skip
+// note instead of zero-diff regressions.
+func TestRunAttributionBlocksCompared(t *testing.T) {
+	base := load(t, "run-baseline.json")
+	withAttr := func(metaWrites int) []byte {
+		return []byte(strings.Replace(string(base), `"schema": "dewrite/run/v2"`,
+			fmt.Sprintf(`"schema": "dewrite/run/v4",
+  "attribution": {"sample_period": 1024, "sampled_writes": 10, "sampled_reads": 8,
+    "sampled_write_ps": 1, "sampled_read_ps": 1,
+    "causes": [{"cause": "unique", "writes": 5000, "energy_pj": 10},
+               {"cause": "metadata", "writes": %d, "energy_pj": 2}],
+    "total_line_writes": %d, "energy_pj": 12}`, metaWrites, 5000+metaWrites), 1))
+	}
+	findings, _, err := diff(withAttr(1000), withAttr(1200), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMetric := map[string]finding{}
+	for _, f := range findings {
+		if !f.Regression {
+			t.Errorf("attribution growth should be a regression: %s", f)
+		}
+		byMetric[f.Metric] = f
+	}
+	if _, ok := byMetric["attribution.writes.metadata"]; !ok {
+		t.Errorf("per-cause metadata growth not flagged: %v", findings)
+	}
+	if _, ok := byMetric["attribution.total_line_writes"]; ok {
+		// 6200 vs 6000 is ~3.3%, under the 5% threshold.
+		t.Errorf("total within threshold should not be flagged: %v", findings)
+	}
+	if _, ok := byMetric["attribution.writes.unique"]; ok {
+		t.Errorf("unchanged cause flagged: %v", findings)
+	}
+
+	// Baseline without the block: note, never a regression.
+	findings, _, err = diff(base, withAttr(1000), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noted := false
+	for _, f := range findings {
+		if f.Regression {
+			t.Errorf("missing attribution block flagged as regression: %s", f)
+		}
+		if f.Metric == "attribution" && strings.Contains(f.Note, "skipped") {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Fatalf("want an attribution skip note, got: %v", findings)
+	}
+}
+
+// TestRunAttributionSamplePeriodMismatch: differing sample periods produce a
+// note (sampled totals are not comparable) while the exhaustive provenance
+// counters are still diffed.
+func TestRunAttributionSamplePeriodMismatch(t *testing.T) {
+	base := load(t, "run-baseline.json")
+	withPeriod := func(period int) []byte {
+		return []byte(strings.Replace(string(base), `"schema": "dewrite/run/v2"`,
+			fmt.Sprintf(`"schema": "dewrite/run/v4",
+  "attribution": {"sample_period": %d, "causes": [{"cause": "unique", "writes": 100, "energy_pj": 1}],
+    "total_line_writes": 100, "energy_pj": 1}`, period), 1))
+	}
+	findings, _, err := diff(withPeriod(64), withPeriod(1024), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Metric != "attribution.sample_period" ||
+		findings[0].Regression || !strings.Contains(findings[0].Note, "skipped") {
+		t.Fatalf("want one sample-period note, got: %v", findings)
+	}
+}
+
 // TestRunFaultsBlocksCompared: when both reports carry a faults block its
 // metrics are diffed like any other.
 func TestRunFaultsBlocksCompared(t *testing.T) {

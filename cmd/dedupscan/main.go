@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 
+	"dewrite/internal/attr"
 	"dewrite/internal/config"
 	"dewrite/internal/hashes"
 	"dewrite/internal/timeline"
@@ -41,13 +42,34 @@ type scanResult struct {
 	// Timeline is the per-epoch dup/zero-ratio series, present under -epoch.
 	// Epoch "time" is the line index, so end_ps reads as lines scanned.
 	Timeline *timeline.Report `json:"timeline,omitempty"`
+
+	// Attribution is the would-be write-provenance ledger, present under
+	// -attr: the physical line writes a DeWrite controller would issue for
+	// this stream. Unique non-zero contents are placed once (cause "unique");
+	// duplicates and zero lines are eliminated and issue nothing. Banks follow
+	// the default device interleaving. Energy is zero — a disk scan has no
+	// device energy model.
+	Attribution []attr.CauseStat `json:"attribution,omitempty"`
 }
+
+// scanBanks and scanBankInterleave mirror the default simulated device
+// geometry (2 ranks x 4 banks, 16-line row interleave), so the per-bank
+// spread of would-be unique placements is comparable to simulator output.
+const (
+	scanBanks          = 8
+	scanBankInterleave = 16
+)
 
 // scan reads r to EOF, accumulating line statistics. The final partial line,
 // if any, is zero-padded to line size (as a memory image would be). A
-// positive every closes one timeline epoch per that many lines.
-func scan(r io.Reader, every uint64) (scanResult, error) {
+// positive every closes one timeline epoch per that many lines; withAttr
+// additionally builds the would-be write-provenance ledger.
+func scan(r io.Reader, every uint64, withAttr bool) (scanResult, error) {
 	var res scanResult
+	var led *attr.Ledger
+	if withAttr {
+		led = new(attr.Ledger)
+	}
 	var tl *timeline.Collector
 	var src timeline.Sampler
 	if every > 0 {
@@ -77,13 +99,19 @@ func scan(r io.Reader, every uint64) (scanResult, error) {
 		res.BytesScanned += uint64(n)
 
 		key := string(line)
+		zero := isZero(line)
 		if seen[key] {
 			res.Duplicates++
 		} else {
 			seen[key] = true
 			res.UniqueLines++
+			if !zero {
+				// The nil ledger (scan without -attr) drops the record.
+				led.RecordWrite(attr.CauseUnique,
+					int((res.Lines-1)/scanBankInterleave%scanBanks), 0)
+			}
 		}
-		if isZero(line) {
+		if zero {
 			res.ZeroLines++
 		}
 
@@ -112,6 +140,9 @@ func scan(r io.Reader, every uint64) (scanResult, error) {
 	}
 	tl.Finish(units.Time(res.Lines), res.Lines, src)
 	res.Timeline = tl.Report()
+	if withAttr {
+		res.Attribution = led.Causes()
+	}
 	return res, nil
 }
 
@@ -144,6 +175,19 @@ func reportBody(r scanResult) {
 	fmt.Printf("  unique contents   %8d\n", r.UniqueLines)
 	fmt.Printf("  CRC-32 collisions %8d  (%.4f%% of fingerprint matches)\n",
 		r.Collisions, pct(r.Collisions, max64(r.FPMatches, 1)))
+	if r.Attribution != nil {
+		var total uint64
+		for _, c := range r.Attribution {
+			total += c.Writes
+		}
+		fmt.Printf("  would-be DeWrite line writes %d (%.1f%% of lines):\n", total, pct(total, r.Lines))
+		for _, c := range r.Attribution {
+			if c.Writes == 0 {
+				continue
+			}
+			fmt.Printf("    %-10s %8d writes, banks %v\n", c.Cause, c.Writes, c.BankWrites)
+		}
+	}
 	if r.Timeline != nil && len(r.Timeline.Epochs) > 0 {
 		fmt.Printf("  per-epoch dup%% (every %d lines):", r.Timeline.Every)
 		for _, e := range r.Timeline.Epochs {
@@ -163,10 +207,11 @@ func max64(a, b uint64) uint64 {
 func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON array of per-input results on stdout")
 	epoch := flag.Uint64("epoch", 0, "also report the dup ratio per this many lines (0 disables)")
+	attrOn := flag.Bool("attr", false, "also report the would-be DeWrite write provenance per cause and bank")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: dedupscan [-json] [-epoch N] <file>... | dedupscan -")
+		fmt.Fprintln(os.Stderr, "usage: dedupscan [-json] [-epoch N] [-attr] <file>... | dedupscan -")
 		os.Exit(2)
 	}
 	var results []scanResult
@@ -185,7 +230,7 @@ func main() {
 			defer f.Close()
 			r = f
 		}
-		res, err := scan(r, *epoch)
+		res, err := scan(r, *epoch, *attrOn)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dedupscan: %s: %v\n", name, err)
 			os.Exit(1)

@@ -16,7 +16,7 @@ func TestScanCountsDuplicates(t *testing.T) {
 	for _, l := range [][]byte{a, b, a, a, zero, zero, b} {
 		in.Write(l)
 	}
-	res, err := scan(&in, 0)
+	res, err := scan(&in, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestScanCountsDuplicates(t *testing.T) {
 func TestScanPadsTrailingPartialLine(t *testing.T) {
 	// A lone partial line padded with zeros is NOT the zero line unless its
 	// content was zero.
-	res, err := scan(strings.NewReader("abc"), 0)
+	res, err := scan(strings.NewReader("abc"), 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestScanPadsTrailingPartialLine(t *testing.T) {
 		t.Fatalf("partial line handling: %+v", res)
 	}
 	// All-zero partial input pads to the zero line.
-	res, err = scan(bytes.NewReader(make([]byte, 10)), 0)
+	res, err = scan(bytes.NewReader(make([]byte, 10)), 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestScanPadsTrailingPartialLine(t *testing.T) {
 }
 
 func TestScanEmptyInput(t *testing.T) {
-	res, err := scan(strings.NewReader(""), 0)
+	res, err := scan(strings.NewReader(""), 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestScanEpochTimeline(t *testing.T) {
 		u[0] = byte(i + 1)
 		in.Write(u)
 	}
-	res, err := scan(&in, 4)
+	res, err := scan(&in, 4, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,12 +104,61 @@ func TestScanEpochTimeline(t *testing.T) {
 	// Without -epoch the field stays absent.
 	in.Reset()
 	in.Write(a)
-	res, err = scan(&in, 0)
+	res, err = scan(&in, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Timeline != nil {
 		t.Fatalf("timeline without -epoch: %+v", res.Timeline)
+	}
+}
+
+// TestScanAttribution: -attr builds the would-be DeWrite provenance ledger —
+// one "unique" placement per distinct non-zero content, duplicates and zero
+// lines eliminated.
+func TestScanAttribution(t *testing.T) {
+	a := bytes.Repeat([]byte{0xaa}, config.LineSize)
+	b := bytes.Repeat([]byte{0xbb}, config.LineSize)
+	zero := make([]byte, config.LineSize)
+	var in bytes.Buffer
+	for _, l := range [][]byte{a, b, a, zero, zero} {
+		in.Write(l)
+	}
+	res, err := scan(&in, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attribution == nil {
+		t.Fatal("no attribution under -attr")
+	}
+	var total uint64
+	for _, c := range res.Attribution {
+		total += c.Writes
+		if c.Cause == "unique" {
+			if c.Writes != 2 {
+				t.Errorf("unique writes = %d, want 2 (a, b)", c.Writes)
+			}
+			// Lines 0 and 1 both land on bank 0 of the 16-line interleave.
+			if len(c.BankWrites) != 1 || c.BankWrites[0] != 2 {
+				t.Errorf("unique bank writes = %v, want [2]", c.BankWrites)
+			}
+		} else if c.Writes != 0 {
+			t.Errorf("cause %s has %d writes, want 0", c.Cause, c.Writes)
+		}
+	}
+	if total != 2 {
+		t.Errorf("total would-be writes = %d, want 2", total)
+	}
+
+	// Without -attr the block stays absent, keeping JSON output unchanged.
+	in.Reset()
+	in.Write(a)
+	res, err = scan(&in, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attribution != nil {
+		t.Fatalf("attribution without -attr: %+v", res.Attribution)
 	}
 }
 
@@ -132,7 +181,7 @@ func TestScanLargeRepetitiveInput(t *testing.T) {
 			in.Write(pool[i%4])
 		}
 	}
-	res, err := scan(&in, 0)
+	res, err := scan(&in, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"dewrite/internal/attr"
 	"dewrite/internal/cache"
 	"dewrite/internal/config"
 	"dewrite/internal/core"
@@ -30,6 +31,7 @@ import (
 	"dewrite/internal/sim"
 	"dewrite/internal/telemetry"
 	"dewrite/internal/timeline"
+	"dewrite/internal/units"
 	"dewrite/internal/workload"
 )
 
@@ -125,6 +127,11 @@ func main() {
 		faultSeed  = flag.Uint64("fault-seed", 1, "seed for the fault injector (independent of -seed)")
 		crashAt    = flag.Uint64("crash-at", 0, "cut power after this many requests (1-based), recover, and finish the run")
 
+		attrOn     = flag.Bool("attr", false, "attribute request latency to phases and line writes to causes")
+		attrSample = flag.Int("attr-sample", attr.DefaultSamplePeriod, "causal-tracing sample period: trace every Nth request")
+		attrFolded = flag.String("attr-folded", "", "write sampled phase totals as flamegraph folded stacks (single run, implies -attr)")
+		attrCSV    = flag.String("attr-csv", "", "write the write-provenance ledger as CSV (single run, implies -attr)")
+
 		epochEvery  = flag.Uint64("epoch", 0, "timeline epoch size in requests (0 = requests/64)")
 		timelineCSV = flag.String("timeline-csv", "", "write the epoch time series as CSV (single run)")
 		heatmapOut  = flag.String("heatmap", "", "write the per-bank wear heatmap as CSV (single run)")
@@ -184,8 +191,14 @@ func main() {
 		}
 	}
 	single := len(jobs) == 1
-	if !single && (*traceOut != "" || *metricsCSV != "" || *timelineCSV != "" || *heatmapOut != "") {
-		fmt.Fprintf(os.Stderr, "dewrite-sim: -trace/-metrics/-timeline-csv/-heatmap need a single (app, scheme) run\n")
+	if !single && (*traceOut != "" || *metricsCSV != "" || *timelineCSV != "" || *heatmapOut != "" ||
+		*attrFolded != "" || *attrCSV != "") {
+		fmt.Fprintf(os.Stderr, "dewrite-sim: -trace/-metrics/-timeline-csv/-heatmap/-attr-folded/-attr-csv need a single (app, scheme) run\n")
+		os.Exit(2)
+	}
+	enableAttr := *attrOn || *attrFolded != "" || *attrCSV != ""
+	if enableAttr && *attrSample < 1 {
+		fmt.Fprintf(os.Stderr, "dewrite-sim: -attr-sample must be >= 1\n")
 		os.Exit(2)
 	}
 
@@ -262,11 +275,12 @@ func main() {
 	// canonical-order slots.
 	mems := make([]sim.Memory, len(jobs))
 	results := make([]sim.Result, len(jobs))
+	recs := make([]*attr.Recorder, len(jobs))
 	experiments.ForEach(*parallel, len(jobs), func(i int) {
 		j := jobs[i]
 		tl := timeline.NewByRequests(every, 0)
+		prefix := j.prof.Name + "/" + j.sch.String()
 		if reg != nil {
-			prefix := j.prof.Name + "/" + j.sch.String()
 			tl.OnEpoch = func(e *timeline.Epoch) { reg.PublishEpoch(prefix, e) }
 		}
 		opts := sim.Options{
@@ -274,12 +288,21 @@ func main() {
 			Tracer: tracer, Timeline: tl,
 			Faults: fcfg, CrashAt: *crashAt,
 		}
+		if enableAttr {
+			// One recorder per job: the sampling counter is recorder-local,
+			// so which requests get traced is independent of -parallel.
+			recs[i] = attr.NewRecorder(*attrSample, *seed)
+			opts.Attr = recs[i]
+		}
 		if *hierarchy {
 			opts.Hierarchy = cache.NewHierarchy(cfg.Hierarchy)
 		}
 		mem := sim.NewMemoryWith(j.sch, j.prof.WorkingSetLines, cfg, fcfg, *crashAt != 0)
 		results[i] = sim.Run(j.prof.Name, j.sch.String(), mem, j.prof, opts)
 		mems[i] = results[i].FinalMemory()
+		if reg != nil {
+			reg.PublishAttribution(prefix, results[i].Attribution)
+		}
 	})
 
 	if *traceOut != "" {
@@ -304,6 +327,18 @@ func main() {
 	if *heatmapOut != "" {
 		if err := writeFileWith(*heatmapOut, results[0].Timeline.WriteWearHeatmapCSV); err != nil {
 			fmt.Fprintf(os.Stderr, "dewrite-sim: heatmap: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *attrFolded != "" {
+		if err := writeFileWith(*attrFolded, recs[0].WriteFolded); err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-sim: attr-folded: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *attrCSV != "" {
+		if err := writeFileWith(*attrCSV, recs[0].WriteProvenanceCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-sim: attr-csv: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -357,6 +392,28 @@ func printText(res sim.Result, prof workload.Profile, mem sim.Memory) {
 			rep.DanglingMappings, rep.DivergentLocations, rep.RefcountMismatches)
 		fmt.Printf("recovery      %d mappings over %d live locations recovered, %d lines poisoned\n",
 			rep.RecoveredMappings, rep.LiveLocations, rep.PoisonedLines)
+	}
+
+	if a := res.Attribution; a != nil {
+		fmt.Printf("\nattribution (sample period %d):\n", a.SamplePeriod)
+		fmt.Printf("  provenance           %d line writes, %.1f uJ\n", a.TotalLineWrites, a.EnergyPJ/1e6)
+		for _, c := range a.Causes {
+			if c.Writes == 0 {
+				continue
+			}
+			fmt.Printf("    %-12s %10d writes (%.1f%%)\n", c.Cause, c.Writes, pct(c.Writes, a.TotalLineWrites))
+		}
+		fmt.Printf("  sampled              %d writes (%v), %d reads (%v)\n",
+			a.SampledWrites, units.Duration(a.SampledWritePs),
+			a.SampledReads, units.Duration(a.SampledReadPs))
+		for _, p := range a.Phases {
+			den := a.SampledWritePs
+			if p.Kind == "read" {
+				den = a.SampledReadPs
+			}
+			fmt.Printf("    %-5s %-13s %8d spans, %5.1f%% of %s time\n",
+				p.Kind, p.Phase, p.Count, pct(p.TotalPs, den), p.Kind)
+		}
 	}
 
 	if ctrl, ok := mem.(*core.Controller); ok {

@@ -1,0 +1,117 @@
+package attr
+
+// Ledger is the write-provenance half of the attribution layer: per-cause
+// write and energy counters with a per-bank breakdown, fed by the NVM device
+// on every physical line write. Recording is O(1) per write (the per-bank
+// slices grow once to the device's bank count and never again), allocation
+// free in steady state, and exhaustive — unlike phase tracing it is not
+// sampled, so the cause counters always sum to the device's total writes.
+//
+// The nil *Ledger is the disabled instrument: every method is safe (and
+// free) to call on it. A Ledger survives crash points: the simulator
+// re-attaches the same ledger to the recovered device, so its counters are
+// cumulative across power cycles while the device's own statistics restart.
+//
+// Not safe for concurrent use; the simulator is single-threaded over
+// simulated time.
+type Ledger struct {
+	writes   [NumCauses]uint64
+	energyPJ [NumCauses]float64
+	// bankWrites[cause] is indexed by bank; grown on first use per cause.
+	bankWrites [NumCauses][]uint64
+}
+
+// RecordWrite accounts one physical line write to cause on bank, costing
+// energyPJ picojoules. Negative banks (callers without bank visibility) are
+// counted in the cause totals only.
+func (l *Ledger) RecordWrite(cause Cause, bank int, energyPJ float64) {
+	if l == nil {
+		return
+	}
+	if int(cause) >= NumCauses {
+		cause = CauseDemand
+	}
+	l.writes[cause]++
+	l.energyPJ[cause] += energyPJ
+	if bank < 0 {
+		return
+	}
+	bw := l.bankWrites[cause]
+	if bank >= len(bw) {
+		grown := make([]uint64, bank+1)
+		copy(grown, bw)
+		bw = grown
+		l.bankWrites[cause] = bw
+	}
+	bw[bank]++
+}
+
+// Writes returns the number of line writes recorded for cause.
+func (l *Ledger) Writes(cause Cause) uint64 {
+	if l == nil || int(cause) >= NumCauses {
+		return 0
+	}
+	return l.writes[cause]
+}
+
+// EnergyPJ returns the energy recorded for cause, in picojoules.
+func (l *Ledger) EnergyPJ(cause Cause) float64 {
+	if l == nil || int(cause) >= NumCauses {
+		return 0
+	}
+	return l.energyPJ[cause]
+}
+
+// BankWrites returns the per-bank write counts recorded for cause (a copy;
+// nil when the cause never recorded a bank).
+func (l *Ledger) BankWrites(cause Cause) []uint64 {
+	if l == nil || int(cause) >= NumCauses || len(l.bankWrites[cause]) == 0 {
+		return nil
+	}
+	return append([]uint64(nil), l.bankWrites[cause]...)
+}
+
+// Total returns the sum of all per-cause write counters — by construction
+// the number of physical line writes recorded through this ledger.
+func (l *Ledger) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	var total uint64
+	for _, w := range l.writes {
+		total += w
+	}
+	return total
+}
+
+// TotalEnergyPJ returns the sum of all per-cause energy counters.
+func (l *Ledger) TotalEnergyPJ() float64 {
+	if l == nil {
+		return 0
+	}
+	var total float64
+	for _, e := range l.energyPJ {
+		total += e
+	}
+	return total
+}
+
+// Causes returns one CauseStat per cause, in cause order, including causes
+// with zero writes so downstream diffs see a stable set.
+func (l *Ledger) Causes() []CauseStat {
+	if l == nil {
+		return nil
+	}
+	out := make([]CauseStat, NumCauses)
+	for c := 0; c < NumCauses; c++ {
+		out[c] = CauseStat{
+			Cause:    Cause(c).String(),
+			Writes:   l.writes[c],
+			EnergyPJ: l.energyPJ[c],
+		}
+		if len(l.bankWrites[c]) > 0 {
+			out[c].BankWrites = append([]uint64(nil), l.bankWrites[c]...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package attr
+
+import (
+	"dewrite/internal/rng"
+	"dewrite/internal/telemetry"
+	"dewrite/internal/units"
+)
+
+// Recorder is the causal-tracing half of the attribution layer: a sampled
+// per-request context that the simulation loop opens around each memory
+// request and that the components the request flows through decorate with
+// phases and functional-op counts. It owns the run's write-provenance Ledger
+// so one attachment call wires both halves.
+//
+// Sampling is deterministic: request i is sampled iff i mod period equals an
+// offset drawn from internal/rng with the run's seed, so two runs of the
+// same workload sample identical requests regardless of how many worker
+// goroutines drive sibling runs. Unsampled requests cost one counter
+// increment and a compare; phases recorded outside an open sampled context
+// are discarded by a single branch.
+//
+// The nil *Recorder is the disabled instrument: every method is safe (and
+// allocation-free) to call on it. Not safe for concurrent use; recorders are
+// per-run, like timeline collectors.
+type Recorder struct {
+	period uint64
+	offset uint64
+	seen   uint64
+
+	open  bool
+	kind  Kind
+	addr  uint64
+	start units.Time
+
+	// Per-open-request scratch, folded into the totals at End.
+	curr    [NumPhases]phaseAgg
+	currOps [NumOps]uint64
+
+	phases  [NumKinds][NumPhases]phaseAgg
+	ops     [NumKinds][NumOps]uint64
+	sampled [NumKinds]uint64
+	total   [NumKinds]units.Duration
+
+	led Ledger
+	trc *telemetry.Tracer
+}
+
+type phaseAgg struct {
+	count uint64
+	total units.Duration
+}
+
+// DefaultSamplePeriod is the sampling period used when none is given: one in
+// 1024 requests, the rate at which the measured overhead stays below 1 %.
+const DefaultSamplePeriod = 1024
+
+// NewRecorder returns an enabled recorder sampling every period-th request,
+// with the sampling offset derived deterministically from seed. period <= 0
+// selects DefaultSamplePeriod; period 1 samples every request.
+func NewRecorder(period int, seed uint64) *Recorder {
+	if period <= 0 {
+		period = DefaultSamplePeriod
+	}
+	r := &Recorder{period: uint64(period)}
+	r.offset = rng.New(seed).Uint64n(r.period)
+	return r
+}
+
+// Enabled reports whether the recorder actually records.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// SamplePeriod returns the every-Nth sampling period (0 when disabled).
+func (r *Recorder) SamplePeriod() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.period
+}
+
+// SampleOffset returns the deterministic sampling offset in [0, period).
+func (r *Recorder) SampleOffset() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.offset
+}
+
+// SetTracer attaches (or, with nil, detaches) the telemetry sink; sampled
+// phases are then also emitted as Chrome-trace spans on the attribution
+// track.
+func (r *Recorder) SetTracer(trc *telemetry.Tracer) {
+	if r == nil {
+		return
+	}
+	r.trc = trc
+}
+
+// Ledger returns the recorder's write-provenance ledger (nil when the
+// recorder is disabled), for the device to record causes into.
+func (r *Recorder) Ledger() *Ledger {
+	if r == nil {
+		return nil
+	}
+	return &r.led
+}
+
+// Begin opens the request context for one memory request issued at issue.
+// Whether the request is sampled is decided here; until the matching End,
+// Phase and Op calls attribute into this request.
+func (r *Recorder) Begin(kind Kind, addr uint64, issue units.Time) {
+	if r == nil {
+		return
+	}
+	idx := r.seen
+	r.seen++
+	if idx%r.period != r.offset {
+		return
+	}
+	r.open = true
+	r.kind = kind
+	r.addr = addr
+	r.start = issue
+	r.curr = [NumPhases]phaseAgg{}
+	r.currOps = [NumOps]uint64{}
+}
+
+// Sampling reports whether a sampled request context is currently open —
+// the cheap pre-check for callers that would otherwise compute span
+// boundaries only to have Phase discard them.
+func (r *Recorder) Sampling() bool {
+	return r != nil && r.open
+}
+
+// Phase attributes the [start, end] segment of the open sampled request to
+// phase p. Outside an open context (or on the nil recorder) it is a no-op.
+func (r *Recorder) Phase(p Phase, start, end units.Time) {
+	if r == nil || !r.open || int(p) >= NumPhases {
+		return
+	}
+	r.curr[p].count++
+	r.curr[p].total += end.Sub(start)
+	if r.trc != nil && end > start {
+		r.trc.Span(p.category(), telemetry.TrackAttr, "attr:"+p.String(), start, end, r.addr)
+	}
+}
+
+// Op counts one functional operation performed for the open sampled request.
+func (r *Recorder) Op(op Op) {
+	if r == nil || !r.open || int(op) >= NumOps {
+		return
+	}
+	r.currOps[op]++
+}
+
+// End closes the request context opened by Begin, folding the request's
+// phases into the per-kind totals. done is the request's completion time.
+func (r *Recorder) End(done units.Time) {
+	if r == nil || !r.open {
+		return
+	}
+	r.open = false
+	k := r.kind
+	r.sampled[k]++
+	r.total[k] += done.Sub(r.start)
+	for p := 0; p < NumPhases; p++ {
+		r.phases[k][p].count += r.curr[p].count
+		r.phases[k][p].total += r.curr[p].total
+	}
+	for o := 0; o < NumOps; o++ {
+		r.ops[k][o] += r.currOps[o]
+	}
+	if r.trc != nil {
+		cat := telemetry.CatWrite
+		if k == KindRead {
+			cat = telemetry.CatRead
+		}
+		r.trc.Span(cat, telemetry.TrackAttr, "attr:"+k.String(), r.start, done, r.addr)
+	}
+}
+
+// category maps a latency phase onto the telemetry category its span carries.
+func (p Phase) category() telemetry.Category {
+	switch p {
+	case PhaseHash:
+		return telemetry.CatHash
+	case PhaseLookup, PhaseMetaMiss:
+		return telemetry.CatMetadata
+	case PhaseEncrypt:
+		return telemetry.CatAES
+	case PhaseVerify:
+		return telemetry.CatVerifyRead
+	case PhaseQueue:
+		return telemetry.CatBankQueue
+	default:
+		return telemetry.CatBankService
+	}
+}

@@ -1,0 +1,181 @@
+package attr
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Report is the machine-readable attribution block of a run report (schema
+// v4). Field tags are frozen by the reportcompat analyzer; phase, op and
+// cause names are the stable String() forms. Entries are emitted in fixed
+// enum order so identical runs produce byte-identical reports.
+type Report struct {
+	// SamplePeriod is the every-Nth causal-tracing period; SampledWrites and
+	// SampledReads count the requests that fell on the sampling offset.
+	SamplePeriod  uint64 `json:"sample_period"`
+	SampledWrites uint64 `json:"sampled_writes"`
+	SampledReads  uint64 `json:"sampled_reads"`
+
+	// SampledWritePs / SampledReadPs total the sampled requests' end-to-end
+	// latencies, the denominators for per-phase fractions.
+	SampledWritePs uint64 `json:"sampled_write_ps"`
+	SampledReadPs  uint64 `json:"sampled_read_ps"`
+
+	// Phases and Ops cover sampled requests only; zero-count entries are
+	// omitted. Causes always carries every cause, and its write counters sum
+	// exactly to TotalLineWrites.
+	Phases []PhaseStat `json:"phases,omitempty"`
+	Ops    []OpStat    `json:"ops,omitempty"`
+	Causes []CauseStat `json:"causes"`
+
+	// TotalLineWrites is the ledger's total — every physical line write the
+	// attached device issued while this recorder was attached (cumulative
+	// across crash points, where the device's own counters restart).
+	TotalLineWrites uint64 `json:"total_line_writes"`
+	// EnergyPJ is the ledger's total write energy in picojoules.
+	EnergyPJ float64 `json:"energy_pj"`
+}
+
+// PhaseStat is one (request kind, phase) aggregate over sampled requests.
+type PhaseStat struct {
+	Kind    string `json:"kind"`
+	Phase   string `json:"phase"`
+	Count   uint64 `json:"count"`
+	TotalPs uint64 `json:"total_ps"`
+}
+
+// OpStat is one (request kind, functional op) count over sampled requests.
+type OpStat struct {
+	Kind  string `json:"kind"`
+	Op    string `json:"op"`
+	Count uint64 `json:"count"`
+}
+
+// CauseStat is one write-provenance cause's accumulated counters.
+type CauseStat struct {
+	Cause    string  `json:"cause"`
+	Writes   uint64  `json:"writes"`
+	EnergyPJ float64 `json:"energy_pj"`
+	// BankWrites is the per-bank breakdown, indexed by bank; omitted when
+	// the cause recorded no bank-attributed write.
+	BankWrites []uint64 `json:"bank_writes,omitempty"`
+}
+
+// Report assembles the attribution block. It returns nil on the disabled
+// recorder, so a run without attribution serializes without the block.
+func (r *Recorder) Report() *Report {
+	if r == nil {
+		return nil
+	}
+	rep := &Report{
+		SamplePeriod:    r.period,
+		SampledWrites:   r.sampled[KindWrite],
+		SampledReads:    r.sampled[KindRead],
+		SampledWritePs:  uint64(r.total[KindWrite]),
+		SampledReadPs:   uint64(r.total[KindRead]),
+		Causes:          r.led.Causes(),
+		TotalLineWrites: r.led.Total(),
+		EnergyPJ:        r.led.TotalEnergyPJ(),
+	}
+	for k := 0; k < NumKinds; k++ {
+		for p := 0; p < NumPhases; p++ {
+			agg := r.phases[k][p]
+			if agg.count == 0 {
+				continue
+			}
+			rep.Phases = append(rep.Phases, PhaseStat{
+				Kind:    Kind(k).String(),
+				Phase:   Phase(p).String(),
+				Count:   agg.count,
+				TotalPs: uint64(agg.total),
+			})
+		}
+		for o := 0; o < NumOps; o++ {
+			if r.ops[k][o] == 0 {
+				continue
+			}
+			rep.Ops = append(rep.Ops, OpStat{
+				Kind:  Kind(k).String(),
+				Op:    Op(o).String(),
+				Count: r.ops[k][o],
+			})
+		}
+	}
+	return rep
+}
+
+// WriteFolded writes the sampled phase totals as flamegraph-compatible
+// folded stacks: one "kind;phase weight" line per non-zero aggregate, the
+// weight being total picoseconds of simulated time. Lines are sorted, so the
+// output is byte-identical across runs and worker counts. Phases may overlap
+// (the parallel encryption way, device phases nested in controller phases),
+// so widths are attribution weights, not a partition of the request total.
+func (r *Recorder) WriteFolded(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var lines []string
+	for k := 0; k < NumKinds; k++ {
+		if r.sampled[k] > 0 {
+			lines = append(lines, fmt.Sprintf("%s %d", Kind(k), uint64(r.total[k])))
+		}
+		for p := 0; p < NumPhases; p++ {
+			agg := r.phases[k][p]
+			if agg.count == 0 {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("%s;%s %d", Kind(k), Phase(p), uint64(agg.total)))
+		}
+	}
+	sort.Strings(lines)
+	for _, line := range lines {
+		if _, err := io.WriteString(w, line+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteProvenanceCSV writes the write-provenance ledger as CSV: a header,
+// then per cause one "all"-banks total row followed by one row per bank with
+// non-zero writes. Per-bank energy is exact, not prorated: every line write
+// of one device costs the same array energy, so bank energy is bank writes
+// times the cause's energy per write.
+func (r *Recorder) WriteProvenanceCSV(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	if _, err := io.WriteString(w, "cause,bank,writes,energy_pj\n"); err != nil {
+		return err
+	}
+	for c := 0; c < NumCauses; c++ {
+		cause := Cause(c)
+		writes := r.led.Writes(cause)
+		energy := r.led.EnergyPJ(cause)
+		row := fmt.Sprintf("%s,all,%d,%s\n", cause, writes, formatPJ(energy))
+		if _, err := io.WriteString(w, row); err != nil {
+			return err
+		}
+		if writes == 0 {
+			continue
+		}
+		perWrite := energy / float64(writes)
+		for bank, bw := range r.led.BankWrites(cause) {
+			if bw == 0 {
+				continue
+			}
+			row := fmt.Sprintf("%s,%d,%d,%s\n", cause, bank, bw, formatPJ(float64(bw)*perWrite))
+			if _, err := io.WriteString(w, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatPJ renders an energy value with the shortest exact representation.
+func formatPJ(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

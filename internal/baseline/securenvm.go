@@ -14,6 +14,7 @@ package baseline
 import (
 	"fmt"
 
+	"dewrite/internal/attr"
 	"dewrite/internal/cme"
 	"dewrite/internal/config"
 	"dewrite/internal/fault"
@@ -38,6 +39,7 @@ type SecureNVM struct {
 	ctrBase   uint64 // first NVM line of the counter table
 	pfCtr     int
 	trc       *telemetry.Tracer // nil when tracing is off
+	rec       *attr.Recorder    // nil when attribution is off
 
 	writes        stats.Counter
 	reads         stats.Counter
@@ -120,6 +122,14 @@ func (s *SecureNVM) SetTracer(trc *telemetry.Tracer) {
 	s.dev.SetTracer(trc)
 }
 
+// SetAttr attaches (or, with nil, detaches) the attribution recorder,
+// cascading it to the device and the crypto engine.
+func (s *SecureNVM) SetAttr(rec *attr.Recorder) {
+	s.rec = rec
+	s.dev.SetAttr(rec)
+	s.enc.SetAttr(rec)
+}
+
 // EmitSamples records the baseline's counter series (counter-cache hit rate)
 // at the simulated time now.
 func (s *SecureNVM) EmitSamples(trc *telemetry.Tracer, now units.Time) {
@@ -161,6 +171,7 @@ func (s *SecureNVM) counterAccess(now units.Time, logical uint64, write bool) un
 	if s.ctrCache.Lookup(line, write) {
 		done := now.Add(s.cfg.Timing.MetaCache)
 		s.ctrCache.Trace(s.trc, now, done, line)
+		s.rec.Phase(attr.PhaseLookup, now, done)
 		return done
 	}
 	// Timing-only read: the functional counters live in the CounterStore.
@@ -181,7 +192,7 @@ func (s *SecureNVM) counterAccess(now units.Time, logical uint64, write bool) un
 		}
 		ev, evicted := s.ctrCache.Insert(pf, write && i == 0)
 		if evicted && ev.Dirty {
-			s.dev.Write(done, ev.Block, zeroLine[:])
+			s.dev.WriteTagged(done, ev.Block, zeroLine[:], attr.CauseMetadata)
 			s.metaNVMWrites.Inc()
 			s.aesMetaOps.Inc()
 			s.dev.AddEnergy(s.cfg.Energy.AESBlock * config.AESBlocksPerLine)
@@ -192,6 +203,7 @@ func (s *SecureNVM) counterAccess(now units.Time, logical uint64, write bool) un
 	}
 	filled := done.Add(s.cfg.Timing.MetaCache)
 	s.ctrCache.Trace(s.trc, now, filled, line)
+	s.ctrCache.AttrMiss(s.rec, now, filled)
 	return filled
 }
 
@@ -210,6 +222,7 @@ func (s *SecureNVM) Write(now units.Time, logical uint64, data []byte) units.Tim
 	counter := s.ctrs.Bump(logical)
 	encDone := ctrDone.Add(s.cfg.Timing.AESLine)
 	s.trc.Span(telemetry.CatAES, telemetry.TrackAES, "", ctrDone, encDone, logical)
+	s.rec.Phase(attr.PhaseEncrypt, ctrDone, encDone)
 	s.aesLineOps.Inc()
 	s.dev.AddEnergy(s.cfg.Energy.AESBlock * config.AESBlocksPerLine)
 
@@ -264,6 +277,7 @@ func (s *SecureNVM) ReadInto(now units.Time, logical uint64, dst []byte) units.T
 	readDone := s.dev.ReadInto(ctrDone, logical, ct)
 	otpDone := ctrDone.Add(s.cfg.Timing.AESLine)
 	s.trc.Span(telemetry.CatAES, telemetry.TrackAES, "aes:otp", ctrDone, otpDone, logical)
+	s.rec.Phase(attr.PhaseEncrypt, ctrDone, otpDone)
 	done := units.Max(readDone, otpDone).Add(s.cfg.Timing.XOR)
 	s.aesLineOps.Inc()
 	s.dev.AddEnergy(s.cfg.Energy.AESBlock * config.AESBlocksPerLine)

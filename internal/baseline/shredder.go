@@ -3,6 +3,7 @@ package baseline
 import (
 	"fmt"
 
+	"dewrite/internal/attr"
 	"dewrite/internal/config"
 	"dewrite/internal/stats"
 	"dewrite/internal/telemetry"
@@ -37,6 +38,9 @@ func (sh *Shredder) Inner() *SecureNVM { return sh.inner }
 
 // SetTracer attaches the telemetry sink to the wrapped SecureNVM.
 func (sh *Shredder) SetTracer(trc *telemetry.Tracer) { sh.inner.SetTracer(trc) }
+
+// SetAttr attaches the attribution recorder to the wrapped SecureNVM.
+func (sh *Shredder) SetAttr(rec *attr.Recorder) { sh.inner.SetAttr(rec) }
 
 // EmitSamples records the wrapped baseline's counter series at now.
 func (sh *Shredder) EmitSamples(trc *telemetry.Tracer, now units.Time) {

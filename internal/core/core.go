@@ -31,6 +31,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"dewrite/internal/attr"
 	"dewrite/internal/cme"
 	"dewrite/internal/config"
 	"dewrite/internal/dedup"
@@ -154,6 +155,9 @@ type Controller struct {
 	// Telemetry sink; nil when tracing is off (the nil-safe contract keeps
 	// every emission a single branch on the hot path).
 	trc *telemetry.Tracer
+
+	// Attribution recorder; nil when attribution is off, same contract.
+	rec *attr.Recorder
 
 	// Optional integrity tree (nil when disabled).
 	tree        *integrity.Tree
@@ -392,6 +396,17 @@ func (c *Controller) SetTracer(trc *telemetry.Tracer) {
 	c.dev.SetTracer(trc)
 }
 
+// SetAttr attaches (or, with nil, detaches) the attribution recorder,
+// cascading it to the device, the dedup tables and the crypto engine. Like
+// tracing, attribution only observes timestamps the controller already
+// computed and never changes simulated behavior.
+func (c *Controller) SetAttr(rec *attr.Recorder) {
+	c.rec = rec
+	c.dev.SetAttr(rec)
+	c.tables.SetAttr(rec)
+	c.enc.SetAttr(rec)
+}
+
 // EmitSamples records the controller's counter series (duplication ratio,
 // prediction accuracy, per-partition metadata-cache hit rates) at the
 // simulated time now.
@@ -458,6 +473,7 @@ func (c *Controller) metaAccess(now units.Time, cache *metacache.Cache, line uin
 	if cache.Lookup(line, write) {
 		done := now.Add(c.cfg.Timing.MetaCache)
 		cache.Trace(c.trc, now, done, line)
+		c.rec.Phase(attr.PhaseLookup, now, done)
 		return done
 	}
 	// Demand miss: NVM read + direct decryption. Timing-only — the
@@ -490,6 +506,7 @@ func (c *Controller) metaAccess(now units.Time, cache *metacache.Cache, line uin
 	}
 	filled := done.Add(c.cfg.Timing.MetaCache)
 	cache.Trace(c.trc, now, filled, line)
+	cache.AttrMiss(c.rec, now, filled)
 	return filled
 }
 
@@ -497,7 +514,7 @@ func (c *Controller) metaAccess(now units.Time, cache *metacache.Cache, line uin
 // happens off the demand path (buffered), but it occupies the bank and is
 // direct-encrypted first.
 func (c *Controller) writebackMeta(now units.Time, line uint64) {
-	c.dev.Write(now, line, zeroLine[:])
+	c.dev.WriteTagged(now, line, zeroLine[:], attr.CauseMetadata)
 	c.metaNVMWrites.Inc()
 	c.aesMetaOps.Inc()
 	c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
@@ -550,6 +567,8 @@ func (c *Controller) Write(now units.Time, logical uint64, data []byte) units.Ti
 	c.crcOps.Inc()
 	c.dev.AddEnergy(c.cfg.Energy.CRC32Line)
 	c.trc.Span(telemetry.CatHash, telemetry.TrackHash, "", now, detect, logical)
+	c.rec.Phase(attr.PhaseHash, now, detect)
+	c.rec.Op(attr.OpCRC)
 	h := hashes.CRC32(data) & c.hashMask
 
 	// Hash-table probe through the metadata cache, with the PNA rule on a
@@ -558,6 +577,7 @@ func (c *Controller) Write(now units.Time, logical uint64, data []byte) units.Ti
 	var candidates []uint64
 	probed := false
 	if c.hashCache.Lookup(hashLine, false) {
+		c.rec.Phase(attr.PhaseLookup, detect, detect.Add(t.MetaCache))
 		detect = detect.Add(t.MetaCache)
 		candidates = c.tables.Candidates(h)
 		probed = true
@@ -602,6 +622,7 @@ func (c *Controller) Write(now units.Time, logical uint64, data []byte) units.Ti
 			if incomingZero && c.tables.IsZeroLocation(cand) {
 				detect = detect.Add(t.Compare)
 				c.compareOps.Inc()
+				c.rec.Op(attr.OpCompare)
 				duplicate = true
 				target = cand
 				break
@@ -618,9 +639,11 @@ func (c *Controller) Write(now units.Time, logical uint64, data []byte) units.Ti
 			c.trc.Span(telemetry.CatAES, telemetry.TrackAES, "aes:otp", ctrDone, otpDone, cand)
 			done = units.Max(done, otpDone).Add(t.XOR + t.Compare)
 			c.compareOps.Inc()
+			c.rec.Op(attr.OpCompare)
 			c.dev.AddEnergy(c.cfg.Energy.CompareLine)
 			c.enc.DecryptLine(c.plainScratch[:], c.lineScratch[:], cand, c.ctrs.Get(cand))
 			c.trc.Span(telemetry.CatVerifyRead, telemetry.TrackVerify, "", detect, done, cand)
+			c.rec.Phase(attr.PhaseVerify, detect, done)
 			detect = done
 			if !bytes.Equal(c.plainScratch[:], data) {
 				c.tables.NoteCollision()
@@ -646,6 +669,7 @@ func (c *Controller) Write(now units.Time, logical uint64, data []byte) units.Ti
 			c.aesWasted.Inc()
 			c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
 			c.trc.Span(telemetry.CatAES, telemetry.TrackAES, "aes:wasted", now, now.Add(c.cfg.Timing.AESLine), logical)
+			c.rec.Phase(attr.PhaseEncrypt, now, now.Add(c.cfg.Timing.AESLine))
 		}
 		completed = c.writeDuplicate(detect, logical, target)
 	} else {
@@ -735,6 +759,7 @@ func (c *Controller) writeUnique(now, detect units.Time, logical uint64, data []
 	c.aesLineOps.Inc()
 	c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
 	c.trc.Span(telemetry.CatAES, telemetry.TrackAES, "", encStart, encDone, chosen)
+	c.rec.Phase(attr.PhaseEncrypt, encStart, encDone)
 
 	ct := c.ctScratch[:]
 	c.enc.EncryptLine(ct, data, chosen, counter)
@@ -764,7 +789,7 @@ func (c *Controller) writeUnique(now, detect units.Time, logical uint64, data []
 	// exhausted) triggers relocation: retire the stuck location, re-place,
 	// re-encrypt under the new location's counter, and redo the affected
 	// metadata updates.
-	done, ok := c.dev.WriteChecked(done, chosen, ct)
+	done, ok := c.dev.WriteCheckedTagged(done, chosen, ct, attr.CauseUnique)
 	for retries := 0; !ok && retries < maxPlaceRetries; retries++ {
 		c.writeRetries.Inc()
 		prev := chosen
@@ -780,6 +805,7 @@ func (c *Controller) writeUnique(now, detect units.Time, logical uint64, data []
 		redo := done.Add(t.AESLine)
 		c.aesLineOps.Inc()
 		c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)
+		c.rec.Phase(attr.PhaseEncrypt, done, redo)
 		c.enc.EncryptLine(ct, data, chosen, counter)
 		redo = c.metaUpdate(redo, c.addrCache, c.layout.AddrMapLine(logical), c.pfAddr)
 		redo = c.metaUpdate(redo, c.fsmCache, c.layout.FSMLine(prev), c.pfFSM)
@@ -789,7 +815,9 @@ func (c *Controller) writeUnique(now, detect units.Time, logical uint64, data []
 		redo = c.metaUpdate(redo, c.invCache, c.layout.InvHashLine(prev), c.pfInv)
 		redo = c.metaUpdate(redo, c.invCache, c.layout.InvHashLine(chosen), c.pfInv)
 		redo = c.metaUpdate(redo, c.hashCache, c.layout.HashLine(h), 1)
-		done, ok = c.dev.WriteChecked(redo, chosen, ct)
+		// The relocated placement is remap traffic: the demand data already
+		// charged its unique write on the first (failed) placement attempt.
+		done, ok = c.dev.WriteCheckedTagged(redo, chosen, ct, attr.CauseRemap)
 	}
 	if !ok {
 		// The data never reached the array: poison the line so reads fail
@@ -888,6 +916,7 @@ func (c *Controller) readInto(now units.Time, logical uint64, dst []byte) (units
 	readDone := c.dev.ReadInto(ctrDone, loc, ct)
 	otpDone := ctrDone.Add(t.AESLine)
 	c.trc.Span(telemetry.CatAES, telemetry.TrackAES, "aes:otp", ctrDone, otpDone, loc)
+	c.rec.Phase(attr.PhaseEncrypt, ctrDone, otpDone)
 	done := units.Max(readDone, otpDone).Add(t.XOR)
 	c.aesLineOps.Inc()
 	c.dev.AddEnergy(c.cfg.Energy.AESBlock * config.AESBlocksPerLine)

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dewrite/internal/attr"
 	"dewrite/internal/stats"
 	"dewrite/internal/timeline"
 	"dewrite/internal/units"
@@ -52,6 +53,8 @@ type Tables struct {
 	// location, maintained incrementally so per-epoch sampling does not
 	// rescan the mapping table.
 	mappedAway uint64
+
+	rec *attr.Recorder // nil when attribution is off
 
 	refHist     stats.Histogram
 	duplicates  stats.Counter // writes eliminated as duplicates
@@ -142,10 +145,16 @@ func (t *Tables) Refs(loc uint64) uint {
 	return 0
 }
 
+// SetAttr attaches (or, with nil, detaches) the attribution recorder. The
+// tables count one probe op per hash-table lookup against the open sampled
+// request.
+func (t *Tables) SetAttr(rec *attr.Recorder) { t.rec = rec }
+
 // Candidates returns the live locations whose data carries the given
 // fingerprint — the hash-table probe of the duplication-detection path. The
 // returned slice is owned by the tables and must not be mutated.
 func (t *Tables) Candidates(hash uint32) []uint64 {
+	t.rec.Op(attr.OpProbe)
 	return t.hash[hash]
 }
 

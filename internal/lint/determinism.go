@@ -26,6 +26,7 @@ var deterministicPkgs = map[string]bool{
 	"memctrl":     true,
 	"timeline":    true,
 	"stats":       true,
+	"attr":        true,
 }
 
 // Determinism reports constructs that make a deterministic package's output

@@ -18,6 +18,7 @@ func TestDeterminismFixtures(t *testing.T) {
 	analysistest.Run(t, "../..", lint.Determinism,
 		"testdata/src/determinism/sim",
 		"testdata/src/determinism/core",
+		"testdata/src/determinism/attr",
 		"testdata/src/determinism/other",
 	)
 }
@@ -34,6 +35,7 @@ func TestNilSafeFixtures(t *testing.T) {
 	analysistest.Run(t, "../..", lint.NilSafe,
 		"testdata/src/nilsafe/telemetry",
 		"testdata/src/nilsafe/timeline",
+		"testdata/src/nilsafe/attr",
 		"testdata/src/nilsafe/other",
 	)
 }
@@ -42,6 +44,7 @@ func TestReportCompatFixtures(t *testing.T) {
 	analysistest.Run(t, "../..", lint.ReportCompat,
 		"testdata/src/reportcompat/sim",
 		"testdata/src/reportcompat/dewrite-bench",
+		"testdata/src/reportcompat/attr",
 		"testdata/src/reportcompat/other",
 	)
 }

@@ -8,12 +8,14 @@ import (
 )
 
 // nilsafePkgs are the observational instrumentation packages. Every
-// component carries a possibly-nil *Tracer / *Collector, and the hot path
-// relies on "nil means disabled" costing exactly one branch — so a method
-// without a guard is a latent panic in every run that disables tracing.
+// component carries a possibly-nil *Tracer / *Collector / *Recorder, and the
+// hot path relies on "nil means disabled" costing exactly one branch — so a
+// method without a guard is a latent panic in every run that disables
+// tracing or attribution.
 var nilsafePkgs = map[string]bool{
 	"telemetry": true,
 	"timeline":  true,
+	"attr":      true,
 }
 
 // NilSafe requires exported pointer-receiver methods in the instrumentation
@@ -22,8 +24,8 @@ var NilSafe = &analysis.Analyzer{
 	Name: "nilsafe",
 	Doc: `require nil-receiver guards on exported instrumentation methods
 
-In telemetry and timeline the nil receiver is the documented "disabled"
-state, held unconditionally by every simulated component. An exported method
+In telemetry, timeline and attr the nil receiver is the documented
+"disabled" state, held unconditionally by every simulated component. An exported method
 on a pointer receiver must therefore begin with a nil guard. Three forms
 satisfy the check:
 

@@ -10,30 +10,41 @@ import (
 )
 
 // reportPkgs are the packages whose JSON layouts are consumed outside one
-// process lifetime: run reports (sim), the bench snapshot writer
-// (dewrite-bench), and the CI regression gate that decodes both (benchdiff).
+// process lifetime: run reports (sim), the attribution block they embed
+// (attr), the bench snapshot writer (dewrite-bench), and the CI regression
+// gate that decodes both (benchdiff).
 var reportPkgs = map[string]bool{
 	"sim":           true,
+	"attr":          true,
 	"benchdiff":     true,
 	"dewrite-bench": true,
 }
 
-// frozenTags pins the JSON field names that the dewrite/run/v1..v3 and
+// frozenTags pins the JSON field names that the dewrite/run/v1..v4 and
 // dewrite/bench/v1 schema constants promised. Removing or renaming one
 // breaks every committed baseline file (BENCH_<date>.json, the golden run
 // reports) and the benchdiff gate, so the analyzer treats it as an error.
 // Adding fields is always fine — that is what the schema bump discipline in
 // sim/report.go is for.
 var frozenTags = map[string][]string{
-	// dewrite/run/v1..v3 (sim/report.go).
+	// dewrite/run/v1..v4 (sim/report.go).
 	"RunReport": {
 		"schema", "app", "scheme", "requests", "mem_writes", "mem_reads",
 		"instructions", "cycles", "ipc", "elapsed_ps",
 		"write_latency", "read_latency", "energy_pj", "generator", "device",
-		"controller", "baseline", "timeline", "faults",
+		"controller", "baseline", "timeline", "faults", "attribution",
 	},
 	"LatencyQuantiles": {"count", "mean_ps", "p50_ps", "p95_ps", "p99_ps", "sum_ps"},
 	"FaultReport":      {"config", "device", "crash"},
+	// dewrite/run/v4 attribution block (internal/attr/report.go).
+	"Report": {
+		"sample_period", "sampled_writes", "sampled_reads",
+		"sampled_write_ps", "sampled_read_ps",
+		"phases", "ops", "causes", "total_line_writes", "energy_pj",
+	},
+	"PhaseStat": {"kind", "phase", "count", "total_ps"},
+	"OpStat":    {"kind", "op", "count"},
+	"CauseStat": {"cause", "writes", "energy_pj", "bank_writes"},
 	// dewrite/bench/v1, writer side (cmd/dewrite-bench).
 	"benchFile":  {"schema", "date", "quick", "requests", "warmup", "seed", "perf", "experiments"},
 	"benchPerf":  {"workers", "wall_ms", "mallocs", "allocs_per_request", "seq_wall_ms", "speedup"},
@@ -51,7 +62,7 @@ Downstream tooling (benchdiff, plotting scripts, committed BENCH_<date>.json
 baselines) parses these documents by field name, so in the report packages
 every exported field of a JSON-marshalled struct must carry an explicit json
 tag, two fields must never map to the same name, and the names promised by
-the dewrite/run/v1..v3 and dewrite/bench/v1 schemas must keep existing.`,
+the dewrite/run/v1..v4 and dewrite/bench/v1 schemas must keep existing.`,
 	Run: runReportCompat,
 }
 

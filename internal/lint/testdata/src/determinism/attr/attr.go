@@ -1,0 +1,29 @@
+// Package attr is a determinism fixture: folded stacks and provenance CSVs
+// land in golden byte-identity tests, so the attribution layer is gated.
+package attr
+
+import (
+	"sort"
+	"time"
+)
+
+func stamped() int64 {
+	return time.Now().UnixNano() // want `reads the wall clock \(time\.Now\)`
+}
+
+func foldedLines(totals map[string]uint64) []string {
+	var lines []string
+	for phase := range totals {
+		lines = append(lines, phase) // want `append to "lines" during map iteration without a later sort`
+	}
+	return lines
+}
+
+func foldedLinesOK(totals map[string]uint64) []string {
+	var lines []string
+	for phase := range totals {
+		lines = append(lines, phase)
+	}
+	sort.Strings(lines)
+	return lines
+}

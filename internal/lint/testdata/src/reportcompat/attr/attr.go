@@ -1,0 +1,26 @@
+// Package attr is a reportcompat fixture: the attribution block's structs
+// carry the frozen dewrite/run/v4 schema names.
+package attr
+
+// CauseStat dropped bank_writes, which dewrite/run/v4 promised.
+type CauseStat struct { // want `struct CauseStat no longer carries json tag "bank_writes" promised by its frozen schema`
+	Cause    string  `json:"cause"`
+	Writes   uint64  `json:"writes"`
+	EnergyPJ float64 `json:"energy_pj"`
+}
+
+// OpStat keeps every promised name: clean.
+type OpStat struct {
+	Kind  string `json:"kind"`
+	Op    string `json:"op"`
+	Count uint64 `json:"count"`
+}
+
+// PhaseStat has an untagged exported field on top of the frozen names.
+type PhaseStat struct {
+	Kind    string `json:"kind"`
+	Phase   string `json:"phase"`
+	Count   uint64 `json:"count"`
+	TotalPs uint64 `json:"total_ps"`
+	Extra   int    // want `exported field Extra of JSON struct PhaseStat needs an explicit json tag`
+}

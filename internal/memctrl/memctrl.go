@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dewrite/internal/attr"
 	"dewrite/internal/config"
 	"dewrite/internal/fault"
 	"dewrite/internal/stats"
@@ -297,6 +298,33 @@ func SimulateTraced(reqs []Request, cfg Config, policy Policy, trc *telemetry.Tr
 		trc.Span(telemetry.CatBankService, track, label, c.Start, c.Done, c.Addr)
 	}
 	return out
+}
+
+// AttributeCompletions replays an open-loop run's completions into the
+// attribution recorder: each completion becomes a sampled-or-not request
+// (the recorder's deterministic every-Nth rule decides which) whose queueing
+// wait and bank service are attributed as latency phases. The open-loop
+// simulator has no write-provenance to report — every request is a demand
+// access — so only the causal-tracing half is fed. With a nil recorder it is
+// a no-op.
+func AttributeCompletions(cs []Completion, rec *attr.Recorder) {
+	if !rec.Enabled() {
+		return
+	}
+	for _, c := range cs {
+		kind := attr.KindWrite
+		if c.Op == Read {
+			kind = attr.KindRead
+		}
+		rec.Begin(kind, c.Addr, c.Arrive)
+		if rec.Sampling() {
+			if c.Start > c.Arrive {
+				rec.Phase(attr.PhaseQueue, c.Arrive, c.Start)
+			}
+			rec.Phase(attr.PhaseService, c.Start, c.Done)
+		}
+		rec.End(c.Done)
+	}
 }
 
 // indexed carries a request together with its position in the input slice.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dewrite/internal/attr"
 	"dewrite/internal/stats"
 	"dewrite/internal/telemetry"
 	"dewrite/internal/timeline"
@@ -193,6 +194,13 @@ func (c *Cache) HitRate() float64 {
 // distinguishable in the trace. Nil-safe on trc.
 func (c *Cache) Trace(trc *telemetry.Tracer, start, end units.Time, block uint64) {
 	trc.Span(telemetry.CatMetadata, telemetry.TrackMetadata, c.name, start, end, block)
+}
+
+// AttrMiss attributes the [start, end] NVM fill of a miss in this partition
+// to the open sampled request's meta-miss phase. Like Trace, the controller
+// supplies the boundaries; nil-safe on rec.
+func (c *Cache) AttrMiss(rec *attr.Recorder, start, end units.Time) {
+	rec.Phase(attr.PhaseMetaMiss, start, end)
 }
 
 // SampleEpoch adds this partition's cumulative hit/miss counters into the

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dewrite/internal/attr"
 	"dewrite/internal/experiments"
 	"dewrite/internal/timeline"
 )
@@ -94,6 +95,86 @@ func (r *Registry) Snapshot() map[string]float64 {
 
 func floatBits(v float64) uint64 { return math.Float64bits(v) }
 func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+// Label is one Prometheus name="value" pair attached to a labeled gauge.
+type Label struct {
+	Key, Value string
+}
+
+// SetLabeled stores a gauge carrying Prometheus labels. The series is keyed
+// by the metric name plus its rendered label set; label values are escaped
+// per the text exposition format at key-construction time, so hostile values
+// (run names are user input) cannot corrupt the scrape output.
+func (r *Registry) SetLabeled(name string, labels []Label, v float64) {
+	r.Set(labeledKey(name, labels), v)
+}
+
+// labeledKey renders name\x00{key="value",...} with keys sanitized to the
+// metric charset and values escaped for the exposition format. The NUL
+// separator marks the key as carrying a pre-escaped label block — a plain Set
+// name can never smuggle one in, since sanitize folds NUL to an underscore.
+func labeledKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte(0)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitize(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value for the Prometheus text exposition
+// format: backslash, double quote and newline are the three runes the format
+// reserves inside quoted label values.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// PublishAttribution mirrors a finished run's attribution block into labeled
+// gauges: attr_cause_writes and attr_cause_energy_pj per provenance cause,
+// plus the sampling and ledger totals. The run label is the caller's run
+// identifier, typically "app/scheme".
+func (r *Registry) PublishAttribution(run string, rep *attr.Report) {
+	if rep == nil {
+		return
+	}
+	runOnly := []Label{{"run", run}}
+	r.SetLabeled("attr_sampled_requests", runOnly, float64(rep.SampledWrites+rep.SampledReads))
+	r.SetLabeled("attr_total_line_writes", runOnly, float64(rep.TotalLineWrites))
+	r.SetLabeled("attr_energy_pj", runOnly, rep.EnergyPJ)
+	for _, c := range rep.Causes {
+		labels := []Label{{"run", run}, {"cause", c.Cause}}
+		r.SetLabeled("attr_cause_writes", labels, float64(c.Writes))
+		r.SetLabeled("attr_cause_energy_pj", labels, c.EnergyPJ)
+	}
+}
 
 // PublishEpoch mirrors a just-closed timeline epoch into prefixed gauges —
 // the glue between a per-run Collector's OnEpoch hook and the live endpoint.
@@ -197,7 +278,10 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Close() error { return s.http.Close() }
 
 // writePrometheus renders every gauge in text exposition format, names
-// sanitized to the Prometheus charset and prefixed dewrite_.
+// sanitized to the Prometheus charset and prefixed dewrite_. SetLabeled keys
+// carry a pre-escaped {label="value"} suffix that is emitted as-is; plain Set
+// names have every rune — braces included — sanitized away, so only
+// escaped label blocks ever reach the output.
 func writePrometheus(w io.Writer, reg *Registry) {
 	snap := reg.Snapshot()
 	names := make([]string, 0, len(snap))
@@ -205,9 +289,18 @@ func writePrometheus(w io.Writer, reg *Registry) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	typed := make(map[string]bool, len(names))
 	for _, name := range names {
-		metric := "dewrite_" + sanitize(name)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", metric, metric, snap[name])
+		base, labels := name, ""
+		if i := strings.IndexByte(name, 0); i >= 0 {
+			base, labels = name[:i], name[i+1:]
+		}
+		metric := "dewrite_" + sanitize(base)
+		if !typed[metric] {
+			typed[metric] = true
+			fmt.Fprintf(w, "# TYPE %s gauge\n", metric)
+		}
+		fmt.Fprintf(w, "%s%s %g\n", metric, labels, snap[name])
 	}
 }
 

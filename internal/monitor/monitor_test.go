@@ -3,10 +3,12 @@ package monitor
 import (
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 
+	"dewrite/internal/attr"
 	"dewrite/internal/experiments"
 	"dewrite/internal/timeline"
 )
@@ -158,5 +160,173 @@ func TestServeSecondRegistry(t *testing.T) {
 func TestSanitize(t *testing.T) {
 	if got := sanitize("mcf/DeWrite.wear_max"); got != "mcf_DeWrite_wear_max" {
 		t.Fatalf("sanitize = %q", got)
+	}
+}
+
+// TestLabeledGaugeEscaping pins the exposition-format escaping of hostile
+// label values: backslash, double quote and newline must come out escaped, on
+// one line, under a single TYPE header per metric family.
+func TestLabeledGaugeEscaping(t *testing.T) {
+	r := NewRegistry()
+	hostile := "mcf\"q\\b\nend"
+	r.SetLabeled("attr_cause_writes", []Label{{"run", hostile}, {"cause", "demand"}}, 42)
+	r.SetLabeled("attr_cause_writes", []Label{{"run", hostile}, {"cause", "verify"}}, 7)
+	var b strings.Builder
+	writePrometheus(&b, r)
+	out := b.String()
+	want := `dewrite_attr_cause_writes{run="mcf\"q\\b\nend",cause="demand"} 42`
+	if !strings.Contains(out, want+"\n") {
+		t.Errorf("missing escaped series %q in:\n%s", want, out)
+	}
+	if got := strings.Count(out, "# TYPE dewrite_attr_cause_writes gauge"); got != 1 {
+		t.Errorf("TYPE header count = %d, want 1 for the family:\n%s", got, out)
+	}
+	// 1 TYPE line + 2 series lines: the newline inside the label value must
+	// not have produced extra lines.
+	if got := strings.Count(out, "\n"); got != 3 {
+		t.Errorf("line count = %d, want 3:\n%q", got, out)
+	}
+}
+
+// TestPlainGaugeCannotSmuggleLabels: a plain Set name that merely looks like
+// a label block is fully sanitized, never emitted as labels.
+func TestPlainGaugeCannotSmuggleLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Set(`evil{inject="raw"}`, 1)
+	var b strings.Builder
+	writePrometheus(&b, r)
+	if out := b.String(); strings.Contains(out, `{`) {
+		t.Fatalf("plain gauge leaked a label block:\n%s", out)
+	}
+}
+
+func TestPublishAttributionNil(t *testing.T) {
+	r := NewRegistry()
+	r.PublishAttribution("lbm/dewrite", nil)
+	if snap := r.Snapshot(); len(snap) != 0 {
+		t.Fatalf("nil report published gauges: %v", snap)
+	}
+}
+
+// parseSeries decodes one exposition-format sample line back into its metric
+// name, unescaped label map, and value — the scrape side of the round trip.
+func parseSeries(t *testing.T, line string) (string, map[string]string, float64) {
+	t.Helper()
+	labels := map[string]string{}
+	metric, rest := line, ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		metric = line[:i]
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			t.Fatalf("unterminated label block: %q", line)
+		}
+		lab, k := line[i+1:j], 0
+		for k < len(lab) {
+			eq := strings.IndexByte(lab[k:], '=')
+			key := lab[k : k+eq]
+			k += eq + 2 // skip ="
+			var val strings.Builder
+			for ; k < len(lab) && lab[k] != '"'; k++ {
+				c := lab[k]
+				if c == '\\' {
+					k++
+					switch lab[k] {
+					case 'n':
+						c = '\n'
+					case '\\':
+						c = '\\'
+					case '"':
+						c = '"'
+					default:
+						t.Fatalf("bad escape \\%c in %q", lab[k], line)
+					}
+				}
+				val.WriteByte(c)
+			}
+			labels[key] = val.String()
+			k++ // closing quote
+			if k < len(lab) && lab[k] == ',' {
+				k++
+			}
+		}
+		rest = line[j+1:]
+	} else if i := strings.IndexByte(line, ' '); i >= 0 {
+		metric, rest = line[:i], line[i:]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		t.Fatalf("bad value in %q: %v", line, err)
+	}
+	return metric, labels, v
+}
+
+// TestScrapeRoundTrip is the end-to-end audit: every endpoint declares its
+// Content-Type, and attribution gauges published under a hostile run name
+// survive the /metrics scrape — parse the exposition text back and recover
+// the exact label values and numbers that went in.
+func TestScrapeRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	hostile := "lbm\"x\\y\nz/dewrite"
+	rep := &attr.Report{
+		SamplePeriod: 64, SampledWrites: 3, SampledReads: 2,
+		TotalLineWrites: 100, EnergyPJ: 1.5,
+		Causes: []attr.CauseStat{
+			{Cause: "demand", Writes: 60, EnergyPJ: 0.9},
+			{Cause: "metadata", Writes: 40, EnergyPJ: 0.6},
+		},
+	}
+	reg.PublishAttribution(hostile, rep)
+	reg.Set("plain.gauge", 7)
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	for path, want := range map[string]string{
+		"/healthz":    "text/plain",
+		"/metrics":    "text/plain; version=0.0.4",
+		"/debug/vars": "application/json",
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := resp.Header.Get("Content-Type")
+		resp.Body.Close()
+		if !strings.HasPrefix(ct, want) {
+			t.Errorf("%s Content-Type = %q, want prefix %q", path, ct, want)
+		}
+	}
+
+	_, body := get(t, base+"/metrics")
+	found := map[string]float64{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		metric, labels, v := parseSeries(t, line)
+		switch metric {
+		case "dewrite_attr_cause_writes", "dewrite_attr_total_line_writes", "dewrite_attr_sampled_requests":
+			if labels["run"] != hostile {
+				t.Errorf("%s run label = %q, want %q", metric, labels["run"], hostile)
+			}
+			found[metric+"/"+labels["cause"]] = v
+		case "dewrite_plain_gauge":
+			found[metric] = v
+		}
+	}
+	for key, want := range map[string]float64{
+		"dewrite_attr_cause_writes/demand":   60,
+		"dewrite_attr_cause_writes/metadata": 40,
+		"dewrite_attr_total_line_writes/":    100,
+		"dewrite_attr_sampled_requests/":     5,
+		"dewrite_plain_gauge":                7,
+	} {
+		if got, ok := found[key]; !ok || got != want {
+			t.Errorf("%s = %v (present %v), want %v", key, got, ok, want)
+		}
 	}
 }

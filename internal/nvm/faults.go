@@ -3,6 +3,7 @@ package nvm
 import (
 	"sort"
 
+	"dewrite/internal/attr"
 	"dewrite/internal/fault"
 	"dewrite/internal/units"
 )
@@ -104,31 +105,44 @@ func (d *Device) verifyPenalty(done units.Time) units.Time {
 // stuck; the caller (controller) is expected to relocate the data. Without an
 // armed fault layer it always succeeds.
 func (d *Device) WriteChecked(now units.Time, lineAddr uint64, data []byte) (units.Time, bool) {
+	return d.writeChecked(now, lineAddr, data, attr.CauseDemand)
+}
+
+// writeChecked walks the degradation ladder, attributing each array pulse:
+// the first pulse keeps the caller's cause (it carries the intended data, and
+// in the common worn-line case the data still lands via ECP), a pulse against
+// a known-stuck line is attributed to verify (pure verify-discovered waste),
+// and the spare-region rewrite is a remap write. The segment the ladder adds
+// past the first pulse is the sampled request's degrade phase.
+func (d *Device) writeChecked(now units.Time, lineAddr uint64, data []byte, cause attr.Cause) (units.Time, bool) {
 	d.checkWriteArgs(lineAddr, data)
 	fs := d.faults
 	if fs == nil {
-		return d.writeArray(now, lineAddr, data, true), true
+		return d.writeArray(now, lineAddr, data, true, cause), true
 	}
 	if fs.stuck[lineAddr] {
 		// A known-stuck line still pulses the array and fails the verify.
 		fs.stuckWrites++
-		done := d.writeArray(now, d.resolve(lineAddr), data, false)
-		return d.verifyPenalty(done), false
+		pulsed := d.writeArray(now, d.resolve(lineAddr), data, false, attr.CauseVerify)
+		done := d.verifyPenalty(pulsed)
+		d.recDegrade(pulsed, done)
+		return done, false
 	}
 	phys := d.resolve(lineAddr)
 	if fs.inj == nil || !fs.inj.WornOut(phys, d.wear[phys]+1) {
-		return d.writeArray(now, phys, data, true), true
+		return d.writeArray(now, phys, data, true, cause), true
 	}
 	// The write drove cells past their lifetime: some bits stick, and the
 	// verify read catches the mismatch. Walk the degradation ladder.
 	fs.wornWrites++
-	done := d.writeArray(now, phys, data, false)
-	done = d.verifyPenalty(done)
+	pulsed := d.writeArray(now, phys, data, false, cause)
+	done := d.verifyPenalty(pulsed)
 	if fs.ecpUsed[phys] < fs.ecpBudget {
 		// An ECP entry patches the stuck bits; the data is stored correctly.
 		fs.ecpUsed[phys]++
 		fs.ecpCorrections++
 		d.pokeRaw(phys, data)
+		d.recDegrade(pulsed, done)
 		return done, true
 	}
 	if fs.spareNext < fs.spareLines {
@@ -138,7 +152,9 @@ func (d *Device) WriteChecked(now units.Time, lineAddr uint64, data []byte) (uni
 		fs.spareNext++
 		fs.remap[lineAddr] = sp
 		fs.remaps++
-		return d.writeArray(done, sp, data, true), true
+		done = d.writeArray(done, sp, data, true, attr.CauseRemap)
+		d.recDegrade(pulsed, done)
+		return done, true
 	}
 	// No spares left: the line is permanently stuck.
 	fs.stuck[lineAddr] = true
@@ -148,7 +164,16 @@ func (d *Device) WriteChecked(now units.Time, lineAddr uint64, data []byte) (uni
 	if fs.retireLimit > 0 && fs.bankStuck[bank] == fs.retireLimit {
 		fs.banksRetired++
 	}
+	d.recDegrade(pulsed, done)
 	return done, false
+}
+
+// recDegrade attributes the ladder's extra latency beyond the first pulse to
+// the degrade phase of the open sampled request, if any.
+func (d *Device) recDegrade(pulsed, done units.Time) {
+	if d.rec.Sampling() && done > pulsed {
+		d.rec.Phase(attr.PhaseDegrade, pulsed, done)
+	}
 }
 
 // IsStuck reports whether writes to the line permanently fail.

@@ -13,6 +13,7 @@ package nvm
 import (
 	"fmt"
 
+	"dewrite/internal/attr"
 	"dewrite/internal/config"
 	"dewrite/internal/stats"
 	"dewrite/internal/telemetry"
@@ -35,6 +36,8 @@ type Device struct {
 	store    map[uint64][]byte
 	wear     map[uint64]uint64
 	trc      *telemetry.Tracer // nil when tracing is off
+	rec      *attr.Recorder    // nil when attribution is off
+	led      *attr.Ledger      // rec's ledger, cached (nil when attribution is off)
 	faults   *faultState       // nil when the fault layer is not armed
 
 	// Incrementally maintained views of d.wear, so per-epoch sampling never
@@ -195,6 +198,12 @@ func (d *Device) readInto(now units.Time, lineAddr uint64, open bool, dst []byte
 		d.trc.Span(telemetry.CatBankQueue, telemetry.TrackBankBase+int32(bank), "", now, start, lineAddr)
 	}
 	d.trc.Span(telemetry.CatBankService, telemetry.TrackBankBase+int32(bank), "read", start, done, lineAddr)
+	if d.rec.Sampling() {
+		if start > now {
+			d.rec.Phase(attr.PhaseQueue, now, start)
+		}
+		d.rec.Phase(attr.PhaseService, start, done)
+	}
 	done = d.busTransfer(bank, done)
 
 	d.reads.Inc()
@@ -227,10 +236,26 @@ func (d *Device) readInto(now units.Time, lineAddr uint64, open bool, dst []byte
 // to the previous contents, which the bit-level write-reduction experiments
 // consume. With the fault layer armed, a write that the degradation ladder
 // cannot place fails silently here — callers that can relocate data should
-// use WriteChecked instead.
+// use WriteChecked instead. Provenance-wise the write is a demand write;
+// callers writing for another reason use WriteTagged.
 func (d *Device) Write(now units.Time, lineAddr uint64, data []byte) units.Time {
-	done, _ := d.WriteChecked(now, lineAddr, data)
+	done, _ := d.writeChecked(now, lineAddr, data, attr.CauseDemand)
 	return done
+}
+
+// WriteTagged is Write with the provenance cause made explicit: metadata
+// writebacks, unique-line placements, wear-leveling moves and the like tag
+// their array writes so the attribution ledger can decompose the device's
+// write total by cause. Without an attached recorder the tag is inert.
+func (d *Device) WriteTagged(now units.Time, lineAddr uint64, data []byte, cause attr.Cause) units.Time {
+	done, _ := d.writeChecked(now, lineAddr, data, cause)
+	return done
+}
+
+// WriteCheckedTagged is WriteChecked with the provenance cause made explicit;
+// see WriteTagged.
+func (d *Device) WriteCheckedTagged(now units.Time, lineAddr uint64, data []byte, cause attr.Cause) (units.Time, bool) {
+	return d.writeChecked(now, lineAddr, data, cause)
 }
 
 func (d *Device) checkWriteArgs(lineAddr uint64, data []byte) {
@@ -244,8 +269,11 @@ func (d *Device) checkWriteArgs(lineAddr uint64, data []byte) {
 // lie in the spare region, past the nominal address range). mutate=false
 // models a write whose verify will fail: the bank is occupied, energy is
 // spent and the cells are pulsed (wear accrues), but the stored contents do
-// not change and no bit-flip statistics are recorded.
-func (d *Device) writeArray(now units.Time, phys uint64, data []byte, mutate bool) units.Time {
+// not change and no bit-flip statistics are recorded. Every physical line
+// write of the device funnels through here, so recording cause into the
+// attribution ledger here makes the per-cause counters sum to d.writes by
+// construction.
+func (d *Device) writeArray(now units.Time, phys uint64, data []byte, mutate bool, cause attr.Cause) units.Time {
 	// The line is transferred over the channel before the array programs it.
 	bank := d.Bank(phys)
 	busDone := d.busTransfer(bank, now)
@@ -258,10 +286,17 @@ func (d *Device) writeArray(now units.Time, phys uint64, data []byte, mutate boo
 		d.trc.Span(telemetry.CatBankQueue, telemetry.TrackBankBase+int32(bank), "", now, start, phys)
 	}
 	d.trc.Span(telemetry.CatBankService, telemetry.TrackBankBase+int32(bank), "write", start, done, phys)
+	if d.rec.Sampling() {
+		if start > now {
+			d.rec.Phase(attr.PhaseQueue, now, start)
+		}
+		d.rec.Phase(attr.PhaseService, start, done)
+	}
 
 	d.writes.Inc()
 	d.writeWait.Observe(start.Sub(units.Min(now, busDone)))
 	d.energyPJ += d.energy.NVMWriteLine
+	d.led.RecordWrite(cause, bank, d.energy.NVMWriteLine)
 	d.wear[phys]++
 	d.bankWear[bank]++
 	if d.histReady && (d.wearBound == 0 || phys < d.wearBound) {
@@ -371,6 +406,15 @@ func (d *Device) Stats() Stats {
 // emits one bank-queue span per queued request and one bank-service span per
 // array access; tracing never alters timing.
 func (d *Device) SetTracer(trc *telemetry.Tracer) { d.trc = trc }
+
+// SetAttr attaches (or, with nil, detaches) the attribution recorder. The
+// device records every physical line write's cause into the recorder's
+// ledger and, while a sampled request is open, its bank-queue and
+// bank-service segments as latency phases. Attribution never alters timing.
+func (d *Device) SetAttr(rec *attr.Recorder) {
+	d.rec = rec
+	d.led = rec.Ledger()
+}
 
 // EmitSamples records the device's counter series at the simulated time now:
 // the number of banks still busy (the queue-depth gauge), cumulative

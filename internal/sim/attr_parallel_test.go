@@ -1,0 +1,54 @@
+package sim_test
+
+// The worker-count determinism check lives in the external test package:
+// experiments imports sim, so the internal test package cannot drive the real
+// parallel engine without an import cycle.
+
+import (
+	"bytes"
+	"testing"
+
+	"dewrite/internal/attr"
+	"dewrite/internal/config"
+	"dewrite/internal/experiments"
+	"dewrite/internal/sim"
+	"dewrite/internal/workload"
+)
+
+// TestAttributionFoldedDeterministicAcrossWorkers runs the same four-job grid
+// under 1 and 4 workers: per-job recorders own their sampling counters, so
+// the folded stacks must come out byte-identical regardless of scheduling.
+func TestAttributionFoldedDeterministicAcrossWorkers(t *testing.T) {
+	apps := []string{"mcf", "lbm", "gcc", "milc"}
+	grid := func(workers int) [][]byte {
+		out := make([][]byte, len(apps))
+		experiments.ForEach(workers, len(apps), func(i int) {
+			prof, ok := workload.ByName(apps[i])
+			if !ok {
+				t.Errorf("no %s profile", apps[i])
+				return
+			}
+			rec := attr.NewRecorder(64, 7)
+			opts := sim.Options{Requests: 2000, Warmup: 200, Seed: 7, Attr: rec}
+			mem := sim.NewMemory(sim.SchemeDeWrite, prof.WorkingSetLines, config.Default())
+			sim.Run(prof.Name, sim.SchemeDeWrite.String(), mem, prof, opts)
+			var buf bytes.Buffer
+			if err := rec.WriteFolded(&buf); err != nil {
+				t.Errorf("%s: WriteFolded: %v", apps[i], err)
+				return
+			}
+			out[i] = buf.Bytes()
+		})
+		return out
+	}
+	seq, par := grid(1), grid(4)
+	for i, app := range apps {
+		if len(seq[i]) == 0 {
+			t.Fatalf("%s: empty folded output", app)
+		}
+		if !bytes.Equal(seq[i], par[i]) {
+			t.Errorf("%s: folded stacks differ across worker counts:\n--- 1 worker ---\n%s--- 4 workers ---\n%s",
+				app, seq[i], par[i])
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"dewrite/internal/attr"
 	"dewrite/internal/baseline"
 	"dewrite/internal/core"
 	"dewrite/internal/fault"
@@ -16,12 +17,16 @@ import (
 
 // ReportSchema identifies the JSON layout of RunReport; bump it whenever a
 // field changes meaning so downstream tooling can detect incompatibility.
-// v3 added the optional faults block, v2 the optional timeline block; every
-// earlier field is unchanged, so v2 and v1 documents still decode (see
-// DecodeRunReport).
-const ReportSchema = "dewrite/run/v3"
+// v4 added the optional attribution block, v3 the optional faults block, v2
+// the optional timeline block; every earlier field is unchanged, so v3, v2
+// and v1 documents still decode (see DecodeRunReport).
+const ReportSchema = "dewrite/run/v4"
 
-// ReportSchemaV2 is the previous layout: identical minus the faults block.
+// ReportSchemaV3 is the previous layout: identical minus the attribution
+// block.
+const ReportSchemaV3 = "dewrite/run/v3"
+
+// ReportSchemaV2 is the v3 layout minus the faults block.
 const ReportSchemaV2 = "dewrite/run/v2"
 
 // ReportSchemaV1 is the original layout: v2 minus the timeline block.
@@ -73,6 +78,10 @@ type RunReport struct {
 	// Faults is the fault-injection block (v3), present when the run armed
 	// device fault injection or fired a crash point.
 	Faults *FaultReport `json:"faults,omitempty"`
+
+	// Attribution is the causal-tracing and write-provenance block (v4),
+	// present when the run was collected with Options.Attr.
+	Attribution *attr.Report `json:"attribution,omitempty"`
 }
 
 // FaultReport is the faults block of a v3 run report: the armed injection
@@ -131,6 +140,7 @@ func NewRunReport(res Result, mem Memory) RunReport {
 		r.Baseline = &rep
 	}
 	r.Timeline = res.Timeline
+	r.Attribution = res.Attribution
 	if dev := DeviceOf(mem); dev != nil && (dev.FaultsEnabled() || res.Crash != nil) {
 		r.Faults = &FaultReport{
 			Config: dev.FaultConfig(),
@@ -143,20 +153,21 @@ func NewRunReport(res Result, mem Memory) RunReport {
 	return r
 }
 
-// DecodeRunReport parses a run report, accepting the current v3 layout as
-// well as v2 and v1 documents (whose fields are strict subsets — they decode
-// with nil Faults / Timeline blocks). Any other schema string is an error.
+// DecodeRunReport parses a run report, accepting the current v4 layout as
+// well as v3, v2 and v1 documents (whose fields are strict subsets — they
+// decode with nil Attribution / Faults / Timeline blocks). Any other schema
+// string is an error.
 func DecodeRunReport(data []byte) (RunReport, error) {
 	var r RunReport
 	if err := json.Unmarshal(data, &r); err != nil {
 		return RunReport{}, fmt.Errorf("run report: %w", err)
 	}
 	switch r.Schema {
-	case ReportSchema, ReportSchemaV2, ReportSchemaV1:
+	case ReportSchema, ReportSchemaV3, ReportSchemaV2, ReportSchemaV1:
 		return r, nil
 	default:
-		return RunReport{}, fmt.Errorf("run report: unsupported schema %q (want %q, %q or %q)",
-			r.Schema, ReportSchema, ReportSchemaV2, ReportSchemaV1)
+		return RunReport{}, fmt.Errorf("run report: unsupported schema %q (want %q, %q, %q or %q)",
+			r.Schema, ReportSchema, ReportSchemaV3, ReportSchemaV2, ReportSchemaV1)
 	}
 }
 

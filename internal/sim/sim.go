@@ -7,6 +7,7 @@ package sim
 import (
 	"fmt"
 
+	"dewrite/internal/attr"
 	"dewrite/internal/baseline"
 	"dewrite/internal/cache"
 	"dewrite/internal/config"
@@ -68,6 +69,22 @@ type sampler interface {
 func AttachTracer(mem Memory, trc *telemetry.Tracer) bool {
 	if ts, ok := mem.(tracerSetter); ok {
 		ts.SetTracer(trc)
+		return true
+	}
+	return false
+}
+
+// attrSetter is implemented by schemes that can attach an attribution
+// recorder (core.Controller, baseline.SecureNVM, baseline.Shredder).
+type attrSetter interface {
+	SetAttr(*attr.Recorder)
+}
+
+// AttachAttr wires the attribution recorder into mem's internal components,
+// if mem supports it. It reports whether the scheme accepted the recorder.
+func AttachAttr(mem Memory, rec *attr.Recorder) bool {
+	if as, ok := mem.(attrSetter); ok {
+		as.SetAttr(rec)
 		return true
 	}
 	return false
@@ -213,6 +230,14 @@ type Options struct {
 	// Seed is ignored. Several runs (one per scheme) may share one Prepared
 	// concurrently — the stream is immutable.
 	Prepared *Prepared
+	// Attr, when non-nil, is the attribution recorder: the run opens a
+	// request context around every memory request reaching the scheme
+	// (deterministic every-Nth sampling decides which contexts record
+	// phases) and the scheme's device records every physical line write's
+	// cause into the recorder's ledger. Purely observational, like Tracer
+	// and Timeline; recorders are per-run. The closed recorder's report
+	// lands in Result.Attribution.
+	Attr *attr.Recorder
 	// CrashAt, when non-zero, cuts power after that many requests (1-based,
 	// must be ≤ Requests) without flushing metadata caches, recovers, and
 	// finishes the run on the recovered memory. The memory must have been
@@ -309,6 +334,10 @@ type Result struct {
 	// Timeline is the epoch time series, nil unless Options.Timeline was set.
 	Timeline *timeline.Report
 
+	// Attribution is the per-request causal-tracing and write-provenance
+	// block, nil unless Options.Attr was set.
+	Attribution *attr.Report
+
 	// Crash is the recovery scrub's report, nil unless Options.CrashAt fired.
 	Crash *fault.RecoveryReport
 
@@ -354,6 +383,13 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 	trc := opts.Tracer
 	if trc.Enabled() {
 		AttachTracer(mem, trc)
+	}
+	rec := opts.Attr
+	if rec.Enabled() {
+		AttachAttr(mem, rec)
+		if trc.Enabled() {
+			rec.SetTracer(trc)
+		}
 	}
 	samplePeriod := opts.samplePeriod(opts.Requests)
 
@@ -418,6 +454,11 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 		if trc.Enabled() {
 			AttachTracer(mem, trc)
 		}
+		if rec.Enabled() {
+			// The same recorder survives the power cycle, so the attribution
+			// ledger stays cumulative while the device's counters restart.
+			AttachAttr(mem, rec)
+		}
 		ri, _ = mem.(readerInto)
 		if tl.Enabled() {
 			schemeSampler, _ = mem.(timeline.Sampler)
@@ -461,7 +502,9 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 				if tl.Enabled() && baseline.IsZeroLine(req.Data) {
 					zeroWrites++
 				}
+				rec.Begin(attr.KindWrite, req.Addr, issue)
 				done := mem.Write(issue, req.Addr, req.Data)
+				rec.End(done)
 				machine.RetireWrite(th, done)
 				trc.Span(telemetry.CatWrite, telemetry.TrackRequestBase+int32(th), "", issue, done, req.Addr)
 				if done > lastDone {
@@ -473,7 +516,9 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 				}
 			} else {
 				issue := machine.IssueRead(th)
+				rec.Begin(attr.KindRead, req.Addr, issue)
 				done := read(issue, req.Addr)
+				rec.End(done)
 				machine.RetireRead(th, done)
 				trc.Span(telemetry.CatRead, telemetry.TrackRequestBase+int32(th), "", issue, done, req.Addr)
 				if done > lastDone {
@@ -503,7 +548,9 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 		machine.Delay(th, acc.Latency)
 		if acc.MemFill {
 			issue := machine.Now(th)
+			rec.Begin(attr.KindRead, req.Addr, issue)
 			done := read(issue, req.Addr)
+			rec.End(done)
 			machine.CompleteRead(th, done)
 			trc.Span(telemetry.CatRead, telemetry.TrackRequestBase+int32(th), "", issue, done, req.Addr)
 			if done > lastDone {
@@ -523,7 +570,9 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 				zeroWrites++
 			}
 			issue := machine.IssueWrite(th)
+			rec.Begin(attr.KindWrite, wb, issue)
 			done := mem.Write(issue, wb, data)
+			rec.End(done)
 			machine.RetireWrite(th, done)
 			trc.Span(telemetry.CatWrite, telemetry.TrackRequestBase+int32(th), "writeback", issue, done, wb)
 			if done > lastDone {
@@ -545,6 +594,7 @@ func Run(app string, schemeName string, mem Memory, prof workload.Profile, opts 
 
 	tl.Finish(lastDone, uint64(opts.Requests), tlSrc)
 	res.Timeline = tl.Report()
+	res.Attribution = rec.Report()
 
 	if prep != nil {
 		res.Gen = genDelta(prep.GenFinal, gen0)

@@ -89,6 +89,8 @@ const (
 	TrackVerify   int32 = 3
 	TrackAES      int32 = 4
 	TrackMetadata int32 = 5
+	// TrackAttr carries the attribution layer's sampled-request phase spans.
+	TrackAttr int32 = 6
 	// TrackRequestBase + CPU thread index carries whole-request spans.
 	TrackRequestBase int32 = 10
 	// TrackBankBase + bank index carries device queue/service spans.

@@ -14,6 +14,7 @@ package wearlevel
 import (
 	"fmt"
 
+	"dewrite/internal/attr"
 	"dewrite/internal/stats"
 	"dewrite/internal/units"
 )
@@ -23,6 +24,13 @@ import (
 type Device interface {
 	Read(now units.Time, lineAddr uint64) ([]byte, units.Time)
 	Write(now units.Time, lineAddr uint64, data []byte) units.Time
+}
+
+// taggedWriter is the optional cause-tagging extension of Device that
+// *nvm.Device provides; gap-movement copies use it when available so the
+// attribution ledger books them as wear-leveling writes, not demand writes.
+type taggedWriter interface {
+	WriteTagged(now units.Time, lineAddr uint64, data []byte, cause attr.Cause) units.Time
 }
 
 // StartGap remaps a region of n logical lines onto n+1 physical slots
@@ -108,7 +116,11 @@ func (s *StartGap) Write(now units.Time, la uint64, data []byte) units.Time {
 func (s *StartGap) moveGap(now units.Time) units.Time {
 	src := (s.gap + s.m - 1) % s.m
 	line, t := s.dev.Read(now, s.base+src)
-	t = s.dev.Write(t, s.base+s.gap, line)
+	if tw, ok := s.dev.(taggedWriter); ok {
+		t = tw.WriteTagged(t, s.base+s.gap, line, attr.CauseWearLevel)
+	} else {
+		t = s.dev.Write(t, s.base+s.gap, line)
+	}
 	s.gap = src
 	s.ringK = (s.ringK + s.n - 1) % s.n
 	s.moves.Inc()
