@@ -50,7 +50,10 @@ func schemaOf(blob []byte) (string, error) {
 	return head.Schema, nil
 }
 
-const benchSchema = "dewrite/bench/v1"
+// benchSchemaPrefix matches every dewrite/bench schema revision (v1, v2).
+// Bench documents only ever grow fields — v2 added perf.scaling — so any
+// revision pair compares, with missing optional blocks noted, not diffed.
+const benchSchemaPrefix = "dewrite/bench/"
 
 // diff compares two documents of the same kind. It returns the findings and
 // the number of metrics examined.
@@ -63,7 +66,8 @@ func diff(oldBlob, newBlob []byte, opts diffOptions) ([]finding, int, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("current: %w", err)
 	}
-	oldBench, newBench := oldSchema == benchSchema, newSchema == benchSchema
+	oldBench := strings.HasPrefix(oldSchema, benchSchemaPrefix)
+	newBench := strings.HasPrefix(newSchema, benchSchemaPrefix)
 	if oldBench != newBench {
 		return nil, 0, fmt.Errorf("mixed kinds: %q vs %q", oldSchema, newSchema)
 	}
@@ -131,7 +135,7 @@ func (d *differ) section(name string, oldHas, newHas bool) bool {
 	return false
 }
 
-// run compares two dewrite/run reports (v1 through v4): the paper's quality
+// run compares two dewrite/run reports (v1 through v5): the paper's quality
 // metrics, all deterministic. The optional timeline, faults and attribution
 // blocks are compared only when both reports carry them (see section).
 func (d *differ) run(oldBlob, newBlob []byte) error {
@@ -217,8 +221,8 @@ func (d *differ) run(oldBlob, newBlob []byte) error {
 
 // ---- bench-file mode ----
 
-// benchDoc mirrors the dewrite/bench/v1 layout loosely: only the fields the
-// comparison consumes, so the real writer can grow fields freely.
+// benchDoc mirrors the dewrite/bench/v1..v2 layout loosely: only the fields
+// the comparison consumes, so the real writer can grow fields freely.
 type benchDoc struct {
 	Schema   string `json:"schema"`
 	Quick    bool   `json:"quick"`
@@ -232,6 +236,11 @@ type benchDoc struct {
 		AllocsPerRequest float64 `json:"allocs_per_request"`
 		SeqWallMS        float64 `json:"seq_wall_ms"`
 		Speedup          float64 `json:"speedup"`
+		Scaling          []struct {
+			Workers int     `json:"workers"`
+			WallMS  float64 `json:"wall_ms"`
+			Speedup float64 `json:"speedup"`
+		} `json:"scaling"`
 	} `json:"perf"`
 	Experiments []struct {
 		ID     string  `json:"id"`
@@ -271,6 +280,29 @@ func (d *differ) bench(oldBlob, newBlob []byte) error {
 		d.compare("perf.mallocs", oldB.Perf.Mallocs, newB.Perf.Mallocs, th, +1)
 		if oldB.Perf.Workers == newB.Perf.Workers {
 			d.compare("perf.speedup", oldB.Perf.Speedup, newB.Perf.Speedup, tt, -1)
+		}
+	}
+	// The v2 scaling curve: points pair by worker count, wall clock gated
+	// with the loose host threshold, speedup direction-aware (a drop means
+	// the hot loop stopped converting workers into wall clock). A side
+	// without the curve — a v1 baseline, or a run without -speedup — gets a
+	// skip note instead of a diff against zeros.
+	oldScaling := oldB.Perf != nil && len(oldB.Perf.Scaling) > 0
+	newScaling := newB.Perf != nil && len(newB.Perf.Scaling) > 0
+	if d.section("perf.scaling", oldScaling, newScaling) {
+		oldPts := make(map[int]int, len(oldB.Perf.Scaling))
+		for i, p := range oldB.Perf.Scaling {
+			oldPts[p.Workers] = i
+		}
+		for _, np := range newB.Perf.Scaling {
+			oi, ok := oldPts[np.Workers]
+			if !ok {
+				continue // new ladder rung: nothing to regress against
+			}
+			op := oldB.Perf.Scaling[oi]
+			prefix := fmt.Sprintf("perf.scaling[%dw]", np.Workers)
+			d.compare(prefix+".wall_ms", op.WallMS, np.WallMS, tt, +1)
+			d.compare(prefix+".speedup", op.Speedup, np.Speedup, tt, -1)
 		}
 	}
 

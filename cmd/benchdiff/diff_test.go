@@ -230,6 +230,91 @@ func TestBenchRepeatedRowLabels(t *testing.T) {
 	}
 }
 
+const benchScalingBase = `{
+  "schema": "dewrite/bench/v2",
+  "quick": true, "requests": 20000, "warmup": 2000, "seed": 42,
+  "perf": {"workers": 8, "wall_ms": 1000, "mallocs": 50000, "allocs_per_request": 0.04,
+    "seq_wall_ms": 4000, "speedup": 4.0,
+    "scaling": [{"workers": 1, "wall_ms": 800, "speedup": 1.0},
+                {"workers": 2, "wall_ms": 420, "speedup": 1.9},
+                {"workers": 4, "wall_ms": 230, "speedup": 3.5},
+                {"workers": 8, "wall_ms": 130, "speedup": 6.2}]},
+  "experiments": []
+}`
+
+// TestBenchScalingRegressionGated: a collapse of the 8-worker speedup is a
+// regression; the same move in the other direction is reported as a change,
+// not a regression (direction-aware gating).
+func TestBenchScalingRegressionGated(t *testing.T) {
+	cur := strings.Replace(benchScalingBase, `"workers": 8, "wall_ms": 130, "speedup": 6.2`,
+		`"workers": 8, "wall_ms": 130, "speedup": 1.1`, 1)
+	findings, _, err := diff([]byte(benchScalingBase), []byte(cur), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !findings[0].Regression || findings[0].Metric != "perf.scaling[8w].speedup" {
+		t.Fatalf("want one perf.scaling[8w].speedup regression, got: %v", findings)
+	}
+
+	// Reversed: the curve improved; still reported, but not as a regression.
+	findings, _, err = diff([]byte(cur), []byte(benchScalingBase), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Regression {
+		t.Fatalf("speedup improvement should be a non-regression finding: %v", findings)
+	}
+}
+
+// TestBenchScalingWallClockLooseThreshold: curve wall clocks are host noise
+// and use the loose threshold; a 30% drift passes, an order-of-magnitude
+// slowdown is a regression.
+func TestBenchScalingWallClockLooseThreshold(t *testing.T) {
+	cur := strings.Replace(benchScalingBase, `"workers": 4, "wall_ms": 230`,
+		`"workers": 4, "wall_ms": 300`, 1)
+	findings, _, err := diff([]byte(benchScalingBase), []byte(cur), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("30%% curve wall-clock drift should pass: %v", findings)
+	}
+	cur = strings.Replace(benchScalingBase, `"workers": 4, "wall_ms": 230`,
+		`"workers": 4, "wall_ms": 2300`, 1)
+	findings, _, err = diff([]byte(benchScalingBase), []byte(cur), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !findings[0].Regression || findings[0].Metric != "perf.scaling[4w].wall_ms" {
+		t.Fatalf("10x curve wall-clock drift should be flagged: %v", findings)
+	}
+}
+
+// TestBenchScalingMissingBaselineNote: a v1 baseline (no curve) against a v2
+// snapshot with one compares cleanly — the curve yields a skip note, never a
+// zero-diff regression — and the mixed v1/v2 schema pair is accepted.
+func TestBenchScalingMissingBaselineNote(t *testing.T) {
+	findings, compared, err := diff([]byte(benchBase), []byte(benchScalingBase), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared == 0 {
+		t.Fatal("no metrics compared across the v1/v2 pair")
+	}
+	noted := false
+	for _, f := range findings {
+		if strings.HasPrefix(f.Metric, "perf.scaling") {
+			if f.Regression || !strings.Contains(f.Note, "skipped") {
+				t.Errorf("missing curve should be a skip note: %s", f)
+			}
+			noted = true
+		}
+	}
+	if !noted {
+		t.Fatalf("want a perf.scaling skip note, got: %v", findings)
+	}
+}
+
 func TestCellValue(t *testing.T) {
 	cases := []struct {
 		in   string

@@ -9,7 +9,9 @@
 //	dewrite-bench -quick          # representative app subset, shorter runs
 //	dewrite-bench -requests 50000 # scale the per-app run length
 //	dewrite-bench -parallel 8     # worker count (default GOMAXPROCS)
-//	dewrite-bench -quick -speedup # also time a sequential pass and report speedup
+//	dewrite-bench -quick -speedup # also time a sequential pass and report speedup,
+//	                              # plus the sharded hot-loop scaling curve
+//	dewrite-bench -quick -shards 4 # smoke-test the sharded engine first
 package main
 
 import (
@@ -28,8 +30,10 @@ import (
 	"dewrite/internal/telemetry"
 )
 
-// benchFileSchema identifies the BENCH_<date>.json layout.
-const benchFileSchema = "dewrite/bench/v1"
+// benchFileSchema identifies the BENCH_<date>.json layout. v2 added the
+// perf.scaling curve (sharded hot-loop wall clock at worker counts 1/2/4/8);
+// v1 documents are a strict subset and remain decodable by benchdiff.
+const benchFileSchema = "dewrite/bench/v2"
 
 // benchEntry is one experiment's record in the bench file: identity, host
 // wall-clock cost, and every result table it produced.
@@ -42,14 +46,27 @@ type benchEntry struct {
 
 // benchPerf records the engine-level cost of the invocation: worker count,
 // wall clock, allocation pressure, and (under -speedup) the sequential
-// baseline and the resulting speedup.
+// baseline, the resulting suite speedup, and the sharded hot-loop scaling
+// curve.
 type benchPerf struct {
-	Workers          int     `json:"workers"`
-	WallMS           float64 `json:"wall_ms"`
-	Mallocs          uint64  `json:"mallocs"`
-	AllocsPerRequest float64 `json:"allocs_per_request"`
-	SeqWallMS        float64 `json:"seq_wall_ms,omitempty"`
-	Speedup          float64 `json:"speedup,omitempty"`
+	Workers          int                 `json:"workers"`
+	WallMS           float64             `json:"wall_ms"`
+	Mallocs          uint64              `json:"mallocs"`
+	AllocsPerRequest float64             `json:"allocs_per_request"`
+	SeqWallMS        float64             `json:"seq_wall_ms,omitempty"`
+	Speedup          float64             `json:"speedup,omitempty"`
+	Scaling          []benchScalingPoint `json:"scaling,omitempty"`
+}
+
+// benchScalingPoint is one point of the sharded-engine scaling curve: the
+// same prepared request stream driven through a fixed shard count at this
+// worker count, with speedup relative to the curve's one-worker point. The
+// results are worker-count-independent by construction, so the curve
+// isolates pure hot-loop parallelism from any output drift.
+type benchScalingPoint struct {
+	Workers int     `json:"workers"`
+	WallMS  float64 `json:"wall_ms"`
+	Speedup float64 `json:"speedup"`
 }
 
 // benchFile is the machine-readable record of one dewrite-bench invocation.
@@ -108,7 +125,8 @@ func main() {
 		benchOut = flag.String("bench-out", "auto", "write timings and tables to this JSON file ('auto' = BENCH_<date>.json, 'none' disables)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and runtime metrics on this address")
 		parallel = flag.Int("parallel", 0, "worker goroutines (<1 = GOMAXPROCS); output is identical at any count")
-		speedup  = flag.Bool("speedup", false, "also run a sequential pass and record the parallel speedup")
+		speedup  = flag.Bool("speedup", false, "also run a sequential pass and the sharded scaling curve, recording both")
+		shards   = flag.Int("shards", 0, "validate the sharded engine at this shard count before the experiments (0 disables)")
 		monAddr  = flag.String("monitor", "", "serve live gauges (/metrics, /healthz, /debug/vars) on this address (e.g. :8080)")
 	)
 	flag.Parse()
@@ -187,13 +205,22 @@ func main() {
 		}
 	}
 
+	if *shards > 0 {
+		if err := runShardSmoke(opts, *shards, workers); err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	var seqWall time.Duration
+	var curve []benchScalingPoint
 	if *speedup {
 		// A throwaway suite: same options, fresh memo state, one worker.
 		seqStart := time.Now()
 		experiments.RunAll(experiments.NewSuite(opts), selected, 1)
 		seqWall = time.Since(seqStart)
 		fmt.Fprintf(os.Stderr, "dewrite-bench: sequential pass %v\n", seqWall.Round(time.Millisecond))
+		curve = scalingCurve(opts)
 	}
 
 	suite := experiments.NewSuite(opts)
@@ -226,6 +253,7 @@ func main() {
 		if wall > 0 {
 			bench.Perf.Speedup = float64(seqWall) / float64(wall)
 		}
+		bench.Perf.Scaling = curve
 		fmt.Fprintf(os.Stderr, "dewrite-bench: parallel pass %v with %d worker(s): %.2fx speedup, %.1f allocs/request\n",
 			wall.Round(time.Millisecond), workers, bench.Perf.Speedup, bench.Perf.AllocsPerRequest)
 	}

@@ -1,0 +1,9 @@
+package main
+
+import "dewrite/internal/monitor"
+
+// startMetrics brings up the ops HTTP surface over the server's registry,
+// reusing the monitor package's /metrics, /debug/vars and /healthz handlers.
+func startMetrics(addr string, srv *Server) (*monitor.Server, error) {
+	return monitor.Serve(addr, srv.Registry())
+}

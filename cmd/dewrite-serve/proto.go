@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"dewrite/internal/config"
+)
+
+// The wire protocol is a minimal length-prefixed framing over TCP, one
+// request/response pair at a time per connection (clients may pipeline by
+// opening several connections).
+//
+//	request:  op(1) keyLen(2 BE) valLen(4 BE) key val
+//	response: status(1) valLen(4 BE) val
+//
+// Values are at most ValueCap bytes — one NVM line minus the stored length
+// prefix — and keys at most MaxKeyLen. OpStats takes no key and returns the
+// metric registry snapshot as JSON.
+const (
+	OpPut   byte = 1
+	OpGet   byte = 2
+	OpStats byte = 3
+
+	StatusOK       byte = 0
+	StatusNotFound byte = 1
+	StatusError    byte = 2
+
+	// MaxKeyLen bounds request keys.
+	MaxKeyLen = 1024
+	// ValueCap is the largest storable value: each value occupies one line,
+	// led by a 2-byte length so reads return exactly what was put.
+	ValueCap = config.LineSize - 2
+	// maxStatsLen bounds the only response larger than a line (OpStats).
+	maxStatsLen = 1 << 20
+)
+
+// writeRequest frames one request onto w.
+func writeRequest(w io.Writer, op byte, key string, val []byte) error {
+	if len(key) > MaxKeyLen {
+		return fmt.Errorf("key length %d exceeds %d", len(key), MaxKeyLen)
+	}
+	if len(val) > ValueCap {
+		return fmt.Errorf("value length %d exceeds %d", len(val), ValueCap)
+	}
+	hdr := make([]byte, 7, 7+len(key)+len(val))
+	hdr[0] = op
+	binary.BigEndian.PutUint16(hdr[1:3], uint16(len(key)))
+	binary.BigEndian.PutUint32(hdr[3:7], uint32(len(val)))
+	hdr = append(hdr, key...)
+	hdr = append(hdr, val...)
+	_, err := w.Write(hdr)
+	return err
+}
+
+// readRequest parses one request frame from r.
+func readRequest(r io.Reader) (op byte, key string, val []byte, err error) {
+	var hdr [7]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, "", nil, err
+	}
+	op = hdr[0]
+	keyLen := int(binary.BigEndian.Uint16(hdr[1:3]))
+	valLen := int(binary.BigEndian.Uint32(hdr[3:7]))
+	if keyLen > MaxKeyLen {
+		return 0, "", nil, fmt.Errorf("key length %d exceeds %d", keyLen, MaxKeyLen)
+	}
+	if valLen > ValueCap {
+		return 0, "", nil, fmt.Errorf("value length %d exceeds %d", valLen, ValueCap)
+	}
+	buf := make([]byte, keyLen+valLen)
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return 0, "", nil, err
+	}
+	return op, string(buf[:keyLen]), buf[keyLen:], nil
+}
+
+// writeResponse frames one response onto w.
+func writeResponse(w io.Writer, status byte, val []byte) error {
+	hdr := make([]byte, 5, 5+len(val))
+	hdr[0] = status
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(val)))
+	hdr = append(hdr, val...)
+	_, err := w.Write(hdr)
+	return err
+}
+
+// readResponse parses one response frame from r.
+func readResponse(r io.Reader) (status byte, val []byte, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	valLen := int(binary.BigEndian.Uint32(hdr[1:5]))
+	if valLen > maxStatsLen {
+		return 0, nil, fmt.Errorf("response length %d exceeds %d", valLen, maxStatsLen)
+	}
+	val = make([]byte, valLen)
+	if _, err = io.ReadFull(r, val); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], val, nil
+}
+
+// Client is a minimal synchronous client for the framed protocol, used by
+// the end-to-end tests and handy for smoke-testing a live server.
+type Client struct {
+	conn net.Conn
+	rw   *bufio.ReadWriter
+}
+
+// Dial connects a client to a dewrite-serve address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		rw:   bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn)),
+	}, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(op byte, key string, val []byte) (byte, []byte, error) {
+	if err := writeRequest(c.rw, op, key, val); err != nil {
+		return 0, nil, err
+	}
+	if err := c.rw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	return readResponse(c.rw)
+}
+
+// Put stores val under key.
+func (c *Client) Put(key string, val []byte) error {
+	status, _, err := c.roundTrip(OpPut, key, val)
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return fmt.Errorf("put %q: status %d", key, status)
+	}
+	return nil
+}
+
+// Get returns the value stored under key; found is false when the key has
+// never been put.
+func (c *Client) Get(key string) (val []byte, found bool, err error) {
+	status, val, err := c.roundTrip(OpGet, key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	switch status {
+	case StatusOK:
+		return val, true, nil
+	case StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("get %q: status %d", key, status)
+	}
+}
+
+// Stats returns the server's metric snapshot as JSON.
+func (c *Client) Stats() ([]byte, error) {
+	status, val, err := c.roundTrip(OpStats, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK {
+		return nil, fmt.Errorf("stats: status %d", status)
+	}
+	return val, nil
+}

@@ -1,0 +1,365 @@
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+
+	"dewrite/internal/config"
+	"dewrite/internal/core"
+	"dewrite/internal/hashes"
+	"dewrite/internal/monitor"
+	"dewrite/internal/shard"
+	"dewrite/internal/timeline"
+	"dewrite/internal/units"
+)
+
+// Server is the long-running sharded secure-NVM key-value service: the
+// line address space is partitioned across shards, each owned by a single
+// goroutine that drives its own DeWrite controller (dedup tables, metadata
+// caches, bank queues, wear state) in simulated time, with the cross-shard
+// fingerprint directory shared between them.
+//
+// Concurrency follows the simulator's shard contract: controllers are
+// single-threaded, so all access to one shard's state happens on its owner
+// goroutine; the directory's pending side is safe for concurrent publishes,
+// and its frozen side is only advanced under the epoch write-lock, which
+// every owner holds read-side while serving a request. Advancing is
+// therefore a brief stop-the-world barrier, exactly the simulator's epoch
+// boundary transplanted to wall-clock time.
+type Server struct {
+	cfg    Config
+	router shard.Router
+	dir    *shard.Directory
+	shards []*shardWorker
+	reg    *monitor.Registry
+
+	// epochMu is the epoch barrier: owners serve requests under RLock;
+	// the directory advance runs under Lock.
+	epochMu sync.RWMutex
+	// opsSinceAdvance counts requests served since the last advance
+	// (maintained by owners under RLock with the shard's own counter, folded
+	// during advance).
+	fingerMask uint32
+
+	ln      net.Listener
+	quit    chan struct{}
+	conns   sync.WaitGroup
+	owners  sync.WaitGroup
+	closing sync.Once
+}
+
+// Config sizes the server.
+type Config struct {
+	// Shards is the number of controller shards (owner goroutines).
+	Shards int
+	// Lines is the global number of data lines, striped across shards.
+	Lines uint64
+	// AdvanceEvery advances the cross-shard directory after this many
+	// served requests (approximately); <= 0 defaults to 1024.
+	AdvanceEvery uint64
+	// NVM overrides the simulator config; zero value uses config.Default().
+	NVM config.Config
+}
+
+// shardReq is one routed request handed to a shard owner.
+type shardReq struct {
+	op    byte
+	key   string
+	val   []byte
+	reply chan shardResp
+}
+
+type shardResp struct {
+	status byte
+	val    []byte
+}
+
+// shardWorker owns one shard: its controller, its key→line directory, and
+// its simulated clock. Everything here is touched only by the owner
+// goroutine.
+type shardWorker struct {
+	id   int
+	ctrl *core.Controller
+	reqs chan shardReq
+
+	slots map[string]uint64
+	next  uint64
+	cap   uint64
+	now   units.Time
+
+	puts, gets, misses, full uint64
+	crossDup                 uint64
+	served                   uint64 // since last advance
+	readBuf                  [config.LineSize]byte
+}
+
+// NewServer builds the sharded service and starts its owner goroutines; call
+// Serve to accept connections and Close to tear everything down.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("dewrite-serve: %d shards", cfg.Shards)
+	}
+	if cfg.Lines == 0 {
+		cfg.Lines = 1 << 16
+	}
+	if cfg.AdvanceEvery == 0 {
+		cfg.AdvanceEvery = 1024
+	}
+	nvmCfg := cfg.NVM
+	if nvmCfg.NVM.Banks() == 0 {
+		nvmCfg = config.Default()
+	}
+
+	s := &Server{
+		cfg:    cfg,
+		router: shard.NewRouter(cfg.Shards),
+		dir:    shard.NewDirectory(cfg.Shards),
+		reg:    monitor.NewRegistry(),
+		quit:   make(chan struct{}),
+	}
+	s.fingerMask = ^uint32(0)
+	if bits := nvmCfg.Dedup.HashSizeBits; bits > 0 && bits < 32 {
+		s.fingerMask = uint32(1)<<bits - 1
+	}
+
+	// Each shard owns an equal slice of the device's banks on one rank.
+	shardCfg := nvmCfg
+	shardCfg.NVM.Ranks = 1
+	shardCfg.NVM.BanksPerRank = nvmCfg.NVM.Banks() / cfg.Shards
+	if shardCfg.NVM.BanksPerRank < 1 {
+		shardCfg.NVM.BanksPerRank = 1
+	}
+
+	for i := 0; i < cfg.Shards; i++ {
+		w := &shardWorker{
+			id:    i,
+			reqs:  make(chan shardReq, 64),
+			slots: make(map[string]uint64),
+			cap:   s.router.LinesFor(i, cfg.Lines),
+		}
+		w.ctrl = core.New(core.Options{DataLines: w.cap, Config: shardCfg})
+		d, id := s.dir, i
+		w.ctrl.Tables().SetPublish(func(h uint32, delta int) { d.Publish(id, h, delta) })
+		s.shards = append(s.shards, w)
+		s.owners.Add(1)
+		go s.runOwner(w)
+	}
+	// Publish generation zero so the ops surface is populated from the first
+	// scrape, not from the first epoch barrier.
+	s.Advance()
+	return s, nil
+}
+
+// shardOf routes a key: shards own key-hash classes, the serving analog of
+// the simulator's address striping.
+func (s *Server) shardOf(key string) int {
+	return int(hashes.CRC32([]byte(key)) % uint32(len(s.shards)))
+}
+
+// runOwner is a shard's single-threaded service loop.
+func (s *Server) runOwner(w *shardWorker) {
+	defer s.owners.Done()
+	for req := range w.reqs {
+		s.epochMu.RLock()
+		resp := w.handle(s, req)
+		advance := w.served >= s.cfg.AdvanceEvery
+		s.epochMu.RUnlock()
+		req.reply <- resp
+		if advance {
+			s.Advance()
+		}
+	}
+}
+
+// handle executes one request against the shard's controller. Runs on the
+// owner goroutine under the epoch read-lock.
+func (w *shardWorker) handle(s *Server, req shardReq) shardResp {
+	w.served++
+	switch req.op {
+	case OpPut:
+		slot, ok := w.slots[req.key]
+		if !ok {
+			if w.next >= w.cap {
+				w.full++
+				return shardResp{status: StatusError, val: []byte("shard full")}
+			}
+			slot = w.next
+			w.next++
+			w.slots[req.key] = slot
+		}
+		var line [config.LineSize]byte
+		binary.BigEndian.PutUint16(line[:2], uint16(len(req.val)))
+		copy(line[2:], req.val)
+		if s.dir.HeldElsewhere(hashes.CRC32(line[:])&s.fingerMask, w.id) {
+			w.crossDup++
+		}
+		w.now = w.ctrl.Write(w.now, slot, line[:])
+		w.puts++
+		return shardResp{status: StatusOK}
+	case OpGet:
+		slot, ok := w.slots[req.key]
+		if !ok {
+			w.misses++
+			return shardResp{status: StatusNotFound}
+		}
+		w.now = w.ctrl.ReadInto(w.now, slot, w.readBuf[:])
+		w.gets++
+		n := int(binary.BigEndian.Uint16(w.readBuf[:2]))
+		if n > ValueCap {
+			return shardResp{status: StatusError, val: []byte("corrupt length prefix")}
+		}
+		return shardResp{status: StatusOK, val: append([]byte(nil), w.readBuf[2:2+n]...)}
+	default:
+		return shardResp{status: StatusError, val: []byte("unknown op")}
+	}
+}
+
+// Advance runs one epoch barrier: waits for every in-flight request to
+// finish, folds the directory's pending deltas into the next frozen
+// generation, and republishes the per-shard gauges. Owners resume as soon
+// as the lock drops.
+func (s *Server) Advance() {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	s.dir.Advance()
+	for _, w := range s.shards {
+		w.served = 0
+		s.publishShard(w)
+	}
+	st := s.dir.Snapshot()
+	s.reg.Set("serve_directory_fingerprints", float64(st.Fingerprints))
+	s.reg.Set("serve_directory_locations", float64(st.Locations))
+	s.reg.Set("serve_directory_shared", float64(st.Shared))
+	s.reg.Set("serve_directory_advances", float64(st.Advances))
+}
+
+// publishShard refreshes one shard's gauges. Caller holds the epoch
+// write-lock (the owner is parked, so its state is stable).
+func (s *Server) publishShard(w *shardWorker) {
+	labels := []monitor.Label{{Key: "shard", Value: strconv.Itoa(w.id)}}
+	s.reg.SetLabeled("serve_puts", labels, float64(w.puts))
+	s.reg.SetLabeled("serve_gets", labels, float64(w.gets))
+	s.reg.SetLabeled("serve_misses", labels, float64(w.misses))
+	s.reg.SetLabeled("serve_cross_shard_dup_hits", labels, float64(w.crossDup))
+	s.reg.SetLabeled("serve_keys", labels, float64(len(w.slots)))
+
+	var e timeline.Epoch
+	w.ctrl.SampleEpoch(&e, w.now)
+	s.reg.PublishEpoch("serve_shard_"+strconv.Itoa(w.id), &e)
+}
+
+// Registry exposes the metric registry (for the ops HTTP server and tests).
+func (s *Server) Registry() *monitor.Registry { return s.reg }
+
+// Serve accepts client connections on addr until Close. It returns once the
+// listener is bound; accepting runs in the background.
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.conns.Add(1)
+	go func() {
+		defer s.conns.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-s.quit:
+					return
+				default:
+				}
+				if errors.Is(err, net.ErrClosed) {
+					return
+				}
+				continue
+			}
+			s.conns.Add(1)
+			go func() {
+				defer s.conns.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Serve).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// serveConn handles one client stream: a sequence of framed requests, each
+// answered in order. Requests route to shard owners by key hash; the
+// connection goroutine blocks on the owner's reply, so each stream sees its
+// own operations in program order.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	reply := make(chan shardResp, 1)
+	for {
+		op, key, val, err := readRequest(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				_ = writeResponse(bw, StatusError, []byte(err.Error()))
+				_ = bw.Flush()
+			}
+			return
+		}
+		var resp shardResp
+		switch op {
+		case OpStats:
+			snap, err := json.Marshal(s.reg.Snapshot())
+			if err != nil {
+				resp = shardResp{status: StatusError, val: []byte(err.Error())}
+			} else {
+				resp = shardResp{status: StatusOK, val: snap}
+			}
+		case OpPut, OpGet:
+			w := s.shards[s.shardOf(key)]
+			select {
+			case w.reqs <- shardReq{op: op, key: key, val: val, reply: reply}:
+				resp = <-reply
+			case <-s.quit:
+				return
+			}
+		default:
+			resp = shardResp{status: StatusError, val: []byte("unknown op")}
+		}
+		if err := writeResponse(bw, resp.status, resp.val); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, waits for in-flight connections, stops the owners,
+// and runs one final advance so the gauges reflect the end state.
+func (s *Server) Close() {
+	s.closing.Do(func() {
+		close(s.quit)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.conns.Wait()
+		for _, w := range s.shards {
+			close(w.reqs)
+		}
+		s.owners.Wait()
+		s.Advance()
+	})
+}

@@ -1,0 +1,67 @@
+package attr
+
+// MergeReports folds per-shard attribution reports into one run-level block.
+// Counters add; phase and op entries merge by (kind, name) in order of first
+// appearance scanning the reports in the order given (each report's own
+// entries are in fixed enum order, so the merged order is deterministic for
+// a deterministic shard order); causes merge by name with their per-bank
+// breakdowns concatenated in report order — shard devices own disjoint
+// banks, so the concatenation is the whole-device heatmap row.
+//
+// The per-shard provenance invariant (cause writes sum to the shard device's
+// total line writes) is preserved exactly: every merged counter is a sum of
+// the inputs' counters. Nil inputs are skipped; merging zero non-nil reports
+// returns nil.
+func MergeReports(reports ...*Report) *Report {
+	var out *Report
+	phaseIdx := map[[2]string]int{}
+	opIdx := map[[2]string]int{}
+	causeIdx := map[string]int{}
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		if out == nil {
+			out = &Report{SamplePeriod: r.SamplePeriod}
+		}
+		out.SampledWrites += r.SampledWrites
+		out.SampledReads += r.SampledReads
+		out.SampledWritePs += r.SampledWritePs
+		out.SampledReadPs += r.SampledReadPs
+		out.TotalLineWrites += r.TotalLineWrites
+		out.EnergyPJ += r.EnergyPJ
+		for _, p := range r.Phases {
+			k := [2]string{p.Kind, p.Phase}
+			i, ok := phaseIdx[k]
+			if !ok {
+				i = len(out.Phases)
+				phaseIdx[k] = i
+				out.Phases = append(out.Phases, PhaseStat{Kind: p.Kind, Phase: p.Phase})
+			}
+			out.Phases[i].Count += p.Count
+			out.Phases[i].TotalPs += p.TotalPs
+		}
+		for _, o := range r.Ops {
+			k := [2]string{o.Kind, o.Op}
+			i, ok := opIdx[k]
+			if !ok {
+				i = len(out.Ops)
+				opIdx[k] = i
+				out.Ops = append(out.Ops, OpStat{Kind: o.Kind, Op: o.Op})
+			}
+			out.Ops[i].Count += o.Count
+		}
+		for _, c := range r.Causes {
+			i, ok := causeIdx[c.Cause]
+			if !ok {
+				i = len(out.Causes)
+				causeIdx[c.Cause] = i
+				out.Causes = append(out.Causes, CauseStat{Cause: c.Cause})
+			}
+			out.Causes[i].Writes += c.Writes
+			out.Causes[i].EnergyPJ += c.EnergyPJ
+			out.Causes[i].BankWrites = append(out.Causes[i].BankWrites, c.BankWrites...)
+		}
+	}
+	return out
+}

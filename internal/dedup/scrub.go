@@ -60,7 +60,7 @@ func Rebuild(lines uint64, maxRef uint, mappings []RecoveredMapping, meta map[ui
 			l = locPool.Get().(*location)
 			*l = location{hash: lm.Hash, isZero: lm.IsZero}
 			t.loc[m.Location] = l
-			t.hash[lm.Hash] = append(t.hash[lm.Hash], m.Location)
+			t.indexHash(lm.Hash, m.Location)
 		}
 		if l.refs >= maxRef {
 			dropped = append(dropped, m.Logical)
@@ -129,7 +129,7 @@ func (t *Tables) RelocateStuck(logical uint64) (chosen uint64, ok bool) {
 	nl := locPool.Get().(*location)
 	*nl = location{hash: h, refs: 1, isZero: isZero}
 	t.loc[chosen] = nl
-	t.hash[h] = append(t.hash[h], chosen)
+	t.indexHash(h, chosen)
 	t.setMapping(logical, chosen)
 	return chosen, true
 }

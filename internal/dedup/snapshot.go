@@ -201,7 +201,7 @@ func ReadTables(r io.Reader) (*Tables, error) {
 		}
 		l := &location{hash: uint32(h), refs: uint(refs), isZero: z == 1}
 		t.loc[addr] = l
-		t.hash[l.hash] = append(t.hash[l.hash], addr)
+		t.indexHash(l.hash, addr)
 	}
 
 	nFree, err := readU64()

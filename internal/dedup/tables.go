@@ -56,6 +56,12 @@ type Tables struct {
 
 	rec *attr.Recorder // nil when attribution is off
 
+	// publish, when non-nil, observes every change to the fingerprint
+	// index: +1 when a live location is added under a fingerprint, -1 when
+	// one is removed. The sharded execution mode installs a hook feeding
+	// the cross-shard fingerprint directory; nil costs one branch.
+	publish func(h uint32, delta int)
+
 	refHist     stats.Histogram
 	duplicates  stats.Counter // writes eliminated as duplicates
 	selfDups    stats.Counter // duplicates of the line's own current data
@@ -149,6 +155,23 @@ func (t *Tables) Refs(loc uint64) uint {
 // tables count one probe op per hash-table lookup against the open sampled
 // request.
 func (t *Tables) SetAttr(rec *attr.Recorder) { t.rec = rec }
+
+// SetPublish attaches (or, with nil, detaches) the fingerprint-index
+// observer: fn is called with (+1) for every live location added under a
+// fingerprint and (-1) for every removal, covering the unique-write,
+// relocation, recovery-rebuild and snapshot-restore paths. fn must not call
+// back into the tables.
+func (t *Tables) SetPublish(fn func(h uint32, delta int)) { t.publish = fn }
+
+// indexHash is the single funnel adding a live location under a fingerprint;
+// every insertion into the fingerprint index goes through it so the publish
+// hook sees a complete stream.
+func (t *Tables) indexHash(h uint32, locAddr uint64) {
+	t.hash[h] = append(t.hash[h], locAddr)
+	if t.publish != nil {
+		t.publish(h, 1)
+	}
+}
 
 // Candidates returns the live locations whose data carries the given
 // fingerprint — the hash-table probe of the duplication-detection path. The
@@ -276,7 +299,7 @@ func (t *Tables) TryPlaceUnique(logical uint64, hash uint32) (chosen uint64, fre
 	l := locPool.Get().(*location)
 	*l = location{hash: hash, refs: 1}
 	t.loc[chosen] = l
-	t.hash[hash] = append(t.hash[hash], chosen)
+	t.indexHash(hash, chosen)
 	t.setMapping(logical, chosen)
 	t.uniques.Inc()
 	return chosen, freed, didFree, true
@@ -325,6 +348,9 @@ func (t *Tables) removeHash(h uint32, locAddr uint64) {
 				delete(t.hash, h)
 			} else {
 				t.hash[h] = list
+			}
+			if t.publish != nil {
+				t.publish(h, -1)
 			}
 			return
 		}

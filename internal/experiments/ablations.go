@@ -321,26 +321,37 @@ func AblationHierarchy(s *Suite) []*stats.Table {
 func AblationCacheScale(s *Suite) []*stats.Table {
 	t := stats.NewTable("Ablation: metadata-cache coverage vs Figure 15 gap",
 		"app", "cache scale", "direct", "parallel", "DeWrite", "direct gap %")
-	for _, prof := range s.ablationApps() {
-		for _, divide := range []int{1, 16, 64, 256} {
-			cfg := s.Config()
-			mc := &cfg.MetaCache
-			mc.HashBytes = maxInt(mc.HashBytes/divide, mc.Ways*mc.BlockBytes*4)
-			mc.AddrMapBytes = maxInt(mc.AddrMapBytes/divide, mc.Ways*mc.BlockBytes*4)
-			mc.InvHashBytes = maxInt(mc.InvHashBytes/divide, mc.Ways*mc.BlockBytes*4)
-			mc.FSMBytes = maxInt(mc.FSMBytes/divide, mc.Ways*mc.BlockBytes*4)
+	apps := s.ablationApps()
+	divides := []int{1, 16, 64, 256}
+	// Every (app, divide) cell runs three un-memoized simulations under its
+	// own shrunken cache config; fan the cells out and add rows in order.
+	type cellResult struct {
+		direct, parallel, dewrite sim.Result
+	}
+	results := make([]cellResult, len(apps)*len(divides))
+	Fan(len(results), func(j int) {
+		prof := apps[j/len(divides)]
+		divide := divides[j%len(divides)]
+		cfg := s.Config()
+		mc := &cfg.MetaCache
+		mc.HashBytes = maxInt(mc.HashBytes/divide, mc.Ways*mc.BlockBytes*4)
+		mc.AddrMapBytes = maxInt(mc.AddrMapBytes/divide, mc.Ways*mc.BlockBytes*4)
+		mc.InvHashBytes = maxInt(mc.InvHashBytes/divide, mc.Ways*mc.BlockBytes*4)
+		mc.FSMBytes = maxInt(mc.FSMBytes/divide, mc.Ways*mc.BlockBytes*4)
 
-			opts := sim.Options{Requests: s.Opts.Requests, Warmup: s.Opts.Warmup, Seed: s.Opts.Seed}
-			direct, _ := sim.RunScheme(sim.SchemeDirect, prof, cfg, opts)
-			parallel, _ := sim.RunScheme(sim.SchemeParallel, prof, cfg, opts)
-			dewrite, _ := sim.RunScheme(sim.SchemeDeWrite, prof, cfg, opts)
-			if parallel.WriteLatSum == 0 {
-				continue
-			}
-			nd := float64(direct.WriteLatSum) / float64(parallel.WriteLatSum)
-			ndw := float64(dewrite.WriteLatSum) / float64(parallel.WriteLatSum)
-			t.AddRow(prof.Name, fmt.Sprintf("1/%d", divide), nd, 1.0, ndw, (nd-1)*100)
+		opts := sim.Options{Requests: s.Opts.Requests, Warmup: s.Opts.Warmup, Seed: s.Opts.Seed}
+		results[j].direct, _ = sim.RunScheme(sim.SchemeDirect, prof, cfg, opts)
+		results[j].parallel, _ = sim.RunScheme(sim.SchemeParallel, prof, cfg, opts)
+		results[j].dewrite, _ = sim.RunScheme(sim.SchemeDeWrite, prof, cfg, opts)
+	})
+	for j, r := range results {
+		if r.parallel.WriteLatSum == 0 {
+			continue
 		}
+		nd := float64(r.direct.WriteLatSum) / float64(r.parallel.WriteLatSum)
+		ndw := float64(r.dewrite.WriteLatSum) / float64(r.parallel.WriteLatSum)
+		t.AddRow(apps[j/len(divides)].Name, fmt.Sprintf("1/%d", divides[j%len(divides)]),
+			nd, 1.0, ndw, (nd-1)*100)
 	}
 	return []*stats.Table{t}
 }
@@ -359,20 +370,26 @@ func maxInt(a, b int) int {
 func AblationBus(s *Suite) []*stats.Table {
 	t := stats.NewTable("Ablation: shared channel bus",
 		"app", "channels", "write speedup", "read speedup", "relative IPC")
-	for _, prof := range s.ablationApps() {
-		for _, channels := range []int{0, 2, 1} {
-			cfg := s.Config()
-			cfg.NVM.Channels = channels
-			opts := sim.Options{Requests: s.Opts.Requests, Warmup: s.Opts.Warmup, Seed: s.Opts.Seed}
-			dw, _ := sim.RunScheme(sim.SchemeDeWrite, prof, cfg, opts)
-			base, _ := sim.RunScheme(sim.SchemeSecureNVM, prof, cfg, opts)
-			label := "off"
-			if channels > 0 {
-				label = fmt.Sprintf("%d", channels)
-			}
-			t.AddRow(prof.Name, label,
-				sim.WriteSpeedup(dw, base), sim.ReadSpeedup(dw, base), sim.RelativeIPC(dw, base))
+	apps := s.ablationApps()
+	channelGrid := []int{0, 2, 1}
+	type cellResult struct{ dw, base sim.Result }
+	results := make([]cellResult, len(apps)*len(channelGrid))
+	Fan(len(results), func(j int) {
+		prof := apps[j/len(channelGrid)]
+		cfg := s.Config()
+		cfg.NVM.Channels = channelGrid[j%len(channelGrid)]
+		opts := sim.Options{Requests: s.Opts.Requests, Warmup: s.Opts.Warmup, Seed: s.Opts.Seed}
+		results[j].dw, _ = sim.RunScheme(sim.SchemeDeWrite, prof, cfg, opts)
+		results[j].base, _ = sim.RunScheme(sim.SchemeSecureNVM, prof, cfg, opts)
+	})
+	for j, r := range results {
+		channels := channelGrid[j%len(channelGrid)]
+		label := "off"
+		if channels > 0 {
+			label = fmt.Sprintf("%d", channels)
 		}
+		t.AddRow(apps[j/len(channelGrid)].Name, label,
+			sim.WriteSpeedup(r.dw, r.base), sim.ReadSpeedup(r.dw, r.base), sim.RelativeIPC(r.dw, r.base))
 	}
 	return []*stats.Table{t}
 }
@@ -447,15 +464,27 @@ func AblationSeeds(s *Suite) []*stats.Table {
 	t := stats.NewTable("Ablation: seed sensitivity of the headline speedups",
 		"app", "metric", "min", "mean", "max")
 	seeds := []uint64{11, 42, 1234}
-	for _, prof := range s.ablationApps() {
+	apps := s.ablationApps()
+	type cellResult struct{ ws, rs, is float64 }
+	results := make([]cellResult, len(apps)*len(seeds))
+	Fan(len(results), func(j int) {
+		prof := apps[j/len(seeds)]
+		opts := sim.Options{Requests: s.Opts.Requests, Warmup: s.Opts.Warmup, Seed: seeds[j%len(seeds)]}
+		dw, _ := sim.RunScheme(sim.SchemeDeWrite, prof, s.Config(), opts)
+		base, _ := sim.RunScheme(sim.SchemeSecureNVM, prof, s.Config(), opts)
+		results[j] = cellResult{
+			ws: sim.WriteSpeedup(dw, base),
+			rs: sim.ReadSpeedup(dw, base),
+			is: sim.RelativeIPC(dw, base),
+		}
+	})
+	for pi, prof := range apps {
 		var ws, rs, is []float64
-		for _, seed := range seeds {
-			opts := sim.Options{Requests: s.Opts.Requests, Warmup: s.Opts.Warmup, Seed: seed}
-			dw, _ := sim.RunScheme(sim.SchemeDeWrite, prof, s.Config(), opts)
-			base, _ := sim.RunScheme(sim.SchemeSecureNVM, prof, s.Config(), opts)
-			ws = append(ws, sim.WriteSpeedup(dw, base))
-			rs = append(rs, sim.ReadSpeedup(dw, base))
-			is = append(is, sim.RelativeIPC(dw, base))
+		for si := range seeds {
+			r := results[pi*len(seeds)+si]
+			ws = append(ws, r.ws)
+			rs = append(rs, r.rs)
+			is = append(is, r.is)
 		}
 		t.AddRow(prof.Name, "write speedup", minOf(ws), mean(ws), maxOf(ws))
 		t.AddRow(prof.Name, "read speedup", minOf(rs), mean(rs), maxOf(rs))

@@ -62,7 +62,18 @@ func Figure13(s *Suite) []*stats.Table {
 	extSums := make([]float64, 3)
 	apps := 0
 
-	for _, prof := range s.Opts.Profiles() {
+	// Each profile's model replay is hermetic (own cipher state, own
+	// generator), so the per-profile measurements fan out across the
+	// cooperative budget; rows and averages are assembled afterwards in
+	// profile order.
+	profiles := s.Opts.Profiles()
+	type measured struct {
+		flips  [3][nModels]uint64
+		writes uint64
+	}
+	results := make([]measured, len(profiles))
+	Fan(len(profiles), func(pi int) {
+		prof := profiles[pi]
 		// nModels techniques × 3 variants, each with independent cipher state.
 		models := [3][nModels]baseline.BitModel{}
 		for v := 0; v < 3; v++ {
@@ -71,8 +82,7 @@ func Figure13(s *Suite) []*stats.Table {
 			models[v][2] = baseline.NewDEUCE()
 			models[v][3] = baseline.NewSECRET()
 		}
-		var flips [3][nModels]uint64
-		var writes uint64
+		m := &results[pi]
 
 		// Residency tracking for the DeWrite variant: a write is eliminated
 		// when its content is already live somewhere.
@@ -83,21 +93,25 @@ func Figure13(s *Suite) []*stats.Table {
 			if req.Op != trace.Write {
 				continue
 			}
-			writes++
+			m.writes++
 			isZero := baseline.IsZeroLine(req.Data)
 			isDup := resident.isResident(req.Data)
 			resident.install(req.Addr, req.Data)
 
-			for m := 0; m < nModels; m++ {
-				flips[alone][m] += uint64(models[alone][m].Write(req.Addr, req.Data))
+			for mi := 0; mi < nModels; mi++ {
+				m.flips[alone][mi] += uint64(models[alone][mi].Write(req.Addr, req.Data))
 				if !isZero {
-					flips[shredder][m] += uint64(models[shredder][m].Write(req.Addr, req.Data))
+					m.flips[shredder][mi] += uint64(models[shredder][mi].Write(req.Addr, req.Data))
 				}
 				if !isDup {
-					flips[dewrite][m] += uint64(models[dewrite][m].Write(req.Addr, req.Data))
+					m.flips[dewrite][mi] += uint64(models[dewrite][mi].Write(req.Addr, req.Data))
 				}
 			}
 		}
+	})
+
+	for pi, prof := range profiles {
+		flips, writes := results[pi].flips, results[pi].writes
 		if writes == 0 {
 			continue
 		}

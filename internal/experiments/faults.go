@@ -53,18 +53,20 @@ func FaultCampaign(s *Suite) []*stats.Table {
 	crash := stats.NewTable("Fault campaign: crash-point recovery scrub ("+prof.Name+", 60 KB metadata cache)",
 		"scheme", "crash@", "dirty meta", "lost", "stale", "dangling",
 		"divergent", "refcnt fixed", "recovered", "poisoned")
-	for _, sch := range perfSchemes {
-		for _, frac := range crashFractions {
-			opts := s.simOptions()
-			opts.Prepared = s.Prepared(prof)
-			opts.CrashAt = uint64(float64(opts.Requests) * frac)
-			res, _ := sim.RunScheme(sch, prof, crashCfg, opts)
-			rep := res.Crash
-			crash.AddRow(sch.String(), fmt.Sprintf("%d%%", int(frac*100)),
-				rep.DirtyMetaLines, rep.LostMappings, rep.StaleMappings,
-				rep.DanglingMappings, rep.DivergentLocations,
-				rep.RefcountMismatches, rep.RecoveredMappings, rep.PoisonedLines)
-		}
+	crashRes := make([]sim.Result, len(perfSchemes)*len(crashFractions))
+	Fan(len(crashRes), func(j int) {
+		opts := s.simOptions()
+		opts.Prepared = s.Prepared(prof)
+		opts.CrashAt = uint64(float64(opts.Requests) * crashFractions[j%len(crashFractions)])
+		crashRes[j], _ = sim.RunScheme(perfSchemes[j/len(crashFractions)], prof, crashCfg, opts)
+	})
+	for j, res := range crashRes {
+		rep := res.Crash
+		frac := crashFractions[j%len(crashFractions)]
+		crash.AddRow(perfSchemes[j/len(crashFractions)].String(), fmt.Sprintf("%d%%", int(frac*100)),
+			rep.DirtyMetaLines, rep.LostMappings, rep.StaleMappings,
+			rep.DanglingMappings, rep.DivergentLocations,
+			rep.RefcountMismatches, rep.RecoveredMappings, rep.PoisonedLines)
 	}
 
 	// Wear-out sweep: hammer a tiny working set so lines exceed their drawn
@@ -77,17 +79,20 @@ func FaultCampaign(s *Suite) []*stats.Table {
 	wear := stats.NewTable("Fault campaign: wear-out degradation ladder ("+hot.Name+", 256 lines)",
 		"scheme", "endurance", "worn writes", "ECP", "remaps", "spare used",
 		"stuck", "banks retired")
-	for _, sch := range perfSchemes {
-		for _, endurance := range []uint64{400, 150} {
-			opts := s.simOptions()
-			opts.Prepared = s.Prepared(hot)
-			opts.Faults = fault.Config{Seed: s.Opts.Seed, Endurance: endurance}
-			_, mem := sim.RunScheme(sch, hot, s.cfg, opts)
-			fs := sim.DeviceOf(mem).FaultStats()
-			wear.AddRow(sch.String(), endurance, fs.WornWrites, fs.ECPCorrections,
-				fs.Remaps, fmt.Sprintf("%d/%d", fs.SpareUsed, fs.SpareLines),
-				fs.StuckLines, fs.BanksRetired)
-		}
+	endurances := []uint64{400, 150}
+	wearStats := make([]fault.DeviceStats, len(perfSchemes)*len(endurances))
+	Fan(len(wearStats), func(j int) {
+		opts := s.simOptions()
+		opts.Prepared = s.Prepared(hot)
+		opts.Faults = fault.Config{Seed: s.Opts.Seed, Endurance: endurances[j%len(endurances)]}
+		_, mem := sim.RunScheme(perfSchemes[j/len(endurances)], hot, s.cfg, opts)
+		wearStats[j] = sim.DeviceOf(mem).FaultStats()
+	})
+	for j, fs := range wearStats {
+		wear.AddRow(perfSchemes[j/len(endurances)].String(), endurances[j%len(endurances)],
+			fs.WornWrites, fs.ECPCorrections,
+			fs.Remaps, fmt.Sprintf("%d/%d", fs.SpareUsed, fs.SpareLines),
+			fs.StuckLines, fs.BanksRetired)
 	}
 
 	// Transient-error sweep: single-bit read flips at each BER. The flip count
@@ -95,16 +100,22 @@ func FaultCampaign(s *Suite) []*stats.Table {
 	// so schemes that read less expose less.
 	ber := stats.NewTable("Fault campaign: transient read errors ("+prof.Name+")",
 		"scheme", "read BER", "device reads", "bit flips")
-	for _, sch := range perfSchemes {
-		for _, rate := range campaignBERs {
-			opts := s.simOptions()
-			opts.Prepared = s.Prepared(prof)
-			opts.Faults = fault.Config{Seed: s.Opts.Seed, ReadBER: rate}
-			_, mem := sim.RunScheme(sch, prof, s.cfg, opts)
-			dev := sim.DeviceOf(mem)
-			ber.AddRow(sch.String(), fmt.Sprintf("%.0e", rate),
-				dev.Stats().Reads, dev.FaultStats().TransientBitFlips)
-		}
+	type berResult struct {
+		reads uint64
+		flips uint64
+	}
+	berRes := make([]berResult, len(perfSchemes)*len(campaignBERs))
+	Fan(len(berRes), func(j int) {
+		opts := s.simOptions()
+		opts.Prepared = s.Prepared(prof)
+		opts.Faults = fault.Config{Seed: s.Opts.Seed, ReadBER: campaignBERs[j%len(campaignBERs)]}
+		_, mem := sim.RunScheme(perfSchemes[j/len(campaignBERs)], prof, s.cfg, opts)
+		dev := sim.DeviceOf(mem)
+		berRes[j] = berResult{reads: dev.Stats().Reads, flips: dev.FaultStats().TransientBitFlips}
+	})
+	for j, r := range berRes {
+		ber.AddRow(perfSchemes[j/len(campaignBERs)].String(), fmt.Sprintf("%.0e", campaignBERs[j%len(campaignBERs)]),
+			r.reads, r.flips)
 	}
 
 	return []*stats.Table{crash, wear, ber}

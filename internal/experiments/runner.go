@@ -105,6 +105,96 @@ func ForEach(workers, n int, job func(int)) {
 	wg.Wait()
 }
 
+// fanPool is the cooperative token pool for nested fan-out. Heavy
+// experiments split their inner sweeps with Fan; each extra helper
+// goroutine costs one token, acquired without blocking, so nesting can
+// never deadlock and the process-wide goroutine count stays bounded by
+// the engine's worker budget. A nil pool (workers <= 1) disables helpers
+// entirely and Fan degenerates to an in-order loop.
+var fanPool atomic.Pointer[chan struct{}]
+
+// SetFanWorkers sizes the nested fan-out budget: Fan may run up to
+// workers-1 extra goroutines across the whole process, on top of the
+// callers themselves. RunAll installs the budget automatically; call this
+// directly only when driving experiments without RunAll (e.g. a lone
+// Figure21 from a CLI). workers follows the Workers normalization; a
+// budget of one (or fewer) clears the pool.
+func SetFanWorkers(workers int) {
+	workers = Workers(workers)
+	if workers <= 1 {
+		fanPool.Store(nil)
+		return
+	}
+	ch := make(chan struct{}, workers-1)
+	for i := 0; i < workers-1; i++ {
+		ch <- struct{}{}
+	}
+	fanPool.Store(&ch)
+}
+
+// Fan runs job(i) for every i in [0, n), borrowing helper goroutines from
+// the cooperative budget installed by SetFanWorkers. The caller's own
+// goroutine always participates, so Fan completes even when the pool is
+// exhausted (it just runs sequentially). Results must be collected into
+// slots indexed by i — never appended — so the output is identical at any
+// budget, including zero; that is the same slot discipline ForEach-based
+// experiments already follow.
+//
+// Unlike ForEach, Fan is meant for use inside experiments: it is safe to
+// nest (token acquisition never blocks) and does not report Progress.
+func Fan(n int, job func(int)) {
+	if n <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var tokens chan struct{}
+	if p := fanPool.Load(); p != nil {
+		tokens = *p
+	}
+	extra := 0
+	if tokens != nil {
+		for extra < n-1 {
+			select {
+			case <-tokens:
+				extra++
+			default:
+				goto acquired
+			}
+		}
+	}
+acquired:
+	if extra == 0 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	// Pre-filled and closed, so the caller and every helper just drain it:
+	// the caller keeps working instead of merely dispatching.
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	wg.Add(extra)
+	for w := 0; w < extra; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() { tokens <- struct{}{} }()
+			for i := range next {
+				job(i)
+			}
+		}()
+	}
+	for i := range next {
+		job(i)
+	}
+	wg.Wait()
+}
+
 // Outcome is one experiment's product: its tables and how long it took.
 // Under concurrency Wall includes time spent sharing cores with other
 // experiments, so it overstates exclusive cost.
@@ -120,6 +210,7 @@ type Outcome struct {
 // workers without duplicating any; the returned tables are byte-identical to
 // a workers=1 run (except TableI, see above).
 func RunAll(s *Suite, exps []Experiment, workers int) []Outcome {
+	SetFanWorkers(workers)
 	out := make([]Outcome, len(exps))
 	ForEach(workers, len(exps), func(i int) {
 		start := time.Now() //dewrite:allow determinism Outcome.Wall is observational host time, gated with TimeThreshold

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -78,7 +79,8 @@ func TestForEachZeroJobs(t *testing.T) {
 }
 
 // TestWorkersNormalization pins the flag semantics: non-positive requests
-// fall back to GOMAXPROCS, positive ones pass through.
+// fall back to the scheduler's effective parallelism, positive ones pass
+// through.
 func TestWorkersNormalization(t *testing.T) {
 	if Workers(0) < 1 {
 		t.Errorf("Workers(0) = %d, want >= 1", Workers(0))
@@ -88,5 +90,20 @@ func TestWorkersNormalization(t *testing.T) {
 	}
 	if Workers(-3) != Workers(0) {
 		t.Errorf("Workers(-3) = %d, want GOMAXPROCS default", Workers(-3))
+	}
+}
+
+// TestWorkersRespectsGOMAXPROCS pins the default's source of truth: Workers(0)
+// must read runtime.GOMAXPROCS(0) — which container runtimes and the user can
+// lower below the raw CPU count — not runtime.NumCPU. Temporarily narrowing
+// the scheduler must narrow the default with it.
+func TestWorkersRespectsGOMAXPROCS(t *testing.T) {
+	if got, want := Workers(0), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	if got := Workers(0); got != 2 {
+		t.Errorf("Workers(0) under GOMAXPROCS(2) = %d, want 2", got)
 	}
 }

@@ -54,11 +54,53 @@ func Figure21(s *Suite) []*stats.Table {
 		profiles = sel
 	}
 
-	hash := stats.NewTable("Figure 21(a): hash-table cache hit rate (%)", "size KB", "hit %")
-	for _, kb := range sizesKB {
+	// The sweep is the suite's single heaviest experiment: every cell below
+	// is an independent full-length controller replay, so the whole grid is
+	// flattened into (cell × profile) jobs and fanned across the engine's
+	// cooperative budget. Each job writes its own slot; the means and the
+	// table rows are then assembled in the original sweep order, so the
+	// output is byte-identical to the sequential nesting.
+	type cell struct {
+		cfg  config.Config
+		part int
+	}
+	var cells []cell
+	for _, kb := range sizesKB { // Figure 21(a): hash table
 		cfg := s.Config()
 		cfg.MetaCache.HashBytes = kb * 1024
-		hash.AddRow(kb, meanHitRate(s, profiles, cfg, 0)*100)
+		cells = append(cells, cell{cfg, 0})
+	}
+	for _, kb := range sizesKB { // Figure 21(b)+(c): addr map and inverted hash
+		for _, pf := range prefetches {
+			cfg := s.Config()
+			cfg.MetaCache.AddrMapBytes = kb * 1024
+			cfg.MetaCache.InvHashBytes = kb * 1024
+			cfg.MetaCache.PrefetchEnts = pf
+			cells = append(cells, cell{cfg, 1}, cell{cfg, 2})
+		}
+	}
+	fsmSizes := []int{4, 16, 64, 128}
+	for _, kb := range fsmSizes { // Figure 21(d): FSM
+		cfg := s.Config()
+		cfg.MetaCache.FSMBytes = kb * 1024
+		cells = append(cells, cell{cfg, 3})
+	}
+
+	np := len(profiles)
+	rates := make([]float64, len(cells)*np)
+	Fan(len(rates), func(j int) {
+		c := cells[j/np]
+		rates[j] = hitRate(s, profiles[j%np], c.cfg, c.part)
+	})
+	cellMean := func(i int) float64 {
+		return mean(rates[i*np : (i+1)*np])
+	}
+
+	next := 0
+	hash := stats.NewTable("Figure 21(a): hash-table cache hit rate (%)", "size KB", "hit %")
+	for _, kb := range sizesKB {
+		hash.AddRow(kb, cellMean(next)*100)
+		next++
 	}
 
 	addr := stats.NewTable("Figure 21(b): address-mapping cache hit rate (%)",
@@ -68,23 +110,20 @@ func Figure21(s *Suite) []*stats.Table {
 	for _, kb := range sizesKB {
 		rowA := []interface{}{kb}
 		rowI := []interface{}{kb}
-		for _, pf := range prefetches {
-			cfg := s.Config()
-			cfg.MetaCache.AddrMapBytes = kb * 1024
-			cfg.MetaCache.InvHashBytes = kb * 1024
-			cfg.MetaCache.PrefetchEnts = pf
-			rowA = append(rowA, meanHitRate(s, profiles, cfg, 1)*100)
-			rowI = append(rowI, meanHitRate(s, profiles, cfg, 2)*100)
+		for range prefetches {
+			rowA = append(rowA, cellMean(next)*100)
+			next++
+			rowI = append(rowI, cellMean(next)*100)
+			next++
 		}
 		addr.AddRow(rowA...)
 		inv.AddRow(rowI...)
 	}
 
 	fsm := stats.NewTable("Figure 21(d): FSM cache hit rate (%)", "size KB", "hit %")
-	for _, kb := range []int{4, 16, 64, 128} {
-		cfg := s.Config()
-		cfg.MetaCache.FSMBytes = kb * 1024
-		fsm.AddRow(kb, meanHitRate(s, profiles, cfg, 3)*100)
+	for _, kb := range fsmSizes {
+		fsm.AddRow(kb, cellMean(next)*100)
+		next++
 	}
 	return []*stats.Table{hash, addr, inv, fsm}
 }
@@ -97,26 +136,23 @@ func prefetchCols(prefetches []int) []string {
 	return cols
 }
 
-// meanHitRate runs DeWrite on each profile under cfg and averages the hit
-// rate of the selected metadata-cache partition (0 hash, 1 addr, 2 inv,
-// 3 fsm).
-func meanHitRate(s *Suite, profiles []workload.Profile, cfg config.Config, part int) float64 {
-	var rates []float64
-	for _, prof := range profiles {
-		ctrl := core.New(core.Options{DataLines: prof.WorkingSetLines, Config: cfg})
-		gen := workload.NewGenerator(prof, s.Opts.Seed)
-		var now units.Time
-		for i := 0; i < s.Opts.Requests; i++ {
-			req := gen.Next()
-			if req.Op == trace.Write {
-				now = ctrl.Write(now, req.Addr, req.Data)
-			} else {
-				_, now = ctrl.Read(now, req.Addr)
-			}
+// hitRate runs DeWrite on one profile under cfg and returns the hit rate
+// of the selected metadata-cache partition (0 hash, 1 addr, 2 inv, 3 fsm).
+// Each call is hermetic — fresh controller, fresh seeded generator — so
+// calls for different (cfg, part, profile) cells can run concurrently.
+func hitRate(s *Suite, prof workload.Profile, cfg config.Config, part int) float64 {
+	ctrl := core.New(core.Options{DataLines: prof.WorkingSetLines, Config: cfg})
+	gen := workload.NewGenerator(prof, s.Opts.Seed)
+	var now units.Time
+	for i := 0; i < s.Opts.Requests; i++ {
+		req := gen.Next()
+		if req.Op == trace.Write {
+			now = ctrl.Write(now, req.Addr, req.Data)
+		} else {
+			_, now = ctrl.Read(now, req.Addr)
 		}
-		rates = append(rates, ctrl.MetaCaches()[part].HitRate())
 	}
-	return mean(rates)
+	return ctrl.MetaCaches()[part].HitRate()
 }
 
 // TableMeta reproduces the Section IV-E1 storage-overhead analysis: the size

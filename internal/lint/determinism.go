@@ -27,6 +27,7 @@ var deterministicPkgs = map[string]bool{
 	"timeline":    true,
 	"stats":       true,
 	"attr":        true,
+	"shard":       true,
 }
 
 // Determinism reports constructs that make a deterministic package's output

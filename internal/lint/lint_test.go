@@ -19,6 +19,7 @@ func TestDeterminismFixtures(t *testing.T) {
 		"testdata/src/determinism/sim",
 		"testdata/src/determinism/core",
 		"testdata/src/determinism/attr",
+		"testdata/src/determinism/shard",
 		"testdata/src/determinism/other",
 	)
 }

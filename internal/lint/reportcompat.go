@@ -16,24 +16,36 @@ import (
 var reportPkgs = map[string]bool{
 	"sim":           true,
 	"attr":          true,
+	"shard":         true,
 	"benchdiff":     true,
 	"dewrite-bench": true,
 }
 
-// frozenTags pins the JSON field names that the dewrite/run/v1..v4 and
-// dewrite/bench/v1 schema constants promised. Removing or renaming one
+// frozenTags pins the JSON field names that the dewrite/run/v1..v5 and
+// dewrite/bench/v1..v2 schema constants promised. Removing or renaming one
 // breaks every committed baseline file (BENCH_<date>.json, the golden run
 // reports) and the benchdiff gate, so the analyzer treats it as an error.
 // Adding fields is always fine — that is what the schema bump discipline in
 // sim/report.go is for.
 var frozenTags = map[string][]string{
-	// dewrite/run/v1..v4 (sim/report.go).
+	// dewrite/run/v1..v5 (sim/report.go).
 	"RunReport": {
 		"schema", "app", "scheme", "requests", "mem_writes", "mem_reads",
 		"instructions", "cycles", "ipc", "elapsed_ps",
 		"write_latency", "read_latency", "energy_pj", "generator", "device",
 		"controller", "baseline", "timeline", "faults", "attribution",
+		"sharding",
 	},
+	// dewrite/run/v5 sharding block (sim/sharded.go, internal/shard).
+	"ShardingReport": {
+		"shards", "epoch_requests", "epochs", "cross_shard_dup_hits",
+		"directory", "per_shard",
+	},
+	"ShardStat": {
+		"shard", "lines", "banks", "requests", "mem_writes", "mem_reads",
+		"dev_reads", "dev_writes", "cycles",
+	},
+	"Stats": {"fingerprints", "locations", "shared", "advances"},
 	"LatencyQuantiles": {"count", "mean_ps", "p50_ps", "p95_ps", "p99_ps", "sum_ps"},
 	"FaultReport":      {"config", "device", "crash"},
 	// dewrite/run/v4 attribution block (internal/attr/report.go).
@@ -45,11 +57,13 @@ var frozenTags = map[string][]string{
 	"PhaseStat": {"kind", "phase", "count", "total_ps"},
 	"OpStat":    {"kind", "op", "count"},
 	"CauseStat": {"cause", "writes", "energy_pj", "bank_writes"},
-	// dewrite/bench/v1, writer side (cmd/dewrite-bench).
-	"benchFile":  {"schema", "date", "quick", "requests", "warmup", "seed", "perf", "experiments"},
-	"benchPerf":  {"workers", "wall_ms", "mallocs", "allocs_per_request", "seq_wall_ms", "speedup"},
-	"benchEntry": {"id", "title", "wall_ms", "tables"},
-	// dewrite/bench/v1, reader side (cmd/benchdiff).
+	// dewrite/bench/v1..v2, writer side (cmd/dewrite-bench). v2 added the
+	// perf.scaling curve.
+	"benchFile":         {"schema", "date", "quick", "requests", "warmup", "seed", "perf", "experiments"},
+	"benchPerf":         {"workers", "wall_ms", "mallocs", "allocs_per_request", "seq_wall_ms", "speedup", "scaling"},
+	"benchScalingPoint": {"workers", "wall_ms", "speedup"},
+	"benchEntry":        {"id", "title", "wall_ms", "tables"},
+	// dewrite/bench/v1..v2, reader side (cmd/benchdiff).
 	"benchDoc": {"schema", "quick", "requests", "warmup", "seed", "perf", "experiments"},
 }
 
@@ -62,7 +76,7 @@ Downstream tooling (benchdiff, plotting scripts, committed BENCH_<date>.json
 baselines) parses these documents by field name, so in the report packages
 every exported field of a JSON-marshalled struct must carry an explicit json
 tag, two fields must never map to the same name, and the names promised by
-the dewrite/run/v1..v4 and dewrite/bench/v1 schemas must keep existing.`,
+the dewrite/run/v1..v5 and dewrite/bench/v1..v2 schemas must keep existing.`,
 	Run: runReportCompat,
 }
 

@@ -1,0 +1,66 @@
+// Package shard is a determinism fixture: the real internal/shard package is
+// gated (its directory generations land byte-for-byte in run reports), so
+// the analyzer must flag order-dependent constructs here while staying
+// silent on the package's idiomatic patterns — commutative integer folds
+// over pending-delta maps and sorted snapshot emission.
+package shard
+
+import (
+	"sort"
+	"time"
+)
+
+// advanceStamped models the tempting-but-wrong barrier: stamping the advance
+// with the wall clock ties the frozen generation to the host.
+func advanceStamped() int64 {
+	return time.Now().UnixNano() // want `reads the wall clock \(time\.Now\)`
+}
+
+// pendingKeysUnsorted leaks pending-map iteration order into a slice that a
+// merge step would then consume positionally.
+func pendingKeysUnsorted(pending map[uint32]int32) []uint32 {
+	var keys []uint32
+	for h := range pending {
+		keys = append(keys, h) // want `append to "keys" during map iteration without a later sort`
+	}
+	return keys
+}
+
+// snapshotSorted is the package's real idiom: collect, then sort before
+// anything observable happens. Clean.
+func snapshotSorted(frozen map[uint32][]uint32) []uint32 {
+	keys := make([]uint32, 0, len(frozen))
+	for h := range frozen {
+		keys = append(keys, h)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// foldDeltas is the directory's commutative merge: integer accumulation over
+// a map commutes, so iteration order cannot leak. Clean.
+func foldDeltas(pending map[uint32]int32) int64 {
+	var total int64
+	for _, d := range pending {
+		total += int64(d)
+	}
+	return total
+}
+
+// meanSharedRatio accumulates floats across map iteration: non-associative,
+// so the sum depends on Go's randomized order.
+func meanSharedRatio(ratios map[uint32]float64) float64 {
+	var sum float64
+	for _, r := range ratios {
+		sum += r // want `floating-point accumulation over map iteration`
+	}
+	return sum / float64(len(ratios))
+}
+
+// publishUnordered models streaming pending entries to a consumer goroutine
+// mid-iteration: delivery order would differ run to run.
+func publishUnordered(pending map[uint32]int32, sink chan uint32) {
+	for h := range pending {
+		sink <- h // want `channel send inside map iteration`
+	}
+}

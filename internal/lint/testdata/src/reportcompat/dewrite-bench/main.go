@@ -1,4 +1,4 @@
-// Command dewrite-bench (fixture) writes the dewrite/bench/v1 snapshot; its
+// Command dewrite-bench (fixture) writes the dewrite/bench/v2 snapshot; its
 // writer-side structs carry frozen tags.
 package main
 
@@ -14,14 +14,23 @@ type benchFile struct { // want `struct benchFile no longer carries json tag "da
 	Experiments []benchEntry `json:"experiments"`
 }
 
-// benchPerf keeps every promised name: clean.
+// benchPerf keeps every promised name, including the v2 scaling curve:
+// clean.
 type benchPerf struct {
-	Workers          int     `json:"workers"`
-	WallMS           float64 `json:"wall_ms"`
-	Mallocs          uint64  `json:"mallocs"`
-	AllocsPerRequest float64 `json:"allocs_per_request"`
-	SeqWallMS        float64 `json:"seq_wall_ms"`
-	Speedup          float64 `json:"speedup"`
+	Workers          int                 `json:"workers"`
+	WallMS           float64             `json:"wall_ms"`
+	Mallocs          uint64              `json:"mallocs"`
+	AllocsPerRequest float64             `json:"allocs_per_request"`
+	SeqWallMS        float64             `json:"seq_wall_ms"`
+	Speedup          float64             `json:"speedup"`
+	Scaling          []benchScalingPoint `json:"scaling"`
+}
+
+// benchScalingPoint keeps every promised name: clean.
+type benchScalingPoint struct {
+	Workers int     `json:"workers"`
+	WallMS  float64 `json:"wall_ms"`
+	Speedup float64 `json:"speedup"`
 }
 
 // benchEntry keeps every promised name: clean.

@@ -17,13 +17,16 @@ import (
 
 // ReportSchema identifies the JSON layout of RunReport; bump it whenever a
 // field changes meaning so downstream tooling can detect incompatibility.
-// v4 added the optional attribution block, v3 the optional faults block, v2
-// the optional timeline block; every earlier field is unchanged, so v3, v2
-// and v1 documents still decode (see DecodeRunReport).
-const ReportSchema = "dewrite/run/v4"
+// v5 added the optional sharding block, v4 the optional attribution block,
+// v3 the optional faults block, v2 the optional timeline block; every
+// earlier field is unchanged, so v4, v3, v2 and v1 documents still decode
+// (see DecodeRunReport).
+const ReportSchema = "dewrite/run/v5"
 
-// ReportSchemaV3 is the previous layout: identical minus the attribution
-// block.
+// ReportSchemaV4 is the previous layout: identical minus the sharding block.
+const ReportSchemaV4 = "dewrite/run/v4"
+
+// ReportSchemaV3 is the v4 layout minus the attribution block.
 const ReportSchemaV3 = "dewrite/run/v3"
 
 // ReportSchemaV2 is the v3 layout minus the faults block.
@@ -82,6 +85,12 @@ type RunReport struct {
 	// Attribution is the causal-tracing and write-provenance block (v4),
 	// present when the run was collected with Options.Attr.
 	Attribution *attr.Report `json:"attribution,omitempty"`
+
+	// Sharding is the shard-partition block (v5), present when the run
+	// executed through RunSharded with more than one shard. Shard-count-1
+	// runs take the sequential path and omit it, keeping their reports
+	// byte-identical to sequential ones.
+	Sharding *ShardingReport `json:"sharding,omitempty"`
 }
 
 // FaultReport is the faults block of a v3 run report: the armed injection
@@ -141,6 +150,7 @@ func NewRunReport(res Result, mem Memory) RunReport {
 	}
 	r.Timeline = res.Timeline
 	r.Attribution = res.Attribution
+	r.Sharding = res.Sharding
 	if dev := DeviceOf(mem); dev != nil && (dev.FaultsEnabled() || res.Crash != nil) {
 		r.Faults = &FaultReport{
 			Config: dev.FaultConfig(),
@@ -153,21 +163,21 @@ func NewRunReport(res Result, mem Memory) RunReport {
 	return r
 }
 
-// DecodeRunReport parses a run report, accepting the current v4 layout as
-// well as v3, v2 and v1 documents (whose fields are strict subsets — they
-// decode with nil Attribution / Faults / Timeline blocks). Any other schema
-// string is an error.
+// DecodeRunReport parses a run report, accepting the current v5 layout as
+// well as v4, v3, v2 and v1 documents (whose fields are strict subsets —
+// they decode with nil Sharding / Attribution / Faults / Timeline blocks).
+// Any other schema string is an error.
 func DecodeRunReport(data []byte) (RunReport, error) {
 	var r RunReport
 	if err := json.Unmarshal(data, &r); err != nil {
 		return RunReport{}, fmt.Errorf("run report: %w", err)
 	}
 	switch r.Schema {
-	case ReportSchema, ReportSchemaV3, ReportSchemaV2, ReportSchemaV1:
+	case ReportSchema, ReportSchemaV4, ReportSchemaV3, ReportSchemaV2, ReportSchemaV1:
 		return r, nil
 	default:
-		return RunReport{}, fmt.Errorf("run report: unsupported schema %q (want %q, %q, %q or %q)",
-			r.Schema, ReportSchema, ReportSchemaV3, ReportSchemaV2, ReportSchemaV1)
+		return RunReport{}, fmt.Errorf("run report: unsupported schema %q (want %q, %q, %q, %q or %q)",
+			r.Schema, ReportSchema, ReportSchemaV4, ReportSchemaV3, ReportSchemaV2, ReportSchemaV1)
 	}
 }
 

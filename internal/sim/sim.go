@@ -341,6 +341,10 @@ type Result struct {
 	// Crash is the recovery scrub's report, nil unless Options.CrashAt fired.
 	Crash *fault.RecoveryReport
 
+	// Sharding describes the shard partition, nil unless the run executed
+	// through RunSharded with more than one shard.
+	Sharding *ShardingReport
+
 	// finalMem is the memory that finished the run — the crash-recovered
 	// successor when CrashAt fired, the original otherwise.
 	finalMem Memory

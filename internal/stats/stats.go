@@ -102,6 +102,35 @@ func (l *Latency) Observe(d units.Duration) {
 	}
 }
 
+// Merge folds other's observations into l, as if every duration observed by
+// other had been observed by l: counts and sums add, min/max combine, and
+// histogram buckets add with the same single-bucket saturation Observe
+// applies. Merging is commutative and associative, so aggregating per-shard
+// latencies yields the same result in any order.
+func (l *Latency) Merge(other *Latency) {
+	if other.count == 0 {
+		return
+	}
+	if l.count == 0 || other.min < l.min {
+		l.min = other.min
+	}
+	if other.max > l.max {
+		l.max = other.max
+	}
+	l.count += other.count
+	l.sum += other.sum
+	for i := range l.buckets {
+		if other.buckets[i] == 0 {
+			continue
+		}
+		s := uint64(l.buckets[i]) + uint64(other.buckets[i])
+		if s > math.MaxUint32 {
+			s = math.MaxUint32
+		}
+		l.buckets[i] = uint32(s)
+	}
+}
+
 // Count returns the number of observations.
 func (l *Latency) Count() uint64 { return l.count }
 
