@@ -4,13 +4,16 @@
 // serves concurrent client streams over a minimal framed TCP protocol
 // (PUT/GET/STATS — see proto.go), maintains the cross-shard fingerprint
 // directory behind the same epoch-barrier contract the deterministic
-// simulator uses, and exposes the monitor package's Prometheus-style gauges
-// over HTTP.
+// simulator uses, and exposes an ops-grade observability surface: request
+// and error counters, native latency histograms, per-shard balance gauges,
+// barrier stall accounting, /readyz and /debug/slow, and structured JSON
+// logs (see ops.go for the metric table, DESIGN.md §13 for the model).
 //
 // Usage:
 //
 //	dewrite-serve [-addr :7420] [-metrics :9420] [-shards 4] [-lines 65536]
-//	              [-advance-every 1024]
+//	              [-advance-every 1024] [-slow-k 32]
+//	              [-log stderr|PATH] [-log-level info]
 //
 // The service is a workload harness for the simulator, not a real database:
 // values live in simulated encrypted NVM lines and all persistence is
@@ -21,36 +24,75 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 )
 
+// buildLogger constructs the optional structured logger: dest "" disables
+// logging entirely (the default — the hot path pays one nil check), "stderr"
+// streams JSON records to stderr, anything else appends to that file.
+func buildLogger(dest, level string) (*slog.Logger, func(), error) {
+	if dest == "" {
+		return nil, func() {}, nil
+	}
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, nil, fmt.Errorf("dewrite-serve: -log-level %q: %w", level, err)
+	}
+	w, cleanup := os.Stderr, func() {}
+	if dest != "stderr" {
+		f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dewrite-serve: -log: %w", err)
+		}
+		w, cleanup = f, func() { f.Close() }
+	}
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: lv})), cleanup, nil
+}
+
 func main() {
 	addr := flag.String("addr", ":7420", "TCP listen address for the framed KV protocol")
-	metrics := flag.String("metrics", ":9420", "HTTP listen address for /metrics, /debug/vars, /healthz (empty disables)")
+	metrics := flag.String("metrics", ":9420", "HTTP listen address for /metrics, /readyz, /healthz, /debug/slow, /debug/vars (empty disables)")
 	shards := flag.Int("shards", 4, "controller shards (owner goroutines)")
 	lines := flag.Uint64("lines", 1<<16, "data lines striped across shards")
 	advanceEvery := flag.Uint64("advance-every", 1024, "requests between cross-shard directory advances")
+	slowK := flag.Int("slow-k", 32, "capacity of the /debug/slow slowest-recent-requests ring")
+	logDest := flag.String("log", "", `structured JSON log destination: "stderr" or a file path (empty disables)`)
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	flag.Parse()
 
-	srv, err := NewServer(Config{Shards: *shards, Lines: *lines, AdvanceEvery: *advanceEvery})
+	logger, logClose, err := buildLogger(*logDest, *logLevel)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer logClose()
+
+	srv, err := NewServer(Config{
+		Shards: *shards, Lines: *lines, AdvanceEvery: *advanceEvery,
+		SlowK: *slowK, Logger: logger,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The ops endpoint comes up before Serve publishes generation zero, so a
+	// load balancer probing /readyz sees 503 until the daemon can actually
+	// answer requests — /healthz is process liveness, /readyz is readiness.
+	if *metrics != "" {
+		m, err := startOps(*metrics, srv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer m.Close()
+		fmt.Printf("dewrite-serve: metrics on http://%s/metrics (readyz, debug/slow alongside)\n", m.Addr())
+	}
+
 	if err := srv.Serve(*addr); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("dewrite-serve: %d shards over %d lines, listening on %s\n", *shards, *lines, srv.Addr())
-
-	if *metrics != "" {
-		msrv, err := startMetrics(*metrics, srv)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer msrv.Close()
-		fmt.Printf("dewrite-serve: metrics on http://%s/metrics\n", msrv.Addr())
-	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strconv"
+
+	"dewrite/internal/monitor"
+)
+
+// The serving daemon's metric taxonomy. Every serve-owned metric carries the
+// serve_ prefix; the per-shard controller gauges additionally use the
+// serve_shard_<n>.* prefix family published through Registry.PublishEpoch.
+//
+//	metric                            type       labels       meaning
+//	--------------------------------  ---------  -----------  ----------------------------------------------
+//	serve_requests_total              counter    op           responses flushed to clients, by op
+//	serve_errors_total                counter    op, cause    error responses and protocol failures, by cause
+//	serve_request_latency_ns          histogram  op           wall-clock frame-read → response-flushed latency
+//	serve_slow_requests_total         counter    —            requests admitted to the /debug/slow ring
+//	serve_connections_total           counter    —            client connections accepted
+//	serve_connections_open            gauge      —            client connections currently open
+//	serve_queue_depth                 gauge      shard        owner mailbox depth sampled at enqueue
+//	serve_occupancy                   gauge      shard        fraction of the shard's lines holding a key
+//	serve_keys                        gauge      shard        distinct keys stored on the shard
+//	serve_puts / serve_gets /
+//	serve_misses                      gauge      shard        owner op counts folded at each barrier
+//	serve_cross_shard_dup_hits        gauge      shard        puts whose fingerprint was live on another shard
+//	serve_barrier_stall_ns_total      counter    shard        wall ns owners spent blocked at the epoch barrier
+//	serve_advances_total              counter    —            epoch barriers crossed
+//	serve_advance_ns_total            counter    —            wall ns spent inside barriers (directory fold + publish)
+//	serve_directory_publishes         gauge      shard        fingerprint deltas each shard published last epoch
+//	serve_directory_*                 gauge      —            frozen-generation census (fingerprints, locations, …)
+//	serve_ready                       gauge      —            1 once generation zero has published
+//	serve_shard_<n>.*                 gauge      —            controller epoch sample (dup_eliminated, wear, …)
+//
+// Counters are monotonic (rates come from scrape deltas), gauges are
+// last-write-wins snapshots, and the latency histogram is a native
+// Prometheus histogram whose log-spaced buckets reuse the simulator's
+// stats.Latency geometry — see DESIGN.md §13. Serve metrics are runtime-only:
+// none of them appear in run reports, so the frozen report schemas are
+// untouched.
+
+// latencyBounds spans 1 µs to ~17 s with two buckets per power of two —
+// wide enough for a loaded barrier stall, fine enough for meaningful
+// p50/p95/p99 interpolation in dewrite-top.
+func latencyBounds() []uint64 {
+	const (
+		microsecond = 1_000          // histogram unit is nanoseconds
+		ceiling     = 17_000_000_000 // ~17 s; beyond lands in +Inf
+	)
+	return monitor.LatencyBounds(microsecond, ceiling, 2)
+}
+
+// serveMetrics holds the hot-path instruments, resolved once at construction
+// so request handling never renders label sets.
+type serveMetrics struct {
+	requests [3]*monitor.Counter   // indexed by op-1 (OpPut, OpGet, OpStats)
+	latency  [3]*monitor.Histogram // same indexing
+	stalls   []*monitor.Counter    // per shard: serve_barrier_stall_ns_total
+
+	slowTotal  *monitor.Counter
+	connsTotal *monitor.Counter
+	advances   *monitor.Counter
+	advanceNs  *monitor.Counter
+
+	// Precomputed labeled gauge keys (registry names) for per-request updates.
+	queueDepthKey []string // per shard
+}
+
+func opName(op byte) string {
+	switch op {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpStats:
+		return "stats"
+	default:
+		return "unknown"
+	}
+}
+
+func newServeMetrics(reg *monitor.Registry, shards int) *serveMetrics {
+	m := &serveMetrics{
+		slowTotal:  reg.Counter("serve_slow_requests_total"),
+		connsTotal: reg.Counter("serve_connections_total"),
+		advances:   reg.Counter("serve_advances_total"),
+		advanceNs:  reg.Counter("serve_advance_ns_total"),
+	}
+	bounds := latencyBounds()
+	for _, op := range []byte{OpPut, OpGet, OpStats} {
+		label := monitor.Label{Key: "op", Value: opName(op)}
+		m.requests[op-1] = reg.Counter("serve_requests_total", label)
+		m.latency[op-1] = reg.Histogram("serve_request_latency_ns", bounds, label)
+	}
+	for i := 0; i < shards; i++ {
+		label := monitor.Label{Key: "shard", Value: strconv.Itoa(i)}
+		m.stalls = append(m.stalls, reg.Counter("serve_barrier_stall_ns_total", label))
+		m.queueDepthKey = append(m.queueDepthKey, monitor.LabeledName("serve_queue_depth", label))
+	}
+	return m
+}
+
+// errorCause increments serve_errors_total for one (op, cause) pair. Error
+// paths are rare, so rendering the label set per call is fine.
+func (s *Server) errorCause(op byte, cause string) {
+	s.reg.Counter("serve_errors_total",
+		monitor.Label{Key: "op", Value: opName(op)},
+		monitor.Label{Key: "cause", Value: cause}).Inc()
+}
+
+// startOps brings up the ops HTTP surface over the server's registry:
+// /metrics (gauges + counters + histograms), /debug/vars, /healthz, and the
+// serving-specific endpoints /readyz (503 until generation zero publishes)
+// and /debug/slow (the slowest-recent-requests ring).
+func startOps(addr string, srv *Server) (*monitor.Server, error) {
+	return monitor.ServeWith(addr, srv.Registry(), monitor.ServeOpts{
+		Ready: srv.Ready,
+		Slow:  srv.slow,
+	})
+}

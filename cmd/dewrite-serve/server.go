@@ -2,14 +2,19 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
+	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dewrite/internal/config"
 	"dewrite/internal/core"
@@ -33,24 +38,43 @@ import (
 // every owner holds read-side while serving a request. Advancing is
 // therefore a brief stop-the-world barrier, exactly the simulator's epoch
 // boundary transplanted to wall-clock time.
+//
+// The ops surface is RED-complete: request/error counters and wall-clock
+// latency histograms per op, per-shard queue and occupancy gauges, barrier
+// stall accounting, a slowest-recent-requests ring (/debug/slow), and
+// structured JSON logs whose request IDs match the ring's entries. See
+// ops.go for the full metric table.
 type Server struct {
 	cfg    Config
 	router shard.Router
 	dir    *shard.Directory
 	shards []*shardWorker
 	reg    *monitor.Registry
+	m      *serveMetrics
+	slow   *slowRing
+	log    *slog.Logger // nil disables logging entirely
 
 	// epochMu is the epoch barrier: owners serve requests under RLock;
 	// the directory advance runs under Lock.
 	epochMu sync.RWMutex
-	// opsSinceAdvance counts requests served since the last advance
-	// (maintained by owners under RLock with the shard's own counter, folded
-	// during advance).
+	// fingerMask truncates CRC-32 fingerprints to the configured dedup hash
+	// width so the cross-shard census uses the controller's own equivalence
+	// classes.
 	fingerMask uint32
+
+	// ready flips once generation zero has published (the first Advance);
+	// /readyz answers 503 until then.
+	ready atomic.Bool
+	// reqID assigns frame IDs: every request read off any connection gets
+	// the next ID, correlating /debug/slow entries with log lines.
+	reqID  atomic.Uint64
+	connID atomic.Uint64
 
 	ln      net.Listener
 	quit    chan struct{}
 	conns   sync.WaitGroup
+	connMu  sync.Mutex
+	open    map[net.Conn]struct{}
 	owners  sync.WaitGroup
 	closing sync.Once
 }
@@ -66,6 +90,15 @@ type Config struct {
 	AdvanceEvery uint64
 	// NVM overrides the simulator config; zero value uses config.Default().
 	NVM config.Config
+	// Logger, when non-nil, receives structured events (connection
+	// open/close, epoch advances, slow requests, shutdown). nil disables
+	// logging with zero per-request cost.
+	Logger *slog.Logger
+	// SlowK is the capacity of the slow-request ring (/debug/slow);
+	// <= 0 defaults to 32.
+	SlowK int
+	// SlowWindow is the ring's recency window in frames; 0 defaults to 65536.
+	SlowWindow uint64
 }
 
 // shardReq is one routed request handed to a shard owner.
@@ -79,6 +112,7 @@ type shardReq struct {
 type shardResp struct {
 	status byte
 	val    []byte
+	cause  string // non-empty on StatusError: the serve_errors_total cause
 }
 
 // shardWorker owns one shard: its controller, its key→line directory, and
@@ -101,7 +135,8 @@ type shardWorker struct {
 }
 
 // NewServer builds the sharded service and starts its owner goroutines; call
-// Serve to accept connections and Close to tear everything down.
+// Serve to accept connections and Close to tear everything down. The server
+// is not ready (in the /readyz sense) until Serve publishes generation zero.
 func NewServer(cfg Config) (*Server, error) {
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("dewrite-serve: %d shards", cfg.Shards)
@@ -111,6 +146,9 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if cfg.AdvanceEvery == 0 {
 		cfg.AdvanceEvery = 1024
+	}
+	if cfg.SlowK <= 0 {
+		cfg.SlowK = 32
 	}
 	nvmCfg := cfg.NVM
 	if nvmCfg.NVM.Banks() == 0 {
@@ -122,8 +160,13 @@ func NewServer(cfg Config) (*Server, error) {
 		router: shard.NewRouter(cfg.Shards),
 		dir:    shard.NewDirectory(cfg.Shards),
 		reg:    monitor.NewRegistry(),
+		slow:   newSlowRing(cfg.SlowK, cfg.SlowWindow),
+		log:    cfg.Logger,
 		quit:   make(chan struct{}),
+		open:   make(map[net.Conn]struct{}),
 	}
+	s.m = newServeMetrics(s.reg, cfg.Shards)
+	s.reg.Set("serve_ready", 0)
 	s.fingerMask = ^uint32(0)
 	if bits := nvmCfg.Dedup.HashSizeBits; bits > 0 && bits < 32 {
 		s.fingerMask = uint32(1)<<bits - 1
@@ -151,10 +194,18 @@ func NewServer(cfg Config) (*Server, error) {
 		s.owners.Add(1)
 		go s.runOwner(w)
 	}
-	// Publish generation zero so the ops surface is populated from the first
-	// scrape, not from the first epoch barrier.
-	s.Advance()
 	return s, nil
+}
+
+// Ready reports whether generation zero has published — the /readyz probe.
+func (s *Server) Ready() bool { return s != nil && s.ready.Load() }
+
+// logEvent emits one structured log record; a nil logger costs one branch.
+func (s *Server) logEvent(level slog.Level, msg string, args ...any) {
+	if s.log == nil {
+		return
+	}
+	s.log.Log(context.Background(), level, msg, args...)
 }
 
 // shardOf routes a key: shards own key-hash classes, the serving analog of
@@ -163,11 +214,20 @@ func (s *Server) shardOf(key string) int {
 	return int(hashes.CRC32([]byte(key)) % uint32(len(s.shards)))
 }
 
-// runOwner is a shard's single-threaded service loop.
+// runOwner is a shard's single-threaded service loop. The time an owner
+// spends blocked acquiring the epoch read-lock is exactly the time it stood
+// at a barrier waiting for an Advance to finish, so it lands in the shard's
+// serve_barrier_stall_ns_total counter — per-shard barrier pressure,
+// scrapeable as a rate.
 func (s *Server) runOwner(w *shardWorker) {
 	defer s.owners.Done()
+	stall := s.m.stalls[w.id]
 	for req := range w.reqs {
+		t0 := time.Now()
 		s.epochMu.RLock()
+		if wait := time.Since(t0); wait > 0 {
+			stall.Add(uint64(wait.Nanoseconds()))
+		}
 		resp := w.handle(s, req)
 		advance := w.served >= s.cfg.AdvanceEvery
 		s.epochMu.RUnlock()
@@ -188,7 +248,7 @@ func (w *shardWorker) handle(s *Server, req shardReq) shardResp {
 		if !ok {
 			if w.next >= w.cap {
 				w.full++
-				return shardResp{status: StatusError, val: []byte("shard full")}
+				return shardResp{status: StatusError, val: []byte("shard full"), cause: "shard_full"}
 			}
 			slot = w.next
 			w.next++
@@ -213,31 +273,48 @@ func (w *shardWorker) handle(s *Server, req shardReq) shardResp {
 		w.gets++
 		n := int(binary.BigEndian.Uint16(w.readBuf[:2]))
 		if n > ValueCap {
-			return shardResp{status: StatusError, val: []byte("corrupt length prefix")}
+			return shardResp{status: StatusError, val: []byte("corrupt length prefix"), cause: "corrupt_value"}
 		}
 		return shardResp{status: StatusOK, val: append([]byte(nil), w.readBuf[2:2+n]...)}
 	default:
-		return shardResp{status: StatusError, val: []byte("unknown op")}
+		return shardResp{status: StatusError, val: []byte("unknown op"), cause: "unknown_op"}
 	}
 }
 
 // Advance runs one epoch barrier: waits for every in-flight request to
 // finish, folds the directory's pending deltas into the next frozen
 // generation, and republishes the per-shard gauges. Owners resume as soon
-// as the lock drops.
+// as the lock drops. The first Advance publishes generation zero and flips
+// the readiness probe.
 func (s *Server) Advance() {
+	t0 := time.Now()
 	s.epochMu.Lock()
-	defer s.epochMu.Unlock()
 	s.dir.Advance()
 	for _, w := range s.shards {
 		w.served = 0
 		s.publishShard(w)
+	}
+	for i, n := range s.dir.EpochPublishes() {
+		s.reg.SetLabeled("serve_directory_publishes",
+			[]monitor.Label{{Key: "shard", Value: strconv.Itoa(i)}}, float64(n))
 	}
 	st := s.dir.Snapshot()
 	s.reg.Set("serve_directory_fingerprints", float64(st.Fingerprints))
 	s.reg.Set("serve_directory_locations", float64(st.Locations))
 	s.reg.Set("serve_directory_shared", float64(st.Shared))
 	s.reg.Set("serve_directory_advances", float64(st.Advances))
+	s.epochMu.Unlock()
+
+	held := time.Since(t0)
+	s.m.advances.Inc()
+	s.m.advanceNs.Add(uint64(held.Nanoseconds()))
+	if s.ready.CompareAndSwap(false, true) {
+		s.reg.Set("serve_ready", 1)
+	}
+	s.logEvent(slog.LevelInfo, "epoch_advance",
+		"generation", st.Advances,
+		"fingerprints", st.Fingerprints,
+		"held_ns", held.Nanoseconds())
 }
 
 // publishShard refreshes one shard's gauges. Caller holds the epoch
@@ -249,6 +326,7 @@ func (s *Server) publishShard(w *shardWorker) {
 	s.reg.SetLabeled("serve_misses", labels, float64(w.misses))
 	s.reg.SetLabeled("serve_cross_shard_dup_hits", labels, float64(w.crossDup))
 	s.reg.SetLabeled("serve_keys", labels, float64(len(w.slots)))
+	s.reg.SetLabeled("serve_occupancy", labels, float64(w.next)/float64(w.cap))
 
 	var e timeline.Epoch
 	w.ctrl.SampleEpoch(&e, w.now)
@@ -258,14 +336,18 @@ func (s *Server) publishShard(w *shardWorker) {
 // Registry exposes the metric registry (for the ops HTTP server and tests).
 func (s *Server) Registry() *monitor.Registry { return s.reg }
 
-// Serve accepts client connections on addr until Close. It returns once the
-// listener is bound; accepting runs in the background.
+// Serve publishes generation zero (flipping /readyz to ready) and accepts
+// client connections on addr until Close. It returns once the listener is
+// bound; accepting runs in the background.
 func (s *Server) Serve(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	s.ln = ln
+	// Publish generation zero so the ops surface is populated from the first
+	// scrape; until here /readyz answers 503.
+	s.Advance()
 	s.conns.Add(1)
 	go func() {
 		defer s.conns.Done()
@@ -300,43 +382,93 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
+// track registers a live client connection so shutdown can interrupt its
+// blocked read; it reports false when the server is already closing.
+func (s *Server) track(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	select {
+	case <-s.quit:
+		return false
+	default:
+	}
+	s.open[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.open, conn)
+	s.connMu.Unlock()
+}
+
+// closedForShutdown reports whether a read error is the expected result of
+// connection teardown rather than a client protocol violation.
+func closedForShutdown(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, os.ErrDeadlineExceeded)
+}
+
 // serveConn handles one client stream: a sequence of framed requests, each
 // answered in order. Requests route to shard owners by key hash; the
 // connection goroutine blocks on the owner's reply, so each stream sees its
 // own operations in program order.
+//
+// Shutdown contract: once a request frame has been read it is always
+// processed and its response always written — quit is only honored between
+// frames, so in-flight requests are never dropped. Counters count flushed
+// responses, which is what makes the shutdown test's books balance.
 func (s *Server) serveConn(conn net.Conn) {
+	if !s.track(conn) {
+		conn.Close()
+		return
+	}
+	defer s.untrack(conn)
 	defer conn.Close()
+	cid := s.connID.Add(1)
+	s.m.connsTotal.Inc()
+	s.reg.Add("serve_connections_open", 1)
+	defer s.reg.Add("serve_connections_open", -1)
+	s.logEvent(slog.LevelInfo, "conn_open", "conn", cid, "remote", conn.RemoteAddr().String())
+	var served uint64
+	defer func() {
+		s.logEvent(slog.LevelInfo, "conn_close", "conn", cid, "served", served)
+	}()
+
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	reply := make(chan shardResp, 1)
 	for {
 		op, key, val, err := readRequest(br)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			if !closedForShutdown(err) {
+				s.errorCause(op, "bad_frame")
+				s.logEvent(slog.LevelWarn, "bad_frame", "conn", cid, "err", err.Error())
 				_ = writeResponse(bw, StatusError, []byte(err.Error()))
 				_ = bw.Flush()
 			}
 			return
 		}
+		rid := s.reqID.Add(1)
+		start := time.Now()
+		shardID := -1
 		var resp shardResp
 		switch op {
 		case OpStats:
 			snap, err := json.Marshal(s.reg.Snapshot())
 			if err != nil {
-				resp = shardResp{status: StatusError, val: []byte(err.Error())}
+				resp = shardResp{status: StatusError, val: []byte(err.Error()), cause: "encode"}
 			} else {
 				resp = shardResp{status: StatusOK, val: snap}
 			}
 		case OpPut, OpGet:
-			w := s.shards[s.shardOf(key)]
-			select {
-			case w.reqs <- shardReq{op: op, key: key, val: val, reply: reply}:
-				resp = <-reply
-			case <-s.quit:
-				return
-			}
+			shardID = s.shardOf(key)
+			w := s.shards[shardID]
+			w.reqs <- shardReq{op: op, key: key, val: val, reply: reply}
+			s.reg.Set(s.m.queueDepthKey[shardID], float64(len(w.reqs)))
+			resp = <-reply
 		default:
-			resp = shardResp{status: StatusError, val: []byte("unknown op")}
+			resp = shardResp{status: StatusError, val: []byte("unknown op"), cause: "unknown_op"}
 		}
 		if err := writeResponse(bw, resp.status, resp.val); err != nil {
 			return
@@ -344,22 +476,72 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := bw.Flush(); err != nil {
 			return
 		}
+		served++
+		lat := time.Since(start)
+		s.observe(rid, op, shardID, lat, resp)
+
+		// Between frames is the only place quit is honored: the response
+		// above is flushed, so closing here drops nothing.
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
 	}
 }
 
-// Close stops accepting, waits for in-flight connections, stops the owners,
-// and runs one final advance so the gauges reflect the end state.
+// observe records one flushed response in the RED instruments, the slow
+// ring, and (when slow) the structured log.
+func (s *Server) observe(rid uint64, op byte, shardID int, lat time.Duration, resp shardResp) {
+	idx := int(op) - 1
+	if idx < 0 || idx >= len(s.m.requests) {
+		idx = -1
+	}
+	if idx >= 0 {
+		s.m.requests[idx].Inc()
+		s.m.latency[idx].Observe(uint64(lat.Nanoseconds()))
+	}
+	if resp.status == StatusError && resp.cause != "" {
+		s.errorCause(op, resp.cause)
+	}
+	if s.slow.record(slowEntry{ID: rid, Op: opName(op), Shard: shardID, LatencyNs: lat.Nanoseconds()}) {
+		s.m.slowTotal.Inc()
+		s.logEvent(slog.LevelDebug, "slow_request",
+			"req", rid, "op", opName(op), "shard", shardID, "latency_ns", lat.Nanoseconds())
+	}
+}
+
+// Close stops accepting, lets every in-flight request finish and flush its
+// response, tears the client connections down, stops the owners, and runs
+// one final advance so the gauges reflect the end state. The listener is
+// closed exactly once; extra Close calls (including concurrent ones) wait on
+// nothing and change nothing.
 func (s *Server) Close() {
 	s.closing.Do(func() {
+		s.logEvent(slog.LevelInfo, "shutdown_begin", "conns_open", func() int {
+			s.connMu.Lock()
+			defer s.connMu.Unlock()
+			return len(s.open)
+		}())
 		close(s.quit)
 		if s.ln != nil {
 			s.ln.Close()
 		}
+		// Interrupt reads blocked waiting for a next frame: connection
+		// goroutines check quit after each flushed response, and an expired
+		// read deadline unblocks the ones sitting idle in readRequest. A
+		// frame already read is still fully served (see serveConn).
+		s.connMu.Lock()
+		for conn := range s.open {
+			_ = conn.SetReadDeadline(time.Now())
+		}
+		s.connMu.Unlock()
 		s.conns.Wait()
 		for _, w := range s.shards {
 			close(w.reqs)
 		}
 		s.owners.Wait()
 		s.Advance()
+		s.logEvent(slog.LevelInfo, "shutdown_complete", "requests", s.reqID.Load())
 	})
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestSlowRingKeepsKSlowest(t *testing.T) {
+	r := newSlowRing(3, 1000)
+
+	// First k are always admitted.
+	for i, lat := range []int64{50, 10, 30} {
+		if !r.record(slowEntry{ID: uint64(i + 1), Op: "put", LatencyNs: lat}) {
+			t.Fatalf("entry %d not admitted into empty ring", i+1)
+		}
+	}
+	// Faster than the current minimum: rejected.
+	if r.record(slowEntry{ID: 4, Op: "get", LatencyNs: 5}) {
+		t.Fatal("faster-than-min request admitted to a full ring")
+	}
+	// Slower than the minimum: replaces it.
+	if !r.record(slowEntry{ID: 5, Op: "get", LatencyNs: 40}) {
+		t.Fatal("slower-than-min request rejected")
+	}
+
+	got := r.snapshot()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d entries, want 3", len(got))
+	}
+	wantLat := []int64{50, 40, 30} // slowest first
+	for i, e := range got {
+		if e.LatencyNs != wantLat[i] {
+			t.Fatalf("snapshot[%d] latency %d, want %d (full: %+v)", i, e.LatencyNs, wantLat[i], got)
+		}
+	}
+}
+
+func TestSlowRingWindowEviction(t *testing.T) {
+	r := newSlowRing(2, 100)
+	r.record(slowEntry{ID: 1, LatencyNs: 1_000_000}) // the startup outlier
+	r.record(slowEntry{ID: 2, LatencyNs: 500})
+
+	// A fast request far past the window evicts both stale entries and is
+	// admitted despite being the fastest ever seen.
+	if !r.record(slowEntry{ID: 200, LatencyNs: 1}) {
+		t.Fatal("request after window expiry not admitted")
+	}
+	got := r.snapshot()
+	if len(got) != 1 || got[0].ID != 200 {
+		t.Fatalf("window eviction kept stale entries: %+v", got)
+	}
+}
+
+func TestSlowRingServeHTTP(t *testing.T) {
+	r := newSlowRing(4, 1<<16)
+	r.record(slowEntry{ID: 7, Op: "put", Shard: 2, LatencyNs: 1234})
+	r.record(slowEntry{ID: 9, Op: "stats", Shard: -1, LatencyNs: 99})
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, nil)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	var body struct {
+		K       int         `json:"k"`
+		Window  uint64      `json:"window"`
+		Slowest []slowEntry `json:"slowest"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("/debug/slow not valid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if body.K != 4 || body.Window != 1<<16 || len(body.Slowest) != 2 {
+		t.Fatalf("body %+v", body)
+	}
+	if body.Slowest[0].ID != 7 || body.Slowest[0].Op != "put" || body.Slowest[0].Shard != 2 {
+		t.Fatalf("slowest entry %+v", body.Slowest[0])
+	}
+}
+
+func TestSlowRingDegenerateConfig(t *testing.T) {
+	r := newSlowRing(0, 0) // clamps to k=1 and the default window
+	if r.k != 1 || r.window == 0 {
+		t.Fatalf("clamping failed: k=%d window=%d", r.k, r.window)
+	}
+	r.record(slowEntry{ID: 1, LatencyNs: 10})
+	if !r.record(slowEntry{ID: 2, LatencyNs: 20}) {
+		t.Fatal("slower entry rejected at k=1")
+	}
+	if got := r.snapshot(); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("k=1 ring: %+v", got)
+	}
+}

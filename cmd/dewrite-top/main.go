@@ -1,0 +1,269 @@
+// dewrite-top is a terminal dashboard for a running dewrite-serve daemon (or
+// any process exposing an internal/monitor registry, e.g. dewrite-sim
+// -monitor): it polls /metrics, takes counter deltas between scrapes, and
+// renders request rates, latency quantiles interpolated from the native
+// histogram buckets, per-shard balance, and the dedup evidence.
+//
+// Usage:
+//
+//	dewrite-top [-addr localhost:9420] [-interval 2s] [-once]
+//
+// Against dewrite-serve the dashboard shows the full RED view; against a
+// batch CLI's monitor endpoint (no serve_ metrics) it falls back to the
+// engine progress block and a live gauge table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// frame is one scrape with its arrival time.
+type frame struct {
+	at time.Time
+	sc *scrape
+}
+
+func fetch(url string) (*frame, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	sc, err := parseMetrics(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &frame{at: time.Now(), sc: sc}, nil
+}
+
+// rate returns the per-second delta of a counter (or monotone gauge) between
+// two frames; with no previous frame it returns NaN.
+func rate(prev, cur *frame, name string, kv ...string) float64 {
+	if prev == nil {
+		return math.NaN()
+	}
+	dt := cur.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		return math.NaN()
+	}
+	d := cur.sc.value(name, kv...) - prev.sc.value(name, kv...)
+	return d / dt
+}
+
+func fmtNum(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v == math.Trunc(v):
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 2, 64)
+	}
+}
+
+// fmtNs renders a nanosecond quantity human-readably.
+func fmtNs(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", v)
+	}
+}
+
+// shardIDs enumerates the shard label values of a family, numerically sorted.
+func shardIDs(sc *scrape, name string) []string {
+	seen := map[string]bool{}
+	var ids []string
+	for _, i := range sc.byName[name] {
+		if id := sc.samples[i].label("shard"); id != "" && !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		x, _ := strconv.Atoi(ids[a])
+		y, _ := strconv.Atoi(ids[b])
+		return x < y
+	})
+	return ids
+}
+
+// render draws one dashboard frame. prev may be nil (first frame: rates show
+// as "-", quantiles come from the cumulative histograms).
+func render(w io.Writer, prev, cur *frame, source string) {
+	sc := cur.sc
+	serving := len(sc.byName["dewrite_serve_requests_total"]) > 0
+
+	fmt.Fprintf(w, "dewrite-top — %s — %s\n", source, cur.at.Format("15:04:05"))
+	if !serving {
+		renderGauges(w, prev, cur)
+		return
+	}
+
+	ready := "NOT READY"
+	if sc.value("dewrite_serve_ready") == 1 {
+		ready = "ready"
+	}
+	fmt.Fprintf(w, "state %s   conns open %s   advances %s (%s/s)\n",
+		ready,
+		fmtNum(sc.value("dewrite_serve_connections_open")),
+		fmtNum(sc.value("dewrite_serve_advances_total")),
+		fmtNum(rate(prev, cur, "dewrite_serve_advances_total")))
+
+	// RED block: per-op rate and latency quantiles from the interval
+	// histogram (cumulative on the first frame).
+	fmt.Fprintf(w, "\n%-6s %10s %10s %10s %10s %10s\n", "op", "req/s", "total", "p50", "p95", "p99")
+	for _, op := range []string{"put", "get", "stats"} {
+		h := sc.histogram("dewrite_serve_request_latency_ns", "op", op)
+		if prev != nil {
+			h = h.sub(prev.sc.histogram("dewrite_serve_request_latency_ns", "op", op))
+		}
+		fmt.Fprintf(w, "%-6s %10s %10s %10s %10s %10s\n", op,
+			fmtNum(rate(prev, cur, "dewrite_serve_requests_total", "op", op)),
+			fmtNum(sc.value("dewrite_serve_requests_total", "op", op)),
+			fmtNs(h.quantile(0.50)), fmtNs(h.quantile(0.95)), fmtNs(h.quantile(0.99)))
+	}
+	if errs := totalFamily(sc, "dewrite_serve_errors_total"); errs > 0 {
+		fmt.Fprintf(w, "errors %s total\n", fmtNum(errs))
+	}
+
+	// Shard balance: ops, queueing, capacity, barrier pressure, dedup.
+	fmt.Fprintf(w, "\n%-6s %10s %10s %7s %7s %12s %10s %10s\n",
+		"shard", "puts", "gets", "queue", "occ%", "stall ms/s", "publishes", "dup hits")
+	var puts, dups float64
+	for _, id := range shardIDs(sc, "dewrite_serve_puts") {
+		p := sc.value("dewrite_serve_puts", "shard", id)
+		d := sc.value("dewrite_serve_cross_shard_dup_hits", "shard", id)
+		puts += p
+		dups += d
+		stall := rate(prev, cur, "dewrite_serve_barrier_stall_ns_total", "shard", id) / 1e6
+		fmt.Fprintf(w, "%-6s %10s %10s %7s %6.1f%% %12s %10s %10s\n", id,
+			fmtNum(p),
+			fmtNum(sc.value("dewrite_serve_gets", "shard", id)),
+			fmtNum(sc.value("dewrite_serve_queue_depth", "shard", id)),
+			100*sc.value("dewrite_serve_occupancy", "shard", id),
+			fmtNum(stall),
+			fmtNum(sc.value("dewrite_serve_directory_publishes", "shard", id)),
+			fmtNum(d))
+	}
+	if puts > 0 {
+		fmt.Fprintf(w, "\ncross-shard dup-hit rate %.1f%%   directory: %s fingerprints, %s shared\n",
+			100*dups/puts,
+			fmtNum(sc.value("dewrite_serve_directory_fingerprints")),
+			fmtNum(sc.value("dewrite_serve_directory_shared")))
+	}
+}
+
+// totalFamily sums every series of one family (e.g. all error causes).
+func totalFamily(sc *scrape, name string) float64 {
+	var total float64
+	for _, i := range sc.byName[name] {
+		total += sc.samples[i].value
+	}
+	return total
+}
+
+// renderGauges is the fallback view for batch CLIs (dewrite-sim -monitor):
+// the engine progress block when present, then a live gauge table.
+func renderGauges(w io.Writer, prev, cur *frame) {
+	sc := cur.sc
+	if total := sc.value("dewrite_engine_jobs_total"); !math.IsNaN(total) {
+		fmt.Fprintf(w, "engine %s/%s jobs done, %s active, %s workers, %s jobs/s, eta %ss\n",
+			fmtNum(sc.value("dewrite_engine_jobs_done")), fmtNum(total),
+			fmtNum(sc.value("dewrite_engine_jobs_active")),
+			fmtNum(sc.value("dewrite_engine_workers")),
+			fmtNum(sc.value("dewrite_engine_jobs_per_sec")),
+			fmtNum(sc.value("dewrite_engine_eta_seconds")))
+	}
+	const maxRows = 40
+	var names []string
+	for name, typ := range sc.types {
+		if typ == "gauge" && !strings.HasPrefix(name, "dewrite_engine_") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\n%-56s %14s %14s\n", "gauge", "value", "Δ/s")
+	rows := 0
+	for _, name := range names {
+		for _, i := range sc.byName[name] {
+			if rows >= maxRows {
+				fmt.Fprintf(w, "… %d more\n", len(names)-rows)
+				return
+			}
+			s := sc.samples[i]
+			id := name
+			if len(s.labels) > 0 {
+				id += labelSuffix(s.labels)
+			}
+			var kv []string
+			for k, v := range s.labels {
+				kv = append(kv, k, v)
+			}
+			fmt.Fprintf(w, "%-56s %14s %14s\n", id, fmtNum(s.value), fmtNum(rate(prev, cur, name, kv...)))
+			rows++
+		}
+	}
+}
+
+func labelSuffix(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:9420", "monitor endpoint host:port (dewrite-serve -metrics or dewrite-sim -monitor)")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	once := flag.Bool("once", false, "render a single frame and exit (no screen clearing)")
+	flag.Parse()
+
+	url := fmt.Sprintf("http://%s/metrics", *addr)
+	var prev *frame
+	for {
+		cur, err := fetch(url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-top: %v\n", err)
+			os.Exit(1)
+		}
+		if !*once {
+			fmt.Print("\x1b[H\x1b[2J") // home + clear
+		}
+		render(os.Stdout, prev, cur, url)
+		if *once {
+			return
+		}
+		prev = cur
+		time.Sleep(*interval)
+	}
+}

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseMetricsBasics(t *testing.T) {
+	const text = `# TYPE dewrite_serve_ready gauge
+dewrite_serve_ready 1
+# TYPE dewrite_serve_requests_total counter
+dewrite_serve_requests_total{op="put"} 120
+dewrite_serve_requests_total{op="get"} 80
+# TYPE dewrite_run gauge
+dewrite_run{name="odd \"quoted\\\" name",x="a\nb"} 3.5
+`
+	sc, err := parseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.types["dewrite_serve_requests_total"] != "counter" {
+		t.Fatalf("types %v", sc.types)
+	}
+	if got := sc.value("dewrite_serve_ready"); got != 1 {
+		t.Fatalf("ready = %v", got)
+	}
+	if got := sc.value("dewrite_serve_requests_total", "op", "put"); got != 120 {
+		t.Fatalf("put total = %v", got)
+	}
+	if got := sc.value("dewrite_serve_requests_total", "op", "del"); !math.IsNaN(got) {
+		t.Fatalf("absent series = %v, want NaN", got)
+	}
+	// Escaped label values decode.
+	if got := sc.value("dewrite_run", "name", `odd "quoted\" name`, "x", "a\nb"); got != 3.5 {
+		t.Fatalf("escaped labels did not round-trip: %v", got)
+	}
+}
+
+func TestParseMetricsRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"dewrite_x",
+		"dewrite_x notanumber",
+		`dewrite_x{op="put" 3`,
+	} {
+		if _, err := parseMetrics(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("parsed %q without error", bad)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	const text = `# TYPE dewrite_lat histogram
+dewrite_lat_bucket{le="100"} 50
+dewrite_lat_bucket{le="200"} 90
+dewrite_lat_bucket{le="400"} 100
+dewrite_lat_bucket{le="+Inf"} 100
+dewrite_lat_sum 12345
+dewrite_lat_count 100
+`
+	sc, err := parseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sc.histogram("dewrite_lat")
+	if h.count() != 100 {
+		t.Fatalf("count %v", h.count())
+	}
+	// p50: target 50 lands exactly on the first bucket boundary → 100.
+	if got := h.quantile(0.50); got != 100 {
+		t.Fatalf("p50 = %v, want 100", got)
+	}
+	// p95: target 95 is halfway through (200,400] (prev 90, count 10) →
+	// 200 + (95-90)/10 * 200 = 300.
+	if got := h.quantile(0.95); math.Abs(got-300) > 1e-9 {
+		t.Fatalf("p95 = %v, want 300", got)
+	}
+	// p100 would land in +Inf: clamp to the highest finite bound.
+	inf := hist{les: []float64{100, math.Inf(1)}, cum: []float64{0, 10}}
+	if got := inf.quantile(0.99); got != 100 {
+		t.Fatalf("+Inf clamp = %v, want 100", got)
+	}
+	var empty hist
+	if got := empty.quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty quantile = %v, want NaN", got)
+	}
+}
+
+func TestHistogramIntervalSub(t *testing.T) {
+	prev := hist{les: []float64{10, math.Inf(1)}, cum: []float64{5, 8}}
+	cur := hist{les: []float64{10, math.Inf(1)}, cum: []float64{9, 20}}
+	d := cur.sub(prev)
+	if d.cum[0] != 4 || d.cum[1] != 12 {
+		t.Fatalf("interval %v", d.cum)
+	}
+	// Counter reset falls back to cumulative.
+	reset := hist{les: cur.les, cum: []float64{1, 2}}
+	if got := reset.sub(prev); got.cum[1] != 2 {
+		t.Fatalf("reset fallback %v", got.cum)
+	}
+}
+
+const serveScrape = `# TYPE dewrite_serve_ready gauge
+dewrite_serve_ready 1
+# TYPE dewrite_serve_connections_open gauge
+dewrite_serve_connections_open 3
+# TYPE dewrite_serve_puts gauge
+dewrite_serve_puts{shard="0"} 60
+dewrite_serve_puts{shard="1"} 40
+# TYPE dewrite_serve_gets gauge
+dewrite_serve_gets{shard="0"} 30
+dewrite_serve_gets{shard="1"} 20
+# TYPE dewrite_serve_queue_depth gauge
+dewrite_serve_queue_depth{shard="0"} 2
+dewrite_serve_queue_depth{shard="1"} 0
+# TYPE dewrite_serve_occupancy gauge
+dewrite_serve_occupancy{shard="0"} 0.25
+dewrite_serve_occupancy{shard="1"} 0.5
+# TYPE dewrite_serve_cross_shard_dup_hits gauge
+dewrite_serve_cross_shard_dup_hits{shard="0"} 15
+dewrite_serve_cross_shard_dup_hits{shard="1"} 10
+# TYPE dewrite_serve_directory_fingerprints gauge
+dewrite_serve_directory_fingerprints 42
+# TYPE dewrite_serve_directory_shared gauge
+dewrite_serve_directory_shared 7
+# TYPE dewrite_serve_advances_total counter
+dewrite_serve_advances_total 9
+# TYPE dewrite_serve_requests_total counter
+dewrite_serve_requests_total{op="put"} 100
+dewrite_serve_requests_total{op="get"} 50
+dewrite_serve_requests_total{op="stats"} 1
+# TYPE dewrite_serve_barrier_stall_ns_total counter
+dewrite_serve_barrier_stall_ns_total{shard="0"} 1000000
+dewrite_serve_barrier_stall_ns_total{shard="1"} 2000000
+# TYPE dewrite_serve_request_latency_ns histogram
+dewrite_serve_request_latency_ns_bucket{op="put",le="1000"} 10
+dewrite_serve_request_latency_ns_bucket{op="put",le="2000"} 90
+dewrite_serve_request_latency_ns_bucket{op="put",le="+Inf"} 100
+dewrite_serve_request_latency_ns_sum{op="put"} 150000
+dewrite_serve_request_latency_ns_count{op="put"} 100
+dewrite_serve_request_latency_ns_bucket{op="get",le="1000"} 50
+dewrite_serve_request_latency_ns_bucket{op="get",le="2000"} 50
+dewrite_serve_request_latency_ns_bucket{op="get",le="+Inf"} 50
+dewrite_serve_request_latency_ns_sum{op="get"} 25000
+dewrite_serve_request_latency_ns_count{op="get"} 50
+dewrite_serve_request_latency_ns_bucket{op="stats",le="1000"} 1
+dewrite_serve_request_latency_ns_bucket{op="stats",le="2000"} 1
+dewrite_serve_request_latency_ns_bucket{op="stats",le="+Inf"} 1
+dewrite_serve_request_latency_ns_sum{op="stats"} 400
+dewrite_serve_request_latency_ns_count{op="stats"} 1
+`
+
+func TestRenderServeDashboard(t *testing.T) {
+	sc, err := parseMetrics(strings.NewReader(serveScrape))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	var buf bytes.Buffer
+	render(&buf, nil, &frame{at: base, sc: sc}, "test")
+	out := buf.String()
+
+	for _, want := range []string{
+		"state ready",
+		"conns open 3",
+		"put", "get", "stats",
+		"shard",
+		"25.0%", // shard 0 occupancy
+		"cross-shard dup-hit rate 25.0%", // 25 dup hits / 100 puts
+		"42 fingerprints",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+	// First frame has no rates.
+	if !strings.Contains(out, "-") {
+		t.Errorf("first frame should render rates as '-':\n%s", out)
+	}
+
+	// Second frame 2 s later: put total grew 100 → 200, so 50 req/s.
+	grown := strings.Replace(serveScrape,
+		`dewrite_serve_requests_total{op="put"} 100`,
+		`dewrite_serve_requests_total{op="put"} 200`, 1)
+	sc2, err := parseMetrics(strings.NewReader(grown))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	render(&buf, &frame{at: base, sc: sc}, &frame{at: base.Add(2 * time.Second), sc: sc2}, "test")
+	if !strings.Contains(buf.String(), "50") {
+		t.Errorf("second frame missing the 50 req/s put rate:\n%s", buf.String())
+	}
+}
+
+func TestRenderGaugeFallback(t *testing.T) {
+	const text = `# TYPE dewrite_engine_jobs_total gauge
+dewrite_engine_jobs_total 12
+# TYPE dewrite_engine_jobs_done gauge
+dewrite_engine_jobs_done 4
+# TYPE dewrite_engine_jobs_active gauge
+dewrite_engine_jobs_active 2
+# TYPE dewrite_engine_workers gauge
+dewrite_engine_workers 8
+# TYPE dewrite_engine_jobs_per_sec gauge
+dewrite_engine_jobs_per_sec 0.5
+# TYPE dewrite_engine_eta_seconds gauge
+dewrite_engine_eta_seconds 16
+# TYPE dewrite_mcf_dewrite_dup_eliminated gauge
+dewrite_mcf_dewrite_dup_eliminated 512
+`
+	sc, err := parseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	render(&buf, nil, &frame{at: time.Now(), sc: sc}, "test")
+	out := buf.String()
+	for _, want := range []string{"engine 4/12 jobs done", "eta 16s", "dewrite_mcf_dewrite_dup_eliminated", "512"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fallback view missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFetchAgainstHTTP(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(serveScrape))
+	}))
+	defer ts.Close()
+	f, err := fetch(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.sc.value("dewrite_serve_ready") != 1 {
+		t.Fatal("fetched scrape did not parse")
+	}
+
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	if _, err := fetch(bad.URL); err == nil {
+		t.Fatal("fetch accepted a 500")
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := fmtNs(1500); got != "1.5µs" {
+		t.Fatalf("fmtNs(1500) = %q", got)
+	}
+	if got := fmtNs(2.5e9); got != "2.50s" {
+		t.Fatalf("fmtNs = %q", got)
+	}
+	if got := fmtNum(1234567); got != "1.2M" {
+		t.Fatalf("fmtNum = %q", got)
+	}
+	if got := fmtNum(math.NaN()); got != "-" {
+		t.Fatalf("fmtNum(NaN) = %q", got)
+	}
+}

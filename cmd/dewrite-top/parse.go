@@ -1,0 +1,267 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A minimal Prometheus text-exposition parser — just enough to read back what
+// internal/monitor writes (TYPE comments, optionally-labeled samples with
+// escaped label values) without any dependency. Unknown comment lines are
+// skipped, so the parser also tolerates scrapes with HELP lines from other
+// exporters.
+
+// sample is one parsed metric sample.
+type sample struct {
+	name   string
+	labels map[string]string // nil when unlabeled
+	value  float64
+}
+
+// label returns a label value ("" when absent).
+func (s sample) label(key string) string { return s.labels[key] }
+
+// scrape is one parsed /metrics payload.
+type scrape struct {
+	types   map[string]string // family → gauge | counter | histogram
+	samples []sample
+	byName  map[string][]int // sample name → indices, in exposition order
+}
+
+func parseMetrics(r io.Reader) (*scrape, error) {
+	sc := &scrape{types: make(map[string]string), byName: make(map[string][]int)}
+	br := bufio.NewScanner(r)
+	br.Buffer(make([]byte, 64*1024), 1<<20)
+	ln := 0
+	for br.Scan() {
+		ln++
+		line := strings.TrimSpace(br.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if f := strings.Fields(line); len(f) == 4 && f[1] == "TYPE" {
+				sc.types[f[2]] = f[3]
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln, err)
+		}
+		sc.byName[s.name] = append(sc.byName[s.name], len(sc.samples))
+		sc.samples = append(sc.samples, s)
+	}
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func parseSample(line string) (sample, error) {
+	s := sample{}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.name = rest[:i]
+		var err error
+		s.labels, rest, err = parseLabels(rest[i:])
+		if err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest)
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return s, fmt.Errorf("no value in %q", line)
+		}
+		s.name, rest = rest[:sp], rest[sp+1:]
+	}
+	// The value is the first field after the name/labels; a trailing
+	// timestamp (optional per the format) is ignored.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.value = v
+	return s, nil
+}
+
+// parseLabels consumes a {key="value",...} block (value escapes per the
+// exposition format) and returns the map plus the remainder of the line.
+func parseLabels(in string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		for i < len(in) && (in[i] == ',' || in[i] == ' ') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return labels, in[i+1:], nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("unterminated label block in %q", in)
+		}
+		key := in[i : i+eq]
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value in %q", in)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(in) {
+				return nil, "", fmt.Errorf("unterminated label value in %q", in)
+			}
+			c := in[i]
+			if c == '\\' && i+1 < len(in) {
+				switch in[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(c)
+					b.WriteByte(in[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		labels[key] = b.String()
+	}
+}
+
+// value returns the single sample for name matching every given key=value
+// constraint (NaN when absent) — gauges and counters.
+func (sc *scrape) value(name string, kv ...string) float64 {
+	for _, i := range sc.byName[name] {
+		if matches(sc.samples[i], kv) {
+			return sc.samples[i].value
+		}
+	}
+	return math.NaN()
+}
+
+func matches(s sample, kv []string) bool {
+	for j := 0; j+1 < len(kv); j += 2 {
+		if s.label(kv[j]) != kv[j+1] {
+			return false
+		}
+	}
+	return true
+}
+
+// hist is one histogram series read back from its _bucket samples: ascending
+// upper bounds with cumulative counts (the +Inf bucket last).
+type hist struct {
+	les []float64
+	cum []float64
+}
+
+// histogram collects the named family's series matching the constraints.
+func (sc *scrape) histogram(family string, kv ...string) hist {
+	var h hist
+	for _, i := range sc.byName[family+"_bucket"] {
+		s := sc.samples[i]
+		if !matches(s, kv) {
+			continue
+		}
+		le := s.label("le")
+		var lev float64
+		if le == "+Inf" {
+			lev = math.Inf(1)
+		} else {
+			v, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+			lev = v
+		}
+		h.les = append(h.les, lev)
+		h.cum = append(h.cum, s.value)
+	}
+	sort.Sort(&h)
+	return h
+}
+
+func (h *hist) Len() int           { return len(h.les) }
+func (h *hist) Less(i, j int) bool { return h.les[i] < h.les[j] }
+func (h *hist) Swap(i, j int) {
+	h.les[i], h.les[j] = h.les[j], h.les[i]
+	h.cum[i], h.cum[j] = h.cum[j], h.cum[i]
+}
+
+// count returns the series' total observation count (the +Inf bucket).
+func (h hist) count() float64 {
+	if len(h.cum) == 0 {
+		return 0
+	}
+	return h.cum[len(h.cum)-1]
+}
+
+// sub returns the interval histogram h − prev (bucket-wise), the live view
+// between two scrapes. Mismatched shapes fall back to the cumulative h.
+func (h hist) sub(prev hist) hist {
+	if len(prev.cum) != len(h.cum) {
+		return h
+	}
+	out := hist{les: h.les, cum: make([]float64, len(h.cum))}
+	for i := range h.cum {
+		d := h.cum[i] - prev.cum[i]
+		if d < 0 { // counter reset (daemon restarted): show cumulative
+			return h
+		}
+		out.cum[i] = d
+	}
+	return out
+}
+
+// quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the covering bucket, the standard histogram_quantile estimate. The
+// +Inf bucket clamps to the highest finite bound. NaN when empty.
+func (h hist) quantile(q float64) float64 {
+	total := h.count()
+	if total == 0 || len(h.les) == 0 {
+		return math.NaN()
+	}
+	target := q * total
+	for i, c := range h.cum {
+		if c < target {
+			continue
+		}
+		upper := h.les[i]
+		if math.IsInf(upper, 1) {
+			if i == 0 {
+				return math.NaN()
+			}
+			return h.les[i-1]
+		}
+		lower, prev := 0.0, 0.0
+		if i > 0 {
+			lower, prev = h.les[i-1], h.cum[i-1]
+		}
+		if c == prev {
+			return upper
+		}
+		return lower + (upper-lower)*(target-prev)/(c-prev)
+	}
+	return h.les[len(h.les)-1]
+}

@@ -37,6 +37,7 @@ func TestNilSafeFixtures(t *testing.T) {
 		"testdata/src/nilsafe/telemetry",
 		"testdata/src/nilsafe/timeline",
 		"testdata/src/nilsafe/attr",
+		"testdata/src/nilsafe/monitor",
 		"testdata/src/nilsafe/other",
 	)
 }

@@ -1,0 +1,92 @@
+// Package monitor is a nilsafe fixture modeled on the real metric registry:
+// counters and histograms are obtained from a possibly-nil registry, so every
+// exported pointer-receiver method must absorb the nil (disabled) receiver.
+package monitor
+
+type Counter struct {
+	n uint64
+}
+
+// Inc carries the canonical guard.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Value is guarded with an early return of the zero value.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+type Histogram struct {
+	counts []uint64
+	sum    uint64
+}
+
+// Observe uses a compound guard (nil receiver or unusable state).
+func (h *Histogram) Observe(v uint64) {
+	if h == nil || len(h.counts) == 0 {
+		return
+	}
+	h.counts[0]++
+	h.sum += v
+}
+
+// Enabled is a predicate over the receiver's nilness.
+func (h *Histogram) Enabled() bool {
+	return h != nil
+}
+
+// Add delegates to a guarded sibling as its whole body.
+func (h *Histogram) Add(v uint64) {
+	h.Observe(v)
+}
+
+type Registry struct {
+	counters map[string]*Counter
+}
+
+// Counter returns the nil (disabled) counter from the nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.counters[name]
+}
+
+// MustCounter neutralizes nil loudly: a deliberate contract panic, not a
+// stray dereference.
+func (r *Registry) MustCounter(name string) *Counter {
+	if r == nil {
+		panic("monitor: use of nil registry")
+	}
+	return r.counters[name]
+}
+
+// reset is unexported: reachable only through guarded exported methods.
+func (r *Registry) reset() {
+	r.counters = map[string]*Counter{}
+}
+
+func (c *Counter) Reset() { // want `exported method Reset must begin with a nil-receiver guard`
+	c.n = 0
+}
+
+func (h *Histogram) Sum() uint64 { // want `exported method Sum must begin with a nil-receiver guard`
+	return h.sum
+}
+
+func (r *Registry) Len() int { // want `exported method Len must begin with a nil-receiver guard`
+	n := len(r.counters)
+	return n
+}
+
+//dewrite:allow nilsafe fixture demonstrates suppression
+func (r *Registry) Clear() {
+	r.reset()
+}

@@ -27,16 +27,26 @@ import (
 	"dewrite/internal/timeline"
 )
 
-// Registry is a set of named gauges. The zero value is not usable; call
-// NewRegistry. Safe for concurrent use.
+// Registry is a set of named metrics: float gauges, monotonic counters and
+// cumulative histograms. The zero value is not usable; call NewRegistry.
+// Safe for concurrent use, and nil-safe: every method on the nil registry is
+// a no-op, so components can hold an optional registry unconditionally.
 type Registry struct {
-	mu     sync.RWMutex
-	gauges map[string]*uint64 // name → atomic float64 bits
+	mu         sync.RWMutex
+	gauges     map[string]*uint64 // name → atomic float64 bits
+	counters   map[string]*Counter
+	hists      map[string]*Histogram
+	histBounds map[string][]uint64 // family name → shared bucket bounds
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{gauges: make(map[string]*uint64)}
+	return &Registry{
+		gauges:     make(map[string]*uint64),
+		counters:   make(map[string]*Counter),
+		hists:      make(map[string]*Histogram),
+		histBounds: make(map[string][]uint64),
+	}
 }
 
 func (r *Registry) cell(name string) *uint64 {
@@ -57,11 +67,17 @@ func (r *Registry) cell(name string) *uint64 {
 
 // Set stores the gauge's current value.
 func (r *Registry) Set(name string, v float64) {
+	if r == nil {
+		return
+	}
 	atomic.StoreUint64(r.cell(name), floatBits(v))
 }
 
 // Add atomically adds delta to the gauge.
 func (r *Registry) Add(name string, delta float64) {
+	if r == nil {
+		return
+	}
 	c := r.cell(name)
 	for {
 		old := atomic.LoadUint64(c)
@@ -73,6 +89,9 @@ func (r *Registry) Add(name string, delta float64) {
 
 // Get returns the gauge's current value (0 for an unknown name).
 func (r *Registry) Get(name string) float64 {
+	if r == nil {
+		return 0
+	}
 	r.mu.RLock()
 	c := r.gauges[name]
 	r.mu.RUnlock()
@@ -82,13 +101,31 @@ func (r *Registry) Get(name string) float64 {
 	return bitsFloat(atomic.LoadUint64(c))
 }
 
-// Snapshot returns all gauges sorted by name.
+// Snapshot returns every metric's current value keyed by registry name:
+// gauges and counters directly, histograms as derived <name>_count and
+// <name>_sum entries (labeled series keep their label block on the suffixed
+// base name). It is the flat view the STATS wire op and /debug/vars serve.
 func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[string]float64, len(r.gauges))
+	out := make(map[string]float64, len(r.gauges)+len(r.counters)+2*len(r.hists))
 	for name, c := range r.gauges {
 		out[name] = bitsFloat(atomic.LoadUint64(c))
+	}
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, h := range r.hists {
+		base, labels := splitKey(name)
+		suffix := ""
+		if labels != "" {
+			suffix = "\x00" + labels
+		}
+		out[base+"_count"+suffix] = float64(h.Count())
+		out[base+"_sum"+suffix] = float64(h.Sum())
 	}
 	return out
 }
@@ -106,6 +143,9 @@ type Label struct {
 // per the text exposition format at key-construction time, so hostile values
 // (run names are user input) cannot corrupt the scrape output.
 func (r *Registry) SetLabeled(name string, labels []Label, v float64) {
+	if r == nil {
+		return
+	}
 	r.Set(labeledKey(name, labels), v)
 }
 
@@ -162,7 +202,7 @@ func escapeLabel(v string) string {
 // plus the sampling and ledger totals. The run label is the caller's run
 // identifier, typically "app/scheme".
 func (r *Registry) PublishAttribution(run string, rep *attr.Report) {
-	if rep == nil {
+	if r == nil || rep == nil {
 		return
 	}
 	runOnly := []Label{{"run", run}}
@@ -180,6 +220,9 @@ func (r *Registry) PublishAttribution(run string, rep *attr.Report) {
 // the glue between a per-run Collector's OnEpoch hook and the live endpoint.
 // Safe to call from any run goroutine; distinct runs use distinct prefixes.
 func (r *Registry) PublishEpoch(prefix string, e *timeline.Epoch) {
+	if r == nil {
+		return
+	}
 	r.Set(prefix+".epoch", float64(e.Index))
 	r.Set(prefix+".requests", float64(e.Requests))
 	r.Set(prefix+".writes", float64(e.Writes))
@@ -199,26 +242,52 @@ func (r *Registry) PublishEpoch(prefix string, e *timeline.Epoch) {
 }
 
 // Progress returns an engine observer that maintains the suite-level gauges
-// engine.jobs_total, engine.jobs_done, engine.jobs_active and engine.workers.
-// Install it with experiments.SetProgress.
+// engine.jobs_total, engine.jobs_done, engine.jobs_active and engine.workers,
+// plus the throughput estimates engine.jobs_per_sec and engine.eta_seconds
+// (wall-clock jobs per second since the first job started, and the
+// remaining-job estimate at that rate). Install it with
+// experiments.SetProgress.
 func (r *Registry) Progress() experiments.Progress {
+	if r == nil {
+		return nil
+	}
 	return &progressGauges{reg: r}
 }
 
 type progressGauges struct {
-	reg  *Registry
-	done atomic.Int64
+	reg   *Registry
+	done  atomic.Int64
+	start atomic.Int64 // wall nanos of the first JobStarted; 0 until then
 }
 
 func (p *progressGauges) JobStarted(_, total, workers int) {
+	if p == nil {
+		return
+	}
+	p.start.CompareAndSwap(0, time.Now().UnixNano())
 	p.reg.Set("engine.jobs_total", float64(total))
 	p.reg.Set("engine.workers", float64(workers))
 	p.reg.Add("engine.jobs_active", 1)
 }
 
 func (p *progressGauges) JobDone(_, total, workers int) {
+	if p == nil {
+		return
+	}
 	p.reg.Add("engine.jobs_active", -1)
-	p.reg.Set("engine.jobs_done", float64(p.done.Add(1)))
+	done := p.done.Add(1)
+	p.reg.Set("engine.jobs_done", float64(done))
+	// The ETA gauges are observational wall-clock estimates for a human (or
+	// dewrite-top) watching a long suite; they never feed back into the run.
+	if start := p.start.Load(); start != 0 {
+		if elapsed := float64(time.Now().UnixNano()-start) / 1e9; elapsed > 0 {
+			rate := float64(done) / elapsed
+			p.reg.Set("engine.jobs_per_sec", rate)
+			if rate > 0 && total >= int(done) {
+				p.reg.Set("engine.eta_seconds", float64(total-int(done))/rate)
+			}
+		}
+	}
 }
 
 // expvar integration: the package-level "dewrite" var reads whichever
@@ -248,9 +317,27 @@ type Server struct {
 	ln   net.Listener
 }
 
+// ServeOpts customizes the ops endpoint beyond the registry itself.
+type ServeOpts struct {
+	// Ready reports whether the service behind the registry is ready for
+	// traffic; /readyz answers 503 until it returns true. nil means always
+	// ready, which keeps /readyz useful for the batch CLIs (dewrite-sim
+	// -monitor) where liveness and readiness coincide.
+	Ready func() bool
+	// Slow, when non-nil, is mounted at /debug/slow — the serving daemon's
+	// slowest-recent-requests ring.
+	Slow http.Handler
+}
+
 // Serve starts the monitoring endpoint on addr (e.g. ":8080"; ":0" picks a
 // free port — see Addr). The server runs until Close.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeWith(addr, reg, ServeOpts{})
+}
+
+// ServeWith is Serve with service-specific options: a readiness probe and a
+// slow-request handler.
+func ServeWith(addr string, reg *Registry, opts ServeOpts) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("monitor: %w", err)
@@ -261,6 +348,18 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if opts.Ready != nil && !opts.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	if opts.Slow != nil {
+		mux.Handle("/debug/slow", opts.Slow)
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -272,36 +371,63 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 }
 
 // Addr returns the bound listen address (useful with ":0").
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
 
 // Close stops the endpoint.
-func (s *Server) Close() error { return s.http.Close() }
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.http.Close()
+}
 
-// writePrometheus renders every gauge in text exposition format, names
-// sanitized to the Prometheus charset and prefixed dewrite_. SetLabeled keys
-// carry a pre-escaped {label="value"} suffix that is emitted as-is; plain Set
-// names have every rune — braces included — sanitized away, so only
-// escaped label blocks ever reach the output.
+// writePrometheus renders every metric in text exposition format, names
+// sanitized to the Prometheus charset and prefixed dewrite_: gauges first,
+// then counters, then histograms, each family under one TYPE line. SetLabeled
+// keys carry a pre-escaped {label="value"} suffix that is emitted as-is;
+// plain Set names have every rune — braces included — sanitized away, so
+// only escaped label blocks ever reach the output.
 func writePrometheus(w io.Writer, reg *Registry) {
-	snap := reg.Snapshot()
-	names := make([]string, 0, len(snap))
-	for name := range snap {
+	if reg == nil {
+		return
+	}
+	reg.mu.RLock()
+	gauges := make(map[string]float64, len(reg.gauges))
+	for name, c := range reg.gauges {
+		gauges[name] = bitsFloat(atomic.LoadUint64(c))
+	}
+	counters := make(map[string]*Counter, len(reg.counters))
+	for name, c := range reg.counters {
+		counters[name] = c
+	}
+	hists := make(map[string]*Histogram, len(reg.hists))
+	for name, h := range reg.hists {
+		hists[name] = h
+	}
+	reg.mu.RUnlock()
+
+	names := make([]string, 0, len(gauges))
+	for name := range gauges {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	typed := make(map[string]bool, len(names))
 	for _, name := range names {
-		base, labels := name, ""
-		if i := strings.IndexByte(name, 0); i >= 0 {
-			base, labels = name[:i], name[i+1:]
-		}
+		base, labels := splitKey(name)
 		metric := "dewrite_" + sanitize(base)
 		if !typed[metric] {
 			typed[metric] = true
 			fmt.Fprintf(w, "# TYPE %s gauge\n", metric)
 		}
-		fmt.Fprintf(w, "%s%s %g\n", metric, labels, snap[name])
+		fmt.Fprintf(w, "%s%s %g\n", metric, labels, gauges[name])
 	}
+	writeCounters(w, counters)
+	writeHistograms(w, hists)
 }
 
 // sanitize maps a gauge name onto the Prometheus metric charset

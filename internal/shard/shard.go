@@ -28,6 +28,7 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Router stripes global line addresses across n shards.
@@ -97,6 +98,14 @@ type Directory struct {
 	shards   int
 	stripes  [numStripes]stripe
 	advances uint64
+
+	// pubs counts Publish calls per shard during the current epoch
+	// (atomics, so publishers never contend on a shared lock for the
+	// count); Advance folds it into lastPubs and resets. The counts are a
+	// deterministic function of the request stream — they exist for live
+	// imbalance monitoring and never enter run reports.
+	pubs     []uint64
+	lastPubs []uint64
 }
 
 // NewDirectory returns an empty directory over the given shard count.
@@ -104,7 +113,11 @@ func NewDirectory(shards int) *Directory {
 	if shards < 1 {
 		panic(fmt.Sprintf("shard: directory over %d shards", shards))
 	}
-	d := &Directory{shards: shards}
+	d := &Directory{
+		shards:   shards,
+		pubs:     make([]uint64, shards),
+		lastPubs: make([]uint64, shards),
+	}
 	for i := range d.stripes {
 		d.stripes[i].frozen = make(map[uint32][]uint32)
 		d.stripes[i].pending = make(map[uint32][]int32)
@@ -129,6 +142,7 @@ func (d *Directory) Publish(shard int, h uint32, delta int) {
 	if shard < 0 || shard >= d.shards {
 		panic(fmt.Sprintf("shard: publish from shard %d of %d", shard, d.shards))
 	}
+	atomic.AddUint64(&d.pubs[shard], 1)
 	st := d.stripeOf(h)
 	st.mu.Lock()
 	p := st.pending[h]
@@ -171,7 +185,20 @@ func (d *Directory) Advance() {
 		}
 		st.mu.Unlock()
 	}
+	for i := range d.pubs {
+		d.lastPubs[i] = atomic.SwapUint64(&d.pubs[i], 0)
+	}
 	d.advances++
+}
+
+// EpochPublishes returns each shard's Publish-call count during the epoch
+// closed by the most recent Advance — a cheap, deterministic imbalance
+// signal for live monitors (it never enters run reports). The returned
+// slice is a copy. Like the read methods it must not race an Advance.
+func (d *Directory) EpochPublishes() []uint64 {
+	out := make([]uint64, len(d.lastPubs))
+	copy(out, d.lastPubs)
+	return out
 }
 
 // GlobalRefs returns the number of live locations holding data with

@@ -215,3 +215,48 @@ func BenchmarkDirectoryPublish(b *testing.B) {
 		})
 	}
 }
+
+// TestDirectoryEpochPublishes: per-shard Publish counts fold at each
+// Advance — EpochPublishes reports the epoch just closed, resets for the
+// next one, and returns a copy.
+func TestDirectoryEpochPublishes(t *testing.T) {
+	d := NewDirectory(3)
+
+	if got := d.EpochPublishes(); len(got) != 3 {
+		t.Fatalf("EpochPublishes len %d, want 3", len(got))
+	} else {
+		for i, n := range got {
+			if n != 0 {
+				t.Fatalf("fresh directory reports %d publishes on shard %d", n, i)
+			}
+		}
+	}
+
+	d.Publish(0, 0x10, +1)
+	d.Publish(0, 0x20, +1)
+	d.Publish(2, 0x10, +1)
+	d.Advance()
+
+	got := d.EpochPublishes()
+	want := []uint64{2, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("epoch 1 publishes %v, want %v", got, want)
+		}
+	}
+	got[0] = 99 // must be a copy
+	if d.EpochPublishes()[0] != 2 {
+		t.Fatal("EpochPublishes returned its internal slice, not a copy")
+	}
+
+	// The next epoch starts from zero: one publish on shard 1 only.
+	d.Publish(1, 0x30, +1)
+	d.Advance()
+	got = d.EpochPublishes()
+	want = []uint64{0, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("epoch 2 publishes %v, want %v", got, want)
+		}
+	}
+}

@@ -63,6 +63,19 @@ type ShardedOptions struct {
 	// EpochRequests is the barrier period in global request indices; <= 0
 	// selects DefaultEpochRequests.
 	EpochRequests int
+
+	// OnBarrier, when non-nil, observes every epoch barrier with each
+	// shard's simulated stall time: the gap between that shard's last
+	// completion and the slowest shard's, i.e. how long the shard would
+	// have idled waiting at the barrier. At least one entry is always zero
+	// (the slowest shard never waits). Observational only — the hook runs
+	// on the coordinating goroutine after the directory advance, its
+	// values are pure functions of (config, seed), and it must not mutate
+	// run state; the slice is reused across calls, so copy it to retain.
+	// epoch is 1-based (the epoch just closed), so the final call's epoch
+	// equals the report's Sharding.Epochs. Reports are byte-identical with
+	// the hook set or nil.
+	OnBarrier func(epoch uint64, stalls []units.Duration)
 }
 
 // ShardStat is one shard's slice of a sharded run, reported so the balance
@@ -295,6 +308,7 @@ func RunSharded(s Scheme, prof workload.Profile, cfg config.Config, opts Sharded
 	}
 
 	var epochs uint64
+	var stallBuf []units.Duration // OnBarrier scratch, reused across barriers
 	for start := 0; start < len(prep.Requests); start += epochLen {
 		end := start + epochLen
 		if end > len(prep.Requests) {
@@ -326,6 +340,16 @@ func RunSharded(s Scheme, prof workload.Profile, cfg config.Config, opts Sharded
 			dir.Advance()
 		}
 		epochs++
+		if opts.OnBarrier != nil {
+			maxDone := maxLastDone(shards)
+			if stallBuf == nil {
+				stallBuf = make([]units.Duration, n)
+			}
+			for i, sh := range shards {
+				stallBuf[i] = maxDone.Sub(sh.lastDone)
+			}
+			opts.OnBarrier(epochs, stallBuf)
+		}
 		if tl.Enabled() {
 			tl.Tick(maxLastDone(shards), uint64(end), tlSrc)
 		}

@@ -74,6 +74,24 @@ func latBucketLow(i int) uint64 {
 	return (latSubBuckets | sub) << (major - 1)
 }
 
+// LatencyBucketCount returns the number of buckets in the Latency histogram
+// geometry. Exported so other layers (the live monitor's Prometheus
+// histograms) can derive log-spaced bucket boundaries from the same math the
+// percentile estimates use instead of inventing a second geometry.
+func LatencyBucketCount() int { return latNumBuckets }
+
+// LatencySubBuckets returns the number of sub-buckets per power of two —
+// the geometry's resolution (and therefore its relative error bound,
+// 1/LatencySubBuckets).
+func LatencySubBuckets() int { return latSubBuckets }
+
+// LatencyBucketOf returns the bucket index Observe would file v under.
+func LatencyBucketOf(v uint64) int { return latBucket(v) }
+
+// LatencyBucketLow returns the smallest value mapping to bucket i — the
+// bucket's inclusive lower bound, and bucket i-1's exclusive upper bound.
+func LatencyBucketLow(i int) uint64 { return latBucketLow(i) }
+
 // Latency accumulates a stream of durations and reports mean/min/max plus
 // bucketed percentiles (p50/p95/p99). The zero value is ready to use; the
 // embedded histogram is a fixed array, so Latency stays a plain value with a
