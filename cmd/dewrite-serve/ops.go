@@ -30,6 +30,19 @@ import (
 //	serve_directory_publishes         gauge      shard        fingerprint deltas each shard published last epoch
 //	serve_directory_*                 gauge      —            frozen-generation census (fingerprints, locations, …)
 //	serve_ready                       gauge      —            1 once generation zero has published
+//	serve_draining                    gauge      —            1 while graceful shutdown drains in-flight work
+//	serve_shed_total                  counter    shard, cause requests refused admission (watermark, drain,
+//	                                                          queue_full) or expired in queue (deadline)
+//	serve_drain_mode                  gauge      shard        1 while the shard is between watermarks shedding
+//	serve_snapshots_total             counter    —            snapshot generations committed
+//	serve_snapshot_aborts_total       counter    —            snapshots abandoned mid-write (chaos or error)
+//	serve_snapshot_last_generation    gauge      —            generation number of the last committed snapshot
+//	serve_recovery_generation         gauge      —            snapshot generation restored at boot (0 = cold)
+//	serve_recovery_keys               gauge      —            keys recovered across all shards at boot
+//	serve_recovery_dropped_keys       gauge      —            keys dropped by the post-restore scrub (poisoned)
+//	serve_chaos_conn_resets_total     counter    —            connections torn down by the fault plan
+//	serve_chaos_slow_reads_total      counter    —            reads paced by injected slow-loris delay
+//	serve_chaos_stalls_total          counter    —            shard-owner stalls injected by the fault plan
 //	serve_shard_<n>.*                 gauge      —            controller epoch sample (dup_eliminated, wear, …)
 //
 // Counters are monotonic (rates come from scrape deltas), gauges are
@@ -38,6 +51,10 @@ import (
 // stats.Latency geometry — see DESIGN.md §13. Serve metrics are runtime-only:
 // none of them appear in run reports, so the frozen report schemas are
 // untouched.
+//
+// Books balance: every response flushed to a client is counted in exactly
+// one of serve_requests_total (OK / NotFound / Error) or serve_shed_total
+// (BUSY / DEADLINE). The chaos soak pins this equality.
 
 // latencyBounds spans 1 µs to ~17 s with two buckets per power of two —
 // wide enough for a loaded barrier stall, fine enough for meaningful
@@ -49,6 +66,19 @@ func latencyBounds() []uint64 {
 	)
 	return monitor.LatencyBounds(microsecond, ceiling, 2)
 }
+
+// Shed causes, indexed into serveMetrics.sheds. Admission-time causes come
+// first; shedDeadline is charged by the shard owner when an admitted
+// request's budget expires in the queue.
+const (
+	shedWatermark = iota // drain mode entered at this admission
+	shedDrain            // drain mode already active
+	shedQueueFull        // mailbox full with drain mode off (burst overflow)
+	shedDeadline         // admitted, but expired before execution
+	shedCauses
+)
+
+var shedCauseNames = [shedCauses]string{"watermark", "drain", "queue_full", "deadline"}
 
 // serveMetrics holds the hot-path instruments, resolved once at construction
 // so request handling never renders label sets.
@@ -62,8 +92,18 @@ type serveMetrics struct {
 	advances   *monitor.Counter
 	advanceNs  *monitor.Counter
 
-	// Precomputed labeled gauge keys (registry names) for per-request updates.
-	queueDepthKey []string // per shard
+	// Admission control and backpressure, per shard.
+	sheds      [][shedCauses]*monitor.Counter // serve_shed_total{shard,cause}
+	queueDepth []*monitor.Gauge               // serve_queue_depth{shard}
+	drainMode  []*monitor.Gauge               // serve_drain_mode{shard}
+
+	// Crash-safe state and fault injection.
+	snapshots      *monitor.Counter
+	snapshotAborts *monitor.Counter
+	snapLastGen    *monitor.Gauge
+	chaosResets    *monitor.Counter
+	chaosSlowReads *monitor.Counter
+	chaosStalls    *monitor.Counter
 }
 
 func opName(op byte) string {
@@ -81,10 +121,16 @@ func opName(op byte) string {
 
 func newServeMetrics(reg *monitor.Registry, shards int) *serveMetrics {
 	m := &serveMetrics{
-		slowTotal:  reg.Counter("serve_slow_requests_total"),
-		connsTotal: reg.Counter("serve_connections_total"),
-		advances:   reg.Counter("serve_advances_total"),
-		advanceNs:  reg.Counter("serve_advance_ns_total"),
+		slowTotal:      reg.Counter("serve_slow_requests_total"),
+		connsTotal:     reg.Counter("serve_connections_total"),
+		advances:       reg.Counter("serve_advances_total"),
+		advanceNs:      reg.Counter("serve_advance_ns_total"),
+		snapshots:      reg.Counter("serve_snapshots_total"),
+		snapshotAborts: reg.Counter("serve_snapshot_aborts_total"),
+		snapLastGen:    reg.Gauge("serve_snapshot_last_generation"),
+		chaosResets:    reg.Counter("serve_chaos_conn_resets_total"),
+		chaosSlowReads: reg.Counter("serve_chaos_slow_reads_total"),
+		chaosStalls:    reg.Counter("serve_chaos_stalls_total"),
 	}
 	bounds := latencyBounds()
 	for _, op := range []byte{OpPut, OpGet, OpStats} {
@@ -95,9 +141,28 @@ func newServeMetrics(reg *monitor.Registry, shards int) *serveMetrics {
 	for i := 0; i < shards; i++ {
 		label := monitor.Label{Key: "shard", Value: strconv.Itoa(i)}
 		m.stalls = append(m.stalls, reg.Counter("serve_barrier_stall_ns_total", label))
-		m.queueDepthKey = append(m.queueDepthKey, monitor.LabeledName("serve_queue_depth", label))
+		m.queueDepth = append(m.queueDepth, reg.Gauge("serve_queue_depth", label))
+		m.drainMode = append(m.drainMode, reg.Gauge("serve_drain_mode", label))
+		var causes [shedCauses]*monitor.Counter
+		for c, name := range shedCauseNames {
+			causes[c] = reg.Counter("serve_shed_total", label,
+				monitor.Label{Key: "cause", Value: name})
+		}
+		m.sheds = append(m.sheds, causes)
 	}
 	return m
+}
+
+// shedTotal sums every shed counter — the other half of the books-balance
+// equation (used by tests and the chaos soak).
+func (m *serveMetrics) shedTotal() uint64 {
+	var total uint64
+	for _, causes := range m.sheds {
+		for _, c := range causes {
+			total += c.Value()
+		}
+	}
+	return total
 }
 
 // errorCause increments serve_errors_total for one (op, cause) pair. Error

@@ -14,12 +14,25 @@ import (
 // request/response pair at a time per connection (clients may pipeline by
 // opening several connections).
 //
-//	request:  op(1) keyLen(2 BE) valLen(4 BE) key val
+//	request:  op(1) keyLen(2 BE) valLen(4 BE) deadlineMs(2 BE) key val
 //	response: status(1) valLen(4 BE) val
+//
+// deadlineMs is the client's per-request deadline budget in milliseconds
+// (0 = none): the shard owner answers StatusDeadline without touching the
+// controller once the budget has expired, so a slow epoch barrier turns into
+// a fast retryable verdict instead of a stranded connection.
 //
 // Values are at most ValueCap bytes — one NVM line minus the stored length
 // prefix — and keys at most MaxKeyLen. OpStats takes no key and returns the
 // metric registry snapshot as JSON.
+//
+// StatusBusy and StatusDeadline are the retryable verdicts: BUSY means the
+// request was shed by admission control (queue full or watermark drain mode)
+// before reaching a controller, DEADLINE means it was admitted but its budget
+// expired in the queue. Neither counts toward serve_requests_total — they
+// land in serve_shed_total — so client-received responses always equal
+// serve_requests_total + serve_shed_total (the books-balance invariant the
+// chaos soak pins).
 const (
 	OpPut   byte = 1
 	OpGet   byte = 2
@@ -28,6 +41,12 @@ const (
 	StatusOK       byte = 0
 	StatusNotFound byte = 1
 	StatusError    byte = 2
+	// StatusBusy is the typed load-shed verdict: the server refused to admit
+	// the request. Retryable after backoff.
+	StatusBusy byte = 3
+	// StatusDeadline reports the request's deadline expired before the shard
+	// owner could execute it. Retryable if the client's budget allows.
+	StatusDeadline byte = 4
 
 	// MaxKeyLen bounds request keys.
 	MaxKeyLen = 1024
@@ -38,18 +57,20 @@ const (
 	maxStatsLen = 1 << 20
 )
 
-// writeRequest frames one request onto w.
-func writeRequest(w io.Writer, op byte, key string, val []byte) error {
+// writeRequest frames one request onto w. deadlineMs is the per-request
+// budget in milliseconds (0 = none).
+func writeRequest(w io.Writer, op byte, key string, val []byte, deadlineMs uint16) error {
 	if len(key) > MaxKeyLen {
 		return fmt.Errorf("key length %d exceeds %d", len(key), MaxKeyLen)
 	}
 	if len(val) > ValueCap {
 		return fmt.Errorf("value length %d exceeds %d", len(val), ValueCap)
 	}
-	hdr := make([]byte, 7, 7+len(key)+len(val))
+	hdr := make([]byte, 9, 9+len(key)+len(val))
 	hdr[0] = op
 	binary.BigEndian.PutUint16(hdr[1:3], uint16(len(key)))
 	binary.BigEndian.PutUint32(hdr[3:7], uint32(len(val)))
+	binary.BigEndian.PutUint16(hdr[7:9], deadlineMs)
 	hdr = append(hdr, key...)
 	hdr = append(hdr, val...)
 	_, err := w.Write(hdr)
@@ -57,25 +78,26 @@ func writeRequest(w io.Writer, op byte, key string, val []byte) error {
 }
 
 // readRequest parses one request frame from r.
-func readRequest(r io.Reader) (op byte, key string, val []byte, err error) {
-	var hdr [7]byte
+func readRequest(r io.Reader) (op byte, key string, val []byte, deadlineMs uint16, err error) {
+	var hdr [9]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, "", nil, err
+		return 0, "", nil, 0, err
 	}
 	op = hdr[0]
 	keyLen := int(binary.BigEndian.Uint16(hdr[1:3]))
 	valLen := int(binary.BigEndian.Uint32(hdr[3:7]))
+	deadlineMs = binary.BigEndian.Uint16(hdr[7:9])
 	if keyLen > MaxKeyLen {
-		return 0, "", nil, fmt.Errorf("key length %d exceeds %d", keyLen, MaxKeyLen)
+		return 0, "", nil, 0, fmt.Errorf("key length %d exceeds %d", keyLen, MaxKeyLen)
 	}
 	if valLen > ValueCap {
-		return 0, "", nil, fmt.Errorf("value length %d exceeds %d", valLen, ValueCap)
+		return 0, "", nil, 0, fmt.Errorf("value length %d exceeds %d", valLen, ValueCap)
 	}
 	buf := make([]byte, keyLen+valLen)
 	if _, err = io.ReadFull(r, buf); err != nil {
-		return 0, "", nil, err
+		return 0, "", nil, 0, err
 	}
-	return op, string(buf[:keyLen]), buf[keyLen:], nil
+	return op, string(buf[:keyLen]), buf[keyLen:], deadlineMs, nil
 }
 
 // writeResponse frames one response onto w.
@@ -128,13 +150,31 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) roundTrip(op byte, key string, val []byte) (byte, []byte, error) {
-	if err := writeRequest(c.rw, op, key, val); err != nil {
+	if err := writeRequest(c.rw, op, key, val, 0); err != nil {
 		return 0, nil, err
 	}
 	if err := c.rw.Flush(); err != nil {
 		return 0, nil, err
 	}
 	return readResponse(c.rw)
+}
+
+// statusName renders a response status for errors and logs.
+func statusName(status byte) string {
+	switch status {
+	case StatusOK:
+		return "ok"
+	case StatusNotFound:
+		return "not_found"
+	case StatusError:
+		return "error"
+	case StatusBusy:
+		return "busy"
+	case StatusDeadline:
+		return "deadline"
+	default:
+		return fmt.Sprintf("status_%d", status)
+	}
 }
 
 // Put stores val under key.

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dewrite/internal/chaos"
 	"dewrite/internal/config"
 	"dewrite/internal/core"
 	"dewrite/internal/hashes"
@@ -45,14 +46,16 @@ import (
 // structured JSON logs whose request IDs match the ring's entries. See
 // ops.go for the full metric table.
 type Server struct {
-	cfg    Config
-	router shard.Router
-	dir    *shard.Directory
-	shards []*shardWorker
-	reg    *monitor.Registry
-	m      *serveMetrics
-	slow   *slowRing
-	log    *slog.Logger // nil disables logging entirely
+	cfg      Config
+	shardCfg config.Config // per-shard controller config (bank slice applied)
+	router   shard.Router
+	dir      *shard.Directory
+	shards   []*shardWorker
+	reg      *monitor.Registry
+	m        *serveMetrics
+	slow     *slowRing
+	log      *slog.Logger // nil disables logging entirely
+	plan     *chaos.Plan  // nil disables fault injection entirely
 
 	// epochMu is the epoch barrier: owners serve requests under RLock;
 	// the directory advance runs under Lock.
@@ -61,14 +64,29 @@ type Server struct {
 	// width so the cross-shard census uses the controller's own equivalence
 	// classes.
 	fingerMask uint32
+	// highWater/lowWater are the admission watermarks in queued requests:
+	// a shard whose mailbox reaches highWater enters drain mode and sheds
+	// until it falls back to lowWater.
+	highWater, lowWater int
 
 	// ready flips once generation zero has published (the first Advance);
-	// /readyz answers 503 until then.
+	// /readyz answers 503 until then, and again once draining starts.
 	ready atomic.Bool
+	// draining flips at the start of graceful shutdown: /readyz returns to
+	// 503 so load balancers stop routing here while in-flight requests are
+	// still being answered.
+	draining atomic.Bool
 	// reqID assigns frame IDs: every request read off any connection gets
 	// the next ID, correlating /debug/slow entries with log lines.
 	reqID  atomic.Uint64
 	connID atomic.Uint64
+
+	// Snapshot state, touched only under the epoch write-lock.
+	nextSnapGen uint64 // generation number the next snapshot will carry
+	sinceSnap   uint64 // advances since the last snapshot attempt
+
+	recoverOnce sync.Once
+	recoverErr  error
 
 	ln      net.Listener
 	quit    chan struct{}
@@ -99,6 +117,35 @@ type Config struct {
 	SlowK int
 	// SlowWindow is the ring's recency window in frames; 0 defaults to 65536.
 	SlowWindow uint64
+
+	// QueueDepth bounds each shard owner's mailbox; <= 0 defaults to 64.
+	// A full mailbox sheds with StatusBusy instead of blocking the
+	// connection goroutine.
+	QueueDepth int
+	// ShedHighWater and ShedLowWater are fractions of QueueDepth: a shard
+	// whose mailbox reaches the high watermark enters drain mode (new
+	// requests shed with BUSY) until it falls to the low watermark.
+	// Zero values default to 0.9 and 0.5.
+	ShedHighWater, ShedLowWater float64
+	// DefaultDeadline is applied to requests whose frame carries no
+	// deadline; 0 means such requests never expire server-side.
+	DefaultDeadline time.Duration
+
+	// SnapshotDir, when non-empty, enables crash-safe state: periodic
+	// directory-generation snapshots of every shard's controller (plus the
+	// server-level key directory), and recovery from the latest valid
+	// generation on boot.
+	SnapshotDir string
+	// SnapshotEvery is the number of epoch advances between snapshots;
+	// 0 defaults to 8.
+	SnapshotEvery uint64
+	// SnapshotKeep is how many generations Prune retains; 0 defaults to 3.
+	SnapshotKeep int
+
+	// Chaos, when non-nil, arms the seeded deterministic fault plan:
+	// connection resets, slow-loris pacing, shard stalls, and mid-snapshot
+	// aborts. nil disables injection entirely.
+	Chaos *chaos.Plan
 }
 
 // shardReq is one routed request handed to a shard owner.
@@ -107,6 +154,9 @@ type shardReq struct {
 	key   string
 	val   []byte
 	reply chan shardResp
+	// deadline is the absolute expiry instant (zero = none): the owner
+	// answers StatusDeadline without touching the controller once passed.
+	deadline time.Time
 }
 
 type shardResp struct {
@@ -131,7 +181,14 @@ type shardWorker struct {
 	puts, gets, misses, full uint64
 	crossDup                 uint64
 	served                   uint64 // since last advance
+	total                    uint64 // lifetime requests dequeued (chaos stall ordinal)
 	readBuf                  [config.LineSize]byte
+
+	// drainMode is the shard's watermark state: set when the mailbox
+	// reaches the high watermark, cleared at the low watermark. Written by
+	// connection goroutines at admission; the flag is advisory (len(chan)
+	// is racy), so transitions are heuristics, not invariants.
+	drainMode atomic.Bool
 }
 
 // NewServer builds the sharded service and starts its owner goroutines; call
@@ -150,23 +207,45 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.SlowK <= 0 {
 		cfg.SlowK = 32
 	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.ShedHighWater <= 0 || cfg.ShedHighWater > 1 {
+		cfg.ShedHighWater = 0.9
+	}
+	if cfg.ShedLowWater <= 0 || cfg.ShedLowWater >= cfg.ShedHighWater {
+		cfg.ShedLowWater = cfg.ShedHighWater / 2
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 8
+	}
+	if cfg.SnapshotKeep <= 0 {
+		cfg.SnapshotKeep = 3
+	}
 	nvmCfg := cfg.NVM
 	if nvmCfg.NVM.Banks() == 0 {
 		nvmCfg = config.Default()
 	}
 
 	s := &Server{
-		cfg:    cfg,
-		router: shard.NewRouter(cfg.Shards),
-		dir:    shard.NewDirectory(cfg.Shards),
-		reg:    monitor.NewRegistry(),
-		slow:   newSlowRing(cfg.SlowK, cfg.SlowWindow),
-		log:    cfg.Logger,
-		quit:   make(chan struct{}),
-		open:   make(map[net.Conn]struct{}),
+		cfg:         cfg,
+		router:      shard.NewRouter(cfg.Shards),
+		dir:         shard.NewDirectory(cfg.Shards),
+		reg:         monitor.NewRegistry(),
+		slow:        newSlowRing(cfg.SlowK, cfg.SlowWindow),
+		log:         cfg.Logger,
+		plan:        cfg.Chaos,
+		quit:        make(chan struct{}),
+		open:        make(map[net.Conn]struct{}),
+		nextSnapGen: 1,
 	}
 	s.m = newServeMetrics(s.reg, cfg.Shards)
 	s.reg.Set("serve_ready", 0)
+	s.highWater = int(cfg.ShedHighWater * float64(cfg.QueueDepth))
+	if s.highWater < 1 {
+		s.highWater = 1
+	}
+	s.lowWater = int(cfg.ShedLowWater * float64(cfg.QueueDepth))
 	s.fingerMask = ^uint32(0)
 	if bits := nvmCfg.Dedup.HashSizeBits; bits > 0 && bits < 32 {
 		s.fingerMask = uint32(1)<<bits - 1
@@ -179,11 +258,12 @@ func NewServer(cfg Config) (*Server, error) {
 	if shardCfg.NVM.BanksPerRank < 1 {
 		shardCfg.NVM.BanksPerRank = 1
 	}
+	s.shardCfg = shardCfg
 
 	for i := 0; i < cfg.Shards; i++ {
 		w := &shardWorker{
 			id:    i,
-			reqs:  make(chan shardReq, 64),
+			reqs:  make(chan shardReq, cfg.QueueDepth),
 			slots: make(map[string]uint64),
 			cap:   s.router.LinesFor(i, cfg.Lines),
 		}
@@ -197,8 +277,11 @@ func NewServer(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Ready reports whether generation zero has published — the /readyz probe.
-func (s *Server) Ready() bool { return s != nil && s.ready.Load() }
+// Ready is the /readyz probe: true once generation zero has published
+// (which happens only after recovery completes — Serve runs Recover first),
+// and false again the moment graceful shutdown starts draining, so load
+// balancers stop routing here while in-flight requests are still answered.
+func (s *Server) Ready() bool { return s != nil && s.ready.Load() && !s.draining.Load() }
 
 // logEvent emits one structured log record; a nil logger costs one branch.
 func (s *Server) logEvent(level slog.Level, msg string, args ...any) {
@@ -228,13 +311,56 @@ func (s *Server) runOwner(w *shardWorker) {
 		if wait := time.Since(t0); wait > 0 {
 			stall.Add(uint64(wait.Nanoseconds()))
 		}
-		resp := w.handle(s, req)
+		w.total++
+		if ns := s.plan.ShardStallNs(w.id, w.total); ns > 0 {
+			// Injected inside the read-lock so a stall exercises exactly the
+			// path a slow controller would: barrier pressure on every other
+			// shard and queue growth on this one.
+			s.m.chaosStalls.Inc()
+			time.Sleep(time.Duration(ns))
+		}
+		var resp shardResp
+		if !req.deadline.IsZero() && time.Now().After(req.deadline) {
+			// Expired in the queue: answer the typed retryable verdict
+			// without touching the controller, so a backlogged shard fails
+			// fast instead of doing work nobody is waiting for.
+			resp = shardResp{status: StatusDeadline}
+		} else {
+			resp = w.handle(s, req)
+		}
 		advance := w.served >= s.cfg.AdvanceEvery
 		s.epochMu.RUnlock()
 		req.reply <- resp
 		if advance {
 			s.Advance()
 		}
+	}
+}
+
+// admit applies admission control for one routed request: watermark-based
+// drain mode plus a hard bound at the mailbox capacity. It returns a shed
+// cause (< 0 when admitted). Runs on the connection goroutine; depth reads
+// are racy by nature, so the watermark transitions are heuristics — the
+// channel capacity is the invariant.
+func (s *Server) admit(w *shardWorker, req shardReq) int {
+	depth := len(w.reqs)
+	if w.drainMode.Load() {
+		if depth > s.lowWater {
+			return shedDrain
+		}
+		w.drainMode.Store(false)
+		s.m.drainMode[w.id].Set(0)
+	} else if depth >= s.highWater {
+		w.drainMode.Store(true)
+		s.m.drainMode[w.id].Set(1)
+		return shedWatermark
+	}
+	select {
+	case w.reqs <- req:
+		s.m.queueDepth[w.id].Set(float64(len(w.reqs)))
+		return -1
+	default:
+		return shedQueueFull
 	}
 }
 
@@ -303,6 +429,15 @@ func (s *Server) Advance() {
 	s.reg.Set("serve_directory_locations", float64(st.Locations))
 	s.reg.Set("serve_directory_shared", float64(st.Shared))
 	s.reg.Set("serve_directory_advances", float64(st.Advances))
+	if s.cfg.SnapshotDir != "" {
+		s.sinceSnap++
+		if s.sinceSnap >= s.cfg.SnapshotEvery {
+			s.sinceSnap = 0
+			// Owners are parked at the barrier, so every shard's state is
+			// stable — the same invariant publishShard relies on.
+			s.snapshotLocked(s.plan)
+		}
+	}
 	s.epochMu.Unlock()
 
 	held := time.Since(t0)
@@ -336,10 +471,18 @@ func (s *Server) publishShard(w *shardWorker) {
 // Registry exposes the metric registry (for the ops HTTP server and tests).
 func (s *Server) Registry() *monitor.Registry { return s.reg }
 
-// Serve publishes generation zero (flipping /readyz to ready) and accepts
-// client connections on addr until Close. It returns once the listener is
-// bound; accepting runs in the background.
+// Serve recovers persisted state (when snapshots are configured), publishes
+// generation zero (flipping /readyz to ready), and accepts client
+// connections on addr until Close. It returns once the listener is bound;
+// accepting runs in the background.
+//
+// Ordering matters for the readiness contract: recovery and its scrub run
+// to completion before the first Advance, so /readyz keeps answering 503
+// until the restored state has been verified.
 func (s *Server) Serve(addr string) error {
+	if err := s.Recover(); err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -435,11 +578,25 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.logEvent(slog.LevelInfo, "conn_close", "conn", cid, "served", served)
 	}()
 
+	// Chaos: a doomed connection is torn down after a planned number of
+	// fully-flushed frames. The reset always lands between frames — every
+	// counted response has reached the kernel send buffer and the graceful
+	// close delivers it (FIN, not RST) — so injected resets never break the
+	// books-balance invariant, they only exercise client reconnect paths.
+	resetAfter, doomed := s.plan.ConnReset(cid)
+	slowNs := s.plan.ReadDelayNs(cid)
+
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	reply := make(chan shardResp, 1)
 	for {
-		op, key, val, err := readRequest(br)
+		if ns := slowNs; ns > 0 {
+			// Slow-loris pacing: the injected delay sits where a slow client
+			// network would, between a flushed response and the next frame.
+			s.m.chaosSlowReads.Inc()
+			time.Sleep(time.Duration(ns))
+		}
+		op, key, val, deadlineMs, err := readRequest(br)
 		if err != nil {
 			if !closedForShutdown(err) {
 				s.errorCause(op, "bad_frame")
@@ -451,8 +608,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		rid := s.reqID.Add(1)
 		start := time.Now()
+		var deadline time.Time
+		if deadlineMs > 0 {
+			deadline = start.Add(time.Duration(deadlineMs) * time.Millisecond)
+		} else if s.cfg.DefaultDeadline > 0 {
+			deadline = start.Add(s.cfg.DefaultDeadline)
+		}
 		shardID := -1
 		var resp shardResp
+		shed := -1
 		switch op {
 		case OpStats:
 			snap, err := json.Marshal(s.reg.Snapshot())
@@ -464,9 +628,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		case OpPut, OpGet:
 			shardID = s.shardOf(key)
 			w := s.shards[shardID]
-			w.reqs <- shardReq{op: op, key: key, val: val, reply: reply}
-			s.reg.Set(s.m.queueDepthKey[shardID], float64(len(w.reqs)))
-			resp = <-reply
+			if shed = s.admit(w, shardReq{op: op, key: key, val: val, reply: reply, deadline: deadline}); shed >= 0 {
+				resp = shardResp{status: StatusBusy}
+			} else {
+				resp = <-reply
+			}
 		default:
 			resp = shardResp{status: StatusError, val: []byte("unknown op"), cause: "unknown_op"}
 		}
@@ -478,8 +644,20 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		served++
 		lat := time.Since(start)
-		s.observe(rid, op, shardID, lat, resp)
+		if resp.status == StatusDeadline {
+			shed = shedDeadline
+		}
+		if shed >= 0 && shardID >= 0 {
+			s.m.sheds[shardID][shed].Inc()
+		} else {
+			s.observe(rid, op, shardID, lat, resp)
+		}
 
+		if doomed && served >= resetAfter {
+			s.m.chaosResets.Inc()
+			s.logEvent(slog.LevelDebug, "chaos_conn_reset", "conn", cid, "served", served)
+			return
+		}
 		// Between frames is the only place quit is honored: the response
 		// above is flushed, so closing here drops nothing.
 		select {
@@ -518,6 +696,10 @@ func (s *Server) observe(rid uint64, op byte, shardID int, lat time.Duration, re
 // nothing and change nothing.
 func (s *Server) Close() {
 	s.closing.Do(func() {
+		// Flip the readiness probe to 503 before anything is torn down, so
+		// load balancers stop routing here while the drain is in progress.
+		s.draining.Store(true)
+		s.reg.Set("serve_draining", 1)
 		s.logEvent(slog.LevelInfo, "shutdown_begin", "conns_open", func() int {
 			s.connMu.Lock()
 			defer s.connMu.Unlock()
@@ -542,6 +724,38 @@ func (s *Server) Close() {
 		}
 		s.owners.Wait()
 		s.Advance()
+		if s.cfg.SnapshotDir != "" {
+			// The clean-shutdown snapshot is never chaos-aborted: it is the
+			// reference state the chaos soak compares a crash recovery
+			// against.
+			s.epochMu.Lock()
+			s.snapshotLocked(nil)
+			s.epochMu.Unlock()
+		}
 		s.logEvent(slog.LevelInfo, "shutdown_complete", "requests", s.reqID.Load())
+	})
+}
+
+// Abort is kill -9 in-process: it tears the listener and every connection
+// down without draining, without a final advance, and without a clean
+// snapshot — whatever generation directories exist on disk are exactly what
+// a power loss would have left. Tests use it to exercise the recovery path;
+// production binaries only ever Close.
+func (s *Server) Abort() {
+	s.closing.Do(func() {
+		close(s.quit)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.connMu.Lock()
+		for conn := range s.open {
+			_ = conn.Close()
+		}
+		s.connMu.Unlock()
+		s.conns.Wait()
+		for _, w := range s.shards {
+			close(w.reqs)
+		}
+		s.owners.Wait()
 	})
 }

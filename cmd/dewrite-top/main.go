@@ -11,6 +11,12 @@
 // Against dewrite-serve the dashboard shows the full RED view; against a
 // batch CLI's monitor endpoint (no serve_ metrics) it falls back to the
 // engine progress block and a live gauge table.
+//
+// A failed scrape does not kill the dashboard: the last good frame stays on
+// screen under a STALE banner showing the age of the data and the error,
+// while retries back off exponentially (capped at 30s) until the endpoint
+// answers again — daemons restart, dashboards should ride it out. -once
+// keeps the old single-shot contract: one try, exit nonzero on failure.
 package main
 
 import (
@@ -242,6 +248,29 @@ func labelSuffix(labels map[string]string) string {
 	return "{" + strings.Join(parts, ",") + "}"
 }
 
+// maxBackoff caps the retry schedule for failed scrapes.
+const maxBackoff = 30 * time.Second
+
+// nextBackoff doubles a retry delay up to maxBackoff.
+func nextBackoff(d time.Duration) time.Duration {
+	d *= 2
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	return d
+}
+
+// staleBanner renders the warning line shown while scrapes are failing:
+// how old the on-screen data is (or that none was ever fetched), what went
+// wrong, and when the next retry fires.
+func staleBanner(last *frame, now time.Time, err error, retryIn time.Duration) string {
+	age := "no data yet"
+	if last != nil {
+		age = fmt.Sprintf("data %s old", now.Sub(last.at).Round(time.Second))
+	}
+	return fmt.Sprintf("STALE — %s — scrape failed: %v (retrying in %s)", age, err, retryIn.Round(time.Second))
+}
+
 func main() {
 	addr := flag.String("addr", "localhost:9420", "monitor endpoint host:port (dewrite-serve -metrics or dewrite-sim -monitor)")
 	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
@@ -249,13 +278,27 @@ func main() {
 	flag.Parse()
 
 	url := fmt.Sprintf("http://%s/metrics", *addr)
-	var prev *frame
+	var prev, last *frame
+	backoff := *interval
 	for {
 		cur, err := fetch(url)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dewrite-top: %v\n", err)
-			os.Exit(1)
+			if *once {
+				fmt.Fprintf(os.Stderr, "dewrite-top: %v\n", err)
+				os.Exit(1)
+			}
+			// Keep the last good frame on screen under the stale banner and
+			// back off; the daemon may just be restarting.
+			fmt.Print("\x1b[H\x1b[2J")
+			fmt.Println(staleBanner(last, time.Now(), err, backoff))
+			if last != nil {
+				render(os.Stdout, prev, last, url)
+			}
+			time.Sleep(backoff)
+			backoff = nextBackoff(backoff)
+			continue
 		}
+		backoff = *interval // healthy again: reset the schedule
 		if !*once {
 			fmt.Print("\x1b[H\x1b[2J") // home + clear
 		}
@@ -263,7 +306,7 @@ func main() {
 		if *once {
 			return
 		}
-		prev = cur
+		prev, last = cur, cur
 		time.Sleep(*interval)
 	}
 }

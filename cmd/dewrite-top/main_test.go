@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -169,7 +170,7 @@ func TestRenderServeDashboard(t *testing.T) {
 		"conns open 3",
 		"put", "get", "stats",
 		"shard",
-		"25.0%", // shard 0 occupancy
+		"25.0%",                          // shard 0 occupancy
 		"cross-shard dup-hit rate 25.0%", // 25 dup hits / 100 puts
 		"42 fingerprints",
 	} {
@@ -246,6 +247,34 @@ func TestFetchAgainstHTTP(t *testing.T) {
 	defer bad.Close()
 	if _, err := fetch(bad.URL); err == nil {
 		t.Fatal("fetch accepted a 500")
+	}
+}
+
+func TestScrapeRetryBackoff(t *testing.T) {
+	if got := nextBackoff(2 * time.Second); got != 4*time.Second {
+		t.Fatalf("nextBackoff(2s) = %v", got)
+	}
+	if got := nextBackoff(20 * time.Second); got != maxBackoff {
+		t.Fatalf("nextBackoff(20s) = %v, want cap %v", got, maxBackoff)
+	}
+	if got := nextBackoff(maxBackoff); got != maxBackoff {
+		t.Fatalf("nextBackoff at cap = %v", got)
+	}
+}
+
+func TestStaleBanner(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 10, 0, time.UTC)
+	err := fmt.Errorf("connection refused")
+
+	// No frame ever fetched.
+	if got := staleBanner(nil, now, err, 4*time.Second); !strings.Contains(got, "no data yet") ||
+		!strings.Contains(got, "connection refused") || !strings.Contains(got, "retrying in 4s") {
+		t.Fatalf("cold banner = %q", got)
+	}
+	// Last good frame 10 s ago: banner shows the data's age.
+	last := &frame{at: now.Add(-10 * time.Second)}
+	if got := staleBanner(last, now, err, 8*time.Second); !strings.Contains(got, "data 10s old") {
+		t.Fatalf("stale banner = %q", got)
 	}
 }
 

@@ -42,6 +42,16 @@ func FuzzRestore(f *testing.F) {
 	f.Add(huge)
 	f.Add([]byte("DWCP1\n"))
 	f.Add([]byte{})
+	// Snapshot-layer formats (PR-9): the serving daemon wraps checkpoints in
+	// directory-generation snapshots, so a confused or corrupted recovery
+	// path can hand Restore a manifest, a serve shard payload, or a
+	// checkpoint wearing a skewed version magic. All must error cleanly.
+	f.Add([]byte(`{"schema":"dewrite/snapshot/v1","generation":1,"files":[{"name":"shard-0","size":64,"crc32":1}],"meta":{"shards":"4"}}`))
+	f.Add([]byte("DWSV1\n\x00\x00\x00\x02{}"))
+	f.Add(append([]byte("DWSV1\n\x00\x00\x00\x02{}"), valid...))
+	if len(valid) > 6 {
+		f.Add(append([]byte("DWCP2\n"), valid[6:]...))
+	}
 
 	f.Fuzz(func(t *testing.T, blob []byte) {
 		got, err := Restore(bytes.NewReader(blob), opts)

@@ -28,6 +28,7 @@ var deterministicPkgs = map[string]bool{
 	"stats":       true,
 	"attr":        true,
 	"shard":       true,
+	"chaos":       true,
 }
 
 // Determinism reports constructs that make a deterministic package's output

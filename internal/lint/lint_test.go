@@ -20,6 +20,7 @@ func TestDeterminismFixtures(t *testing.T) {
 		"testdata/src/determinism/core",
 		"testdata/src/determinism/attr",
 		"testdata/src/determinism/shard",
+		"testdata/src/determinism/chaos",
 		"testdata/src/determinism/other",
 	)
 }

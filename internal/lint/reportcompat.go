@@ -45,7 +45,7 @@ var frozenTags = map[string][]string{
 		"shard", "lines", "banks", "requests", "mem_writes", "mem_reads",
 		"dev_reads", "dev_writes", "cycles",
 	},
-	"Stats": {"fingerprints", "locations", "shared", "advances"},
+	"Stats":            {"fingerprints", "locations", "shared", "advances"},
 	"LatencyQuantiles": {"count", "mean_ps", "p50_ps", "p95_ps", "p99_ps", "sum_ps"},
 	"FaultReport":      {"config", "device", "crash"},
 	// dewrite/run/v4 attribution block (internal/attr/report.go).

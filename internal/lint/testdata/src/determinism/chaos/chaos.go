@@ -1,0 +1,56 @@
+// Package chaos is a determinism fixture: the real internal/chaos package is
+// gated because a fault plan's verdicts must be a pure function of (seed,
+// decision kind, ordinal) — a chaos soak replays the same resets and stalls
+// on every run, so a failure bisects to a seed, not a scheduler coincidence.
+// The analyzer must flag wall-clock and global-randomness leaks here while
+// staying silent on the package's real idiom: derived draws and returned
+// durations the (wall-clock) serving layer applies.
+package chaos
+
+import (
+	"sort"
+	"time"
+)
+
+// resetDecidedByClock models the tempting shortcut: letting the wall clock
+// pick which connections die makes every soak run unrepeatable.
+func resetDecidedByClock(rate float64) bool {
+	return time.Now().UnixNano()%100 < int64(rate*100) // want `reads the wall clock \(time\.Now\)`
+}
+
+// stallMeasured times the injected stall with the wall clock instead of
+// returning the planned duration for the caller to apply.
+func stallMeasured(start time.Time) int64 {
+	return int64(time.Since(start)) // want `reads the wall clock \(time\.Since\)`
+}
+
+// plannedFaultsUnsorted leaks map iteration order into the fault schedule: a
+// consumer applying these in slice order would inject different runs.
+func plannedFaultsUnsorted(perConn map[uint64]int) []uint64 {
+	var doomed []uint64
+	for conn := range perConn {
+		doomed = append(doomed, conn) // want `append to "doomed" during map iteration without a later sort`
+	}
+	return doomed
+}
+
+// plannedFaultsSorted is the clean variant: collect, then order before the
+// schedule becomes observable.
+func plannedFaultsSorted(perConn map[uint64]int) []uint64 {
+	doomed := make([]uint64, 0, len(perConn))
+	for conn := range perConn {
+		doomed = append(doomed, conn)
+	}
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i] < doomed[j] })
+	return doomed
+}
+
+// totalInjectedNs is the package's commutative-fold idiom: integer
+// accumulation over a map commutes, so iteration order cannot leak. Clean.
+func totalInjectedNs(stalls map[int]uint64) uint64 {
+	var total uint64
+	for _, ns := range stalls {
+		total += ns
+	}
+	return total
+}

@@ -90,3 +90,33 @@ func (r *Registry) Len() int { // want `exported method Len must begin with a ni
 func (r *Registry) Clear() {
 	r.reset()
 }
+
+// Gauge mirrors the real registry's last-value instrument: a pre-resolved
+// cell pointer, nil when the registry is disabled, so every exported method
+// must absorb both the nil receiver and the nil cell.
+type Gauge struct {
+	cell *uint64
+}
+
+// Set carries the canonical compound guard.
+func (g *Gauge) Set(v uint64) {
+	if g == nil || g.cell == nil {
+		return
+	}
+	*g.cell = v
+}
+
+// Current is guarded with an early zero-value return.
+func (g *Gauge) Current() uint64 {
+	if g == nil {
+		return 0
+	}
+	if g.cell == nil {
+		return 0
+	}
+	return *g.cell
+}
+
+func (g *Gauge) Add(v uint64) { // want `exported method Add must begin with a nil-receiver guard`
+	*g.cell += v
+}

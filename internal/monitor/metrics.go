@@ -51,6 +51,55 @@ func (c *Counter) Value() uint64 {
 	return c.n.Load()
 }
 
+// Gauge is a pre-resolved handle on one registry gauge cell: the same
+// last-write-wins float the name-based Set/SetLabeled methods reach, minus
+// the per-operation key lookup (and, for labeled series, the label
+// rendering). Hot paths — the serving daemon's queue-depth and drain-state
+// updates — resolve the handle once at construction and store through it
+// wait-free. Obtain one from Registry.Gauge; the nil gauge discards stores.
+type Gauge struct {
+	cell *uint64
+}
+
+// Gauge returns a handle on the named gauge cell, creating the cell on first
+// use. Optional labels attach a Prometheus label set exactly as SetLabeled
+// would. The nil registry returns the nil (disabled) gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return &Gauge{cell: r.cell(labeledKey(name, labels))}
+}
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	atomic.StoreUint64(g.cell, floatBits(v))
+}
+
+// Add atomically adds delta to the gauge.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := atomic.LoadUint64(g.cell)
+		if atomic.CompareAndSwapUint64(g.cell, old, floatBits(bitsFloat(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value (0 on the nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return bitsFloat(atomic.LoadUint64(g.cell))
+}
+
 // Histogram is a fixed-boundary cumulative histogram over uint64
 // observations, exposed in native Prometheus histogram form
 // (name_bucket{le="..."} / name_sum / name_count). Obtain one from

@@ -45,6 +45,75 @@ func TestCounterBasics(t *testing.T) {
 	}
 }
 
+func TestGaugeHandleBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(3)
+	g.Add(2.5)
+	if got := g.Value(); got != 5.5 {
+		t.Fatalf("gauge value %g, want 5.5", got)
+	}
+	// The handle and the name-based surface share one cell: a handle store is
+	// visible to Snapshot, and a name-based Set is visible through the handle.
+	if snap := r.Snapshot(); snap["depth"] != 5.5 {
+		t.Fatalf("snapshot saw %v, want depth=5.5", snap)
+	}
+	r.Set("depth", 9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("handle missed name-based Set: %g", got)
+	}
+
+	// A labeled handle is its own series under the family.
+	labeled := r.Gauge("depth", Label{"shard", "0"})
+	labeled.Set(4)
+	if g.Value() != 9 || labeled.Value() != 4 {
+		t.Fatalf("labeled gauge aliased the unlabeled one: %g / %g", g.Value(), labeled.Value())
+	}
+	var buf bytes.Buffer
+	writePrometheus(&buf, r)
+	text := buf.String()
+	for _, want := range []string{"dewrite_depth 9", `dewrite_depth{shard="0"} 4`} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Nil gauge and nil registry absorb everything.
+	var nilG *Gauge
+	nilG.Set(1)
+	nilG.Add(1)
+	if nilG.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var nilR *Registry
+	if nilR.Gauge("x") != nil {
+		t.Fatal("nil registry returned a live gauge")
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("inflight")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Add(1)
+				g.Add(-1)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	// Each worker nets +per; the CAS loop must not lose increments.
+	if got := g.Value(); got != workers*per {
+		t.Fatalf("concurrent Add lost updates: %g, want %d", got, workers*per)
+	}
+}
+
 func TestHistogramBucketAssignment(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat", []uint64{10, 100, 1000})

@@ -1,0 +1,68 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseManifest extends the PR-4 fuzz posture (core.Restore,
+// nvm.LoadContents: corrupt persistent state must error, never panic, never
+// mis-size an allocation) to the snapshot manifest — the one file recovery
+// parses before anything else, and pure hostile input after a crash.
+func FuzzParseManifest(f *testing.F) {
+	valid, err := json.Marshal(Manifest{
+		Schema:     Schema,
+		Generation: 7,
+		Files:      []File{{Name: "shard-0", Size: 64, CRC32: 0xdeadbeef}},
+		Meta:       map[string]string{"shards": "4", "lines": "65536"},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schema":"dewrite/snapshot/v1"}`))
+	f.Add([]byte(`{"schema":"dewrite/snapshot/v2","generation":1}`))
+	f.Add([]byte(`{"schema":"dewrite/snapshot/v1","files":[{"name":"../../etc/passwd"}]}`))
+	f.Add([]byte(`{"schema":"dewrite/snapshot/v1","files":[{"name":"a"},{"name":"a"}]}`))
+	f.Add([]byte(`{"schema":"dewrite/snapshot/v1","files":[{"name":"manifest.json"}]}`))
+	f.Add([]byte(`{"schema":"dewrite/snapshot/v1","files":[{"name":"a","size":-5}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte{})
+	for _, cut := range []int{1, len(valid) / 2, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		m, err := ParseManifest(blob)
+		if err != nil {
+			return
+		}
+		// Anything accepted must uphold the invariants recovery relies on.
+		if m.Schema != Schema {
+			t.Fatalf("accepted manifest with schema %q", m.Schema)
+		}
+		seen := make(map[string]bool)
+		for _, file := range m.Files {
+			if file.Name == "" || file.Name != filepath.Base(file.Name) || file.Name == manifestName {
+				t.Fatalf("accepted hostile file name %q", file.Name)
+			}
+			if file.Size < 0 {
+				t.Fatalf("accepted negative size for %q", file.Name)
+			}
+			if seen[file.Name] {
+				t.Fatalf("accepted duplicate file %q", file.Name)
+			}
+			seen[file.Name] = true
+		}
+		// Accepted manifests round-trip.
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted manifest failed to re-encode: %v", err)
+		}
+		if _, err := ParseManifest(data); err != nil {
+			t.Fatalf("re-encoded manifest rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,350 @@
+// Package snapshot implements crash-safe directory-generation snapshots for
+// the serving daemon: each snapshot is one numbered directory (gen-N)
+// containing opaque payload files plus a manifest written last, and the
+// directory only becomes visible under its final name through an atomic
+// rename. A process killed at any instant therefore leaves either a complete,
+// self-validating generation or ignorable debris (a *.tmp directory), never a
+// half-snapshot that a restart could mistake for state.
+//
+// The write protocol per generation:
+//
+//  1. create gen-N.tmp/ and write every payload file into it,
+//  2. write manifest.json (schema, generation, payload names, sizes, CRCs)
+//     into gen-N.tmp/ last,
+//  3. fsync files and directory, then rename gen-N.tmp → gen-N.
+//
+// Recovery scans the snapshot root for gen-* directories, validates each
+// candidate's manifest and payload checksums, and loads the highest-numbered
+// valid generation; invalid or torn candidates are skipped (and reported),
+// not trusted. Prune removes old generations once newer ones are durable.
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the manifest format; bump on incompatible change.
+const Schema = "dewrite/snapshot/v1"
+
+// manifestName is the per-generation manifest file, written after every
+// payload so its presence implies the payloads were at least fully written.
+const manifestName = "manifest.json"
+
+// tmpSuffix marks in-progress generation directories; they are never loaded.
+const tmpSuffix = ".tmp"
+
+// File describes one payload file in a generation.
+type File struct {
+	// Name is the payload's file name inside the generation directory. It
+	// must be a bare name (no separators) — the manifest is hostile input on
+	// load, and a path-carrying name would escape the snapshot root.
+	Name string `json:"name"`
+	// Size is the payload's byte length.
+	Size int64 `json:"size"`
+	// CRC32 is the IEEE checksum of the payload bytes.
+	CRC32 uint32 `json:"crc32"`
+}
+
+// Manifest is the generation's self-description. Meta carries caller-defined
+// compatibility data (shard count, line count, …) that Load callers check
+// before trusting the payloads.
+type Manifest struct {
+	Schema     string            `json:"schema"`
+	Generation uint64            `json:"generation"`
+	Files      []File            `json:"files"`
+	Meta       map[string]string `json:"meta,omitempty"`
+}
+
+// ParseManifest decodes and structurally validates manifest bytes: schema
+// match, no duplicate or path-escaping file names, non-negative sizes. It is
+// the single entry point for untrusted manifest input (fuzzed separately).
+func ParseManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("snapshot: manifest: %w", err)
+	}
+	if m.Schema != Schema {
+		return Manifest{}, fmt.Errorf("snapshot: manifest schema %q, want %q", m.Schema, Schema)
+	}
+	seen := make(map[string]bool, len(m.Files))
+	for _, f := range m.Files {
+		if f.Name == "" || f.Name != filepath.Base(f.Name) || f.Name == "." || f.Name == ".." ||
+			strings.ContainsAny(f.Name, `/\`) {
+			return Manifest{}, fmt.Errorf("snapshot: manifest file name %q is not a bare name", f.Name)
+		}
+		if f.Name == manifestName {
+			return Manifest{}, fmt.Errorf("snapshot: manifest lists itself")
+		}
+		if f.Size < 0 {
+			return Manifest{}, fmt.Errorf("snapshot: manifest file %q has negative size", f.Name)
+		}
+		if seen[f.Name] {
+			return Manifest{}, fmt.Errorf("snapshot: manifest lists %q twice", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	return m, nil
+}
+
+// genDirName renders a generation's directory name.
+func genDirName(gen uint64) string { return fmt.Sprintf("gen-%d", gen) }
+
+// parseGenDir recognizes complete generation directory names.
+func parseGenDir(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, "gen-")
+	if !ok || rest == "" || strings.HasSuffix(name, tmpSuffix) {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// Writer writes one generation. Payload files are streamed one Add at a
+// time so a chaos plan (or a real crash) can abandon the generation after
+// any prefix; only Commit makes it visible.
+type Writer struct {
+	root    string
+	tmp     string
+	m       Manifest
+	aborted bool
+}
+
+// NewWriter starts generation gen under root, creating root if needed. The
+// temp directory is created eagerly so debris from an abandoned writer is
+// observable (and cleaned by the next Prune).
+func NewWriter(root string, gen uint64, meta map[string]string) (*Writer, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	tmp := filepath.Join(root, genDirName(gen)+tmpSuffix)
+	// A leftover temp dir from a previous crash at the same generation is
+	// debris; replace it.
+	if err := os.RemoveAll(tmp); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Mkdir(tmp, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return &Writer{
+		root: root,
+		tmp:  tmp,
+		m:    Manifest{Schema: Schema, Generation: gen, Meta: meta},
+	}, nil
+}
+
+// Add writes one payload file into the in-progress generation.
+func (w *Writer) Add(name string, data []byte) error {
+	if w.aborted {
+		return fmt.Errorf("snapshot: writer aborted")
+	}
+	if name != filepath.Base(name) || name == "" || name == manifestName {
+		return fmt.Errorf("snapshot: payload name %q", name)
+	}
+	path := filepath.Join(w.tmp, name)
+	if err := writeFileSync(path, data); err != nil {
+		return err
+	}
+	w.m.Files = append(w.m.Files, File{Name: name, Size: int64(len(data)), CRC32: crc32.ChecksumIEEE(data)})
+	return nil
+}
+
+// Abort abandons the generation, leaving the temp directory in place exactly
+// as a crash would — recovery must skip it. (Tests and the chaos plan rely
+// on the debris being left behind; Prune clears it.)
+func (w *Writer) Abort() { w.aborted = true }
+
+// Commit writes the manifest, syncs, and atomically renames the generation
+// into place.
+func (w *Writer) Commit() error {
+	if w.aborted {
+		return fmt.Errorf("snapshot: writer aborted")
+	}
+	data, err := json.MarshalIndent(&w.m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := writeFileSync(filepath.Join(w.tmp, manifestName), data); err != nil {
+		return err
+	}
+	final := filepath.Join(w.root, genDirName(w.m.Generation))
+	if err := os.RemoveAll(final); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(w.tmp, final); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return syncDir(w.root)
+}
+
+// writeFileSync writes data and fsyncs before closing, so a committed
+// manifest never refers to payload bytes still in flight.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames within it are durable. Best-effort
+// on platforms where directories reject fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// Generation is one validated, loadable snapshot.
+type Generation struct {
+	Manifest Manifest
+	// Dir is the generation's directory path.
+	Dir string
+}
+
+// ReadFile loads and checksum-verifies one payload.
+func (g *Generation) ReadFile(name string) ([]byte, error) {
+	for _, f := range g.Manifest.Files {
+		if f.Name != name {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(g.Dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		if int64(len(data)) != f.Size || crc32.ChecksumIEEE(data) != f.CRC32 {
+			return nil, fmt.Errorf("snapshot: payload %q fails checksum", name)
+		}
+		return data, nil
+	}
+	return nil, fmt.Errorf("snapshot: generation %d has no payload %q", g.Manifest.Generation, name)
+}
+
+// validate checks a candidate generation directory end to end: manifest
+// parses, generation number matches the directory name, every payload's size
+// and checksum hold.
+func validate(dir string, gen uint64) (*Generation, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	m, err := ParseManifest(data)
+	if err != nil {
+		return nil, err
+	}
+	if m.Generation != gen {
+		return nil, fmt.Errorf("snapshot: manifest says generation %d, directory says %d", m.Generation, gen)
+	}
+	g := &Generation{Manifest: m, Dir: dir}
+	for _, f := range m.Files {
+		if _, err := g.ReadFile(f.Name); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Latest scans root and returns the highest-numbered valid generation, or
+// (nil, nil) when no valid generation exists (including when root itself is
+// absent — a cold start). skipped collects one message per invalid or torn
+// candidate so the caller can log what recovery stepped over.
+func Latest(root string) (g *Generation, skipped []string, err error) {
+	entries, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: %w", err)
+	}
+	type cand struct {
+		gen  uint64
+		name string
+	}
+	var cands []cand
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), tmpSuffix) {
+			skipped = append(skipped, fmt.Sprintf("%s: torn snapshot (crash mid-write)", e.Name()))
+			continue
+		}
+		if gen, ok := parseGenDir(e.Name()); ok {
+			cands = append(cands, cand{gen: gen, name: e.Name()})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].gen > cands[j].gen })
+	for _, c := range cands {
+		got, verr := validate(filepath.Join(root, c.name), c.gen)
+		if verr != nil {
+			skipped = append(skipped, fmt.Sprintf("%s: %v", c.name, verr))
+			continue
+		}
+		return got, skipped, nil
+	}
+	return nil, skipped, nil
+}
+
+// Prune removes torn temp directories and all but the newest keep valid
+// generations. keep < 1 is treated as 1.
+func Prune(root string, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	entries, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	var gens []uint64
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), tmpSuffix) {
+			if err := os.RemoveAll(filepath.Join(root, e.Name())); err != nil {
+				return fmt.Errorf("snapshot: %w", err)
+			}
+			continue
+		}
+		if gen, ok := parseGenDir(e.Name()); ok {
+			gens = append(gens, gen)
+		}
+	}
+	if len(gens) <= keep {
+		return nil
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	for _, gen := range gens[keep:] {
+		if err := os.RemoveAll(filepath.Join(root, genDirName(gen))); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package snapshot
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeGen(t *testing.T, root string, gen uint64, files map[string][]byte) {
+	t.Helper()
+	w, err := NewWriter(root, gen, map[string]string{"shards": "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic order for reproducible manifests.
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	for _, name := range []string{"shard-0", "shard-1", "extra"} {
+		for _, have := range names {
+			if have == name {
+				if err := w.Add(name, files[name]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	payload := map[string][]byte{
+		"shard-0": []byte("alpha"),
+		"shard-1": bytes.Repeat([]byte{0xAB}, 4096),
+	}
+	writeGen(t, root, 3, payload)
+
+	g, skipped, err := Latest(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped %v on a clean dir", skipped)
+	}
+	if g == nil || g.Manifest.Generation != 3 {
+		t.Fatalf("Latest = %+v, want generation 3", g)
+	}
+	if g.Manifest.Meta["shards"] != "2" {
+		t.Fatalf("meta lost: %v", g.Manifest.Meta)
+	}
+	for name, want := range payload {
+		got, err := g.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("payload %q corrupted", name)
+		}
+	}
+	if _, err := g.ReadFile("absent"); err == nil {
+		t.Fatal("ReadFile(absent) succeeded")
+	}
+}
+
+func TestLatestPicksHighestValid(t *testing.T) {
+	root := t.TempDir()
+	writeGen(t, root, 1, map[string][]byte{"shard-0": []byte("one")})
+	writeGen(t, root, 2, map[string][]byte{"shard-0": []byte("two")})
+	writeGen(t, root, 10, map[string][]byte{"shard-0": []byte("ten")})
+
+	// Corrupt generation 10's payload: Latest must fall back to 2.
+	if err := os.WriteFile(filepath.Join(root, "gen-10", "shard-0"), []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, skipped, err := Latest(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == nil || g.Manifest.Generation != 2 {
+		t.Fatalf("Latest = %+v, want fallback to generation 2", g)
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0], "gen-10") {
+		t.Fatalf("skipped = %v, want gen-10 checksum report", skipped)
+	}
+}
+
+func TestTornSnapshotIgnored(t *testing.T) {
+	root := t.TempDir()
+	writeGen(t, root, 5, map[string][]byte{"shard-0": []byte("good")})
+
+	// A crash mid-generation-6: payloads written, no manifest, no rename.
+	w, err := NewWriter(root, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add("shard-0", []byte("torn")); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	if err := w.Commit(); err == nil {
+		t.Fatal("Commit after Abort succeeded")
+	}
+
+	g, skipped, err := Latest(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == nil || g.Manifest.Generation != 5 {
+		t.Fatalf("Latest = %+v, want generation 5 (torn 6 skipped)", g)
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0], "torn") {
+		t.Fatalf("skipped = %v, want torn-snapshot report", skipped)
+	}
+
+	// A manifest-less completed directory (rename raced nothing — simulate
+	// debris) is also skipped.
+	if err := os.MkdirAll(filepath.Join(root, "gen-7"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	g, skipped, err = Latest(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == nil || g.Manifest.Generation != 5 {
+		t.Fatalf("Latest = %+v, want generation 5", g)
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped = %v, want two reports", skipped)
+	}
+}
+
+func TestColdStart(t *testing.T) {
+	g, skipped, err := Latest(filepath.Join(t.TempDir(), "never-created"))
+	if err != nil || g != nil || skipped != nil {
+		t.Fatalf("cold start: g=%v skipped=%v err=%v", g, skipped, err)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	root := t.TempDir()
+	for gen := uint64(1); gen <= 5; gen++ {
+		writeGen(t, root, gen, map[string][]byte{"shard-0": []byte{byte(gen)}})
+	}
+	w, err := NewWriter(root, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+
+	if err := Prune(root, 2); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("after Prune(2): %v", names)
+	}
+	g, _, err := Latest(root)
+	if err != nil || g == nil || g.Manifest.Generation != 5 {
+		t.Fatalf("after prune Latest = %+v, %v", g, err)
+	}
+
+	// keep < 1 clamps to 1.
+	if err := Prune(root, 0); err != nil {
+		t.Fatal(err)
+	}
+	g, _, err = Latest(root)
+	if err != nil || g == nil || g.Manifest.Generation != 5 {
+		t.Fatalf("after Prune(0) Latest = %+v, %v", g, err)
+	}
+}
+
+func TestCommitReplacesExistingGeneration(t *testing.T) {
+	root := t.TempDir()
+	writeGen(t, root, 4, map[string][]byte{"shard-0": []byte("old")})
+	writeGen(t, root, 4, map[string][]byte{"shard-0": []byte("new")})
+	g, _, err := Latest(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := g.ReadFile("shard-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "new" {
+		t.Fatalf("rewritten generation reads %q", data)
+	}
+}
+
+func TestWriterRejectsHostileNames(t *testing.T) {
+	w, err := NewWriter(t.TempDir(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "../escape", "a/b", manifestName} {
+		if err := w.Add(name, []byte("x")); err == nil {
+			t.Fatalf("Add(%q) succeeded", name)
+		}
+	}
+}
