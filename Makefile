@@ -10,9 +10,15 @@ build:
 test:
 	$(GO) test ./...
 
-# lint runs go vet plus dewrite-vet, the repository's custom analyzer suite
-# (determinism, poolrecycle, nilsafe, reportcompat — see DESIGN.md §10).
+# lint runs gofmt (fail on any unformatted file), go vet, and dewrite-vet,
+# the repository's custom analyzer suite (determinism, poolrecycle, nilsafe,
+# reportcompat, atomichygiene, lockdiscipline, goroutinelifecycle,
+# booksbalance — see DESIGN.md §10 and §15).
 lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) run ./cmd/dewrite-vet ./...
 
 vet:

@@ -83,8 +83,11 @@ var shedCauseNames = [shedCauses]string{"watermark", "drain", "queue_full", "dea
 // serveMetrics holds the hot-path instruments, resolved once at construction
 // so request handling never renders label sets.
 type serveMetrics struct {
-	requests [3]*monitor.Counter   // indexed by op-1 (OpPut, OpGet, OpStats)
-	latency  [3]*monitor.Histogram // same indexing
+	// requests is indexed by op-1 (OpPut, OpGet, OpStats); the final slot is
+	// the op="unknown" bucket, so a flushed error response to an
+	// unrecognized opcode still lands in the books.
+	requests [4]*monitor.Counter
+	latency  [3]*monitor.Histogram // indexed by op-1; unknown ops have no latency family
 	stalls   []*monitor.Counter    // per shard: serve_barrier_stall_ns_total
 
 	slowTotal  *monitor.Counter
@@ -138,6 +141,8 @@ func newServeMetrics(reg *monitor.Registry, shards int) *serveMetrics {
 		m.requests[op-1] = reg.Counter("serve_requests_total", label)
 		m.latency[op-1] = reg.Histogram("serve_request_latency_ns", bounds, label)
 	}
+	m.requests[len(m.requests)-1] = reg.Counter("serve_requests_total",
+		monitor.Label{Key: "op", Value: "unknown"})
 	for i := 0; i < shards; i++ {
 		label := monitor.Label{Key: "shard", Value: strconv.Itoa(i)}
 		m.stalls = append(m.stalls, reg.Counter("serve_barrier_stall_ns_total", label))

@@ -21,7 +21,7 @@ import (
 // books-balance equation.
 func requestsTotal(reg *monitor.Registry) uint64 {
 	var total uint64
-	for _, op := range []string{"put", "get", "stats"} {
+	for _, op := range []string{"put", "get", "stats", "unknown"} {
 		total += reg.Counter("serve_requests_total", monitor.Label{Key: "op", Value: op}).Value()
 	}
 	return total

@@ -435,6 +435,7 @@ func (s *Server) Advance() {
 			s.sinceSnap = 0
 			// Owners are parked at the barrier, so every shard's state is
 			// stable — the same invariant publishShard relies on.
+			//dewrite:allow lockdiscipline full-state snapshots serialize at the barrier by design; ROADMAP item 1 tracks delta snapshots that would move this off the write lock
 			s.snapshotLocked(s.plan)
 		}
 	}
@@ -672,10 +673,12 @@ func (s *Server) serveConn(conn net.Conn) {
 // ring, and (when slow) the structured log.
 func (s *Server) observe(rid uint64, op byte, shardID int, lat time.Duration, resp shardResp) {
 	idx := int(op) - 1
-	if idx < 0 || idx >= len(s.m.requests) {
-		idx = -1
-	}
-	if idx >= 0 {
+	if idx < 0 || idx >= len(s.m.latency) {
+		// Unknown op: the error response was still flushed to the client, so
+		// the books must count it — serve_requests_total{op="unknown"} — but
+		// an op the protocol doesn't know has no latency family.
+		s.m.requests[len(s.m.requests)-1].Inc()
+	} else {
 		s.m.requests[idx].Inc()
 		s.m.latency[idx].Observe(uint64(lat.Nanoseconds()))
 	}
@@ -729,6 +732,7 @@ func (s *Server) Close() {
 			// reference state the chaos soak compares a crash recovery
 			// against.
 			s.epochMu.Lock()
+			//dewrite:allow lockdiscipline the clean-shutdown snapshot runs at the barrier by design: owners have drained and no reader is stalled
 			s.snapshotLocked(nil)
 			s.epochMu.Unlock()
 		}

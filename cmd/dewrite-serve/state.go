@@ -139,6 +139,7 @@ func (s *Server) Snapshot() bool {
 	}
 	s.epochMu.Lock()
 	defer s.epochMu.Unlock()
+	//dewrite:allow lockdiscipline operator-requested snapshots serialize at the barrier by design; ROADMAP item 1 tracks delta snapshots that would move this off the write lock
 	return s.snapshotLocked(s.plan)
 }
 

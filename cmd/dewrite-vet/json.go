@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+
+	"dewrite/internal/lint"
+)
+
+// finding is the machine-readable form of one diagnostic, consumed by CI to
+// emit per-line annotations.
+type finding struct {
+	File     string `json:"file"` // relative to root when possible
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// findings converts diagnostics to their JSON form, relativizing file paths
+// against root (typically the working directory) so annotations address
+// repository paths rather than absolute ones.
+func findings(diags []lint.Diagnostic, root string) []finding {
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Position.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && filepath.IsLocal(rel) {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		out = append(out, finding{
+			File:     file,
+			Line:     d.Position.Line,
+			Col:      d.Position.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// writeFindings emits the findings as a JSON array — always an array, "[]"
+// when the tree is clean, so consumers can jq it unconditionally.
+func writeFindings(w io.Writer, fs []finding) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fs)
+}

@@ -1,16 +1,20 @@
 // Command dewrite-vet runs the repository's custom static-analysis suite
-// (internal/lint) over Go packages: determinism, poolrecycle, nilsafe and
-// reportcompat. It is the multichecker CI runs as a required step.
+// (internal/lint) over Go packages: determinism, poolrecycle, nilsafe,
+// reportcompat, and the serving layer's concurrency contracts —
+// atomichygiene, lockdiscipline, goroutinelifecycle, booksbalance. It is
+// the multichecker CI runs as a required step.
 //
 // Usage:
 //
-//	dewrite-vet [-list] [-only analyzer[,analyzer]] [packages...]
+//	dewrite-vet [-list] [-json] [-only analyzer[,analyzer]] [packages...]
 //
-// Packages default to ./... resolved in the current module. The exit status
-// is 0 when the tree is clean, 1 when any diagnostic fires, 2 on a driver
-// or load failure. Justified violations are silenced in place with
+// Packages default to ./... resolved in the current module. With -json the
+// findings are emitted as a JSON array of {file, line, col, analyzer,
+// message} objects ("[]" when clean) for CI annotation tooling. The exit
+// status is 0 when the tree is clean, 1 when any diagnostic fires, 2 on a
+// driver or load failure. Justified violations are silenced in place with
 // "//dewrite:allow <analyzer> <reason>" on the offending line or the line
-// above; see DESIGN.md section 10.
+// above; see DESIGN.md sections 10 and 15.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "print the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: dewrite-vet [flags] [packages]\n\n")
@@ -63,19 +68,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	bad := false
+	var all []lint.Diagnostic
 	for _, pkg := range pkgs {
 		diags, err := lint.RunPackage(pkg, analyzers...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dewrite-vet: %s: %v\n", pkg.ImportPath, err)
 			os.Exit(2)
 		}
-		for _, d := range diags {
-			bad = true
+		all = append(all, diags...)
+	}
+	if *jsonOut {
+		wd, _ := os.Getwd()
+		if err := writeFindings(os.Stdout, findings(all, wd)); err != nil {
+			fmt.Fprintf(os.Stderr, "dewrite-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range all {
 			fmt.Printf("%s\n", d)
 		}
 	}
-	if bad {
+	if len(all) > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"dewrite/internal/lint"
+)
+
+func TestFindingsRelativizePaths(t *testing.T) {
+	diags := []lint.Diagnostic{
+		{
+			Analyzer: "lockdiscipline",
+			Position: token.Position{Filename: "/repo/cmd/dewrite-serve/server.go", Line: 42, Column: 7},
+			Message:  "return leaves s.connMu locked",
+		},
+		{
+			Analyzer: "booksbalance",
+			Position: token.Position{Filename: "/elsewhere/x.go", Line: 3, Column: 1},
+			Message:  "the books lose a response",
+		},
+	}
+	fs := findings(diags, "/repo")
+	if len(fs) != 2 {
+		t.Fatalf("got %d findings, want 2", len(fs))
+	}
+	if fs[0].File != "cmd/dewrite-serve/server.go" {
+		t.Errorf("in-root path not relativized: %q", fs[0].File)
+	}
+	if fs[0].Line != 42 || fs[0].Col != 7 || fs[0].Analyzer != "lockdiscipline" {
+		t.Errorf("finding fields mangled: %+v", fs[0])
+	}
+	if fs[1].File != "/elsewhere/x.go" {
+		t.Errorf("out-of-root path must stay absolute, got %q", fs[1].File)
+	}
+}
+
+func TestWriteFindingsEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFindings(&buf, findings(nil, "")); err != nil {
+		t.Fatalf("writeFindings: %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("clean run must emit an empty JSON array, got %q", got)
+	}
+}
+
+func TestWriteFindingsRoundTrips(t *testing.T) {
+	in := []finding{{
+		File:     "internal/shard/directory.go",
+		Line:     10,
+		Col:      2,
+		Analyzer: "atomichygiene",
+		Message:  `hits is accessed with sync/atomic but read plainly: "mixed"`,
+	}}
+	var buf bytes.Buffer
+	if err := writeFindings(&buf, in); err != nil {
+		t.Fatalf("writeFindings: %v", err)
+	}
+	var out []finding
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(out) != 1 || out[0] != in[0] {
+		t.Errorf("round trip mangled the finding: %+v", out)
+	}
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A FuncInfo pairs a function or method declaration with its type-checker
+// object. The concurrency-contract analyzers compute per-function fact
+// summaries over these and propagate them through the package-local call
+// graph.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+}
+
+// Funcs returns every function and method declared with a body in the
+// package, in source order (file order, then declaration order).
+func (p *Pass) Funcs() []FuncInfo {
+	var out []FuncInfo
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := p.ObjectOf(fd.Name).(*types.Func)
+			if obj == nil {
+				continue
+			}
+			out = append(out, FuncInfo{Decl: fd, Obj: obj})
+		}
+	}
+	return out
+}
+
+// StaticCallee resolves call to the function or method declared in this
+// package that it statically invokes, or nil: the edge relation of the
+// package-local call graph. Calls through function values, interface
+// methods, and cross-package functions all resolve to nil — summaries for
+// them are unknown and analyzers must assume their own conservative default.
+func (p *Pass) StaticCallee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := p.ObjectOf(id).(*types.Func)
+	if !ok || fn.Pkg() != p.Pkg {
+		return nil
+	}
+	return fn
+}
+
+// Fixpoint applies step to every function repeatedly until a full round
+// reports no change: bottom-up summary propagation over the package-local
+// call graph. step returns whether it changed the summary it maintains.
+// Summaries must come from a finite lattice (capped counters, bounded sets)
+// so the iteration terminates; a generous round cap guards against a
+// non-monotone step.
+func Fixpoint(funcs []FuncInfo, step func(FuncInfo) bool) {
+	maxRounds := 2*len(funcs) + 8
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, fn := range funcs {
+			if step(fn) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}

@@ -1,0 +1,369 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies for the dewrite-vet analyzers.
+//
+// Like the parent analysis package it mirrors the x/tools vocabulary
+// (golang.org/x/tools/go/cfg) without the dependency: a CFG is a list of
+// basic blocks, each holding the statements and control expressions that
+// execute in order, linked by successor edges. The graph is deliberately
+// approximate in the usual ways — goto jumps to Exit, panics fall through —
+// which is sound for the forward "what is held / what was counted on this
+// path" dataflow the concurrency-contract analyzers run over it.
+//
+// Conventions:
+//   - A block that ends in a two-way branch (if, for-with-cond, range) lists
+//     the true/body successor first: Succs[0] is taken when the condition
+//     holds, Succs[1] when it does not.
+//   - A condition-less for loop has a single successor (its body); the
+//     after-loop block is reachable only through break.
+//   - switch and select blocks fan out to one successor per clause (plus the
+//     after-block when there is no default clause).
+//   - Block nodes never contain a nested function body twice: range bodies,
+//     if bodies, and loop bodies are distributed into their own blocks, and
+//     analyzers use Inspect (not ast.Inspect) to avoid descending into
+//     function literals, which execute on their own control flow.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block // all blocks, Entry first; includes unreachable blocks
+	Entry  *Block
+	Exit   *Block // every return edges here; falling off the end does too
+}
+
+// A Block is a maximal straight-line sequence of statements and control
+// expressions.
+type Block struct {
+	Index int
+	Nodes []ast.Node // statements and control expressions, in execution order
+	Succs []*Block
+
+	// Branch is the control statement whose condition terminates this block
+	// (an *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+	// *ast.TypeSwitchStmt, or *ast.SelectStmt), or nil for straight-line
+	// blocks.
+	Branch ast.Stmt
+}
+
+// New builds the CFG of body.
+func New(body *ast.BlockStmt) *CFG {
+	c := &CFG{}
+	b := &builder{cfg: c, labels: map[string]*scope{}}
+	c.Entry = b.newBlock()
+	c.Exit = b.newBlock()
+	b.cur = c.Entry
+	b.stmt(body)
+	b.edge(b.cur, c.Exit) // falling off the end of the body
+	return c
+}
+
+// Inspect walks node in depth-first order calling fn, like ast.Inspect, but
+// does not descend into function literals: a nested func's body runs on its
+// own control flow (as a goroutine, deferred call, or callback), so its
+// statements do not belong to the path being analyzed.
+func Inspect(node ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		return fn(n)
+	})
+}
+
+// scope is one enclosing breakable (and possibly continuable) construct.
+type scope struct {
+	brk   *Block // break target
+	cont  *Block // continue target; nil for switch/select
+	label string
+}
+
+type builder struct {
+	cfg          *CFG
+	cur          *Block
+	scopes       []*scope
+	labels       map[string]*scope
+	pendingLabel string
+	nextCase     *Block // fallthrough target inside a switch clause
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// push opens a breakable scope, consuming any pending statement label.
+func (b *builder) push(brk, cont *Block) {
+	s := &scope{brk: brk, cont: cont, label: b.pendingLabel}
+	if b.pendingLabel != "" {
+		b.labels[b.pendingLabel] = s
+		b.pendingLabel = ""
+	}
+	b.scopes = append(b.scopes, s)
+}
+
+func (b *builder) pop() {
+	s := b.scopes[len(b.scopes)-1]
+	if s.label != "" {
+		delete(b.labels, s.label)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+}
+
+// breakTarget resolves the destination of a break statement.
+func (b *builder) breakTarget(label string) *Block {
+	if label != "" {
+		if s := b.labels[label]; s != nil {
+			return s.brk
+		}
+		return nil
+	}
+	if len(b.scopes) == 0 {
+		return nil
+	}
+	return b.scopes[len(b.scopes)-1].brk
+}
+
+// continueTarget resolves the destination of a continue statement: the
+// innermost scope that is a loop.
+func (b *builder) continueTarget(label string) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		s := b.scopes[i]
+		if s.cont == nil {
+			continue
+		}
+		if label == "" || s.label == label {
+			return s.cont
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		cond.Branch = s
+		then := b.newBlock()
+		b.edge(cond, then) // Succs[0]: condition true
+		b.cur = then
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		after := b.newBlock()
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els) // Succs[1]: condition false
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after) // Succs[1]: condition false
+		}
+		b.edge(thenEnd, after)
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			head.Branch = s
+			b.edge(head, body)  // Succs[0]: condition true
+			b.edge(head, after) // Succs[1]: condition false
+		} else {
+			b.edge(head, body) // for {}: after is reachable only via break
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+		}
+		b.push(after, post)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, post)
+		b.pop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		// Only the ranged expression lives in the head block; the body is
+		// distributed into its own blocks below.
+		head.Nodes = append(head.Nodes, s.X)
+		head.Branch = s
+		b.edge(b.cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)  // Succs[0]: another element
+		b.edge(head, after) // Succs[1]: exhausted
+		b.push(after, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, head)
+		b.pop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(s, s.Body.List, func(c ast.Stmt, blk *Block) ([]ast.Stmt, bool) {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			return cc.Body, cc.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(s, s.Body.List, func(c ast.Stmt, blk *Block) ([]ast.Stmt, bool) {
+			cc := c.(*ast.CaseClause)
+			return cc.Body, cc.List == nil
+		})
+
+	case *ast.SelectStmt:
+		cond := b.cur
+		cond.Branch = s
+		after := b.newBlock()
+		b.push(after, nil)
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			blk := b.newBlock()
+			b.edge(cond, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			b.edge(b.cur, after)
+		}
+		b.pop()
+		_ = hasDefault // a select with no ready case blocks; edges via clauses only
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock() // anything after is unreachable
+
+	case *ast.BranchStmt:
+		b.add(s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		var target *Block
+		switch s.Tok {
+		case token.BREAK:
+			target = b.breakTarget(label)
+		case token.CONTINUE:
+			target = b.continueTarget(label)
+		case token.FALLTHROUGH:
+			target = b.nextCase
+		case token.GOTO:
+			// Approximate: a goto leaves the analyzed region.
+			target = b.cfg.Exit
+		}
+		if target == nil {
+			target = b.cfg.Exit
+		}
+		b.edge(b.cur, target)
+		b.cur = b.newBlock() // anything after is unreachable
+
+	default:
+		// Straight-line statement: decl, assignment, expression, send,
+		// go, defer, incdec, empty.
+		b.add(s)
+	}
+}
+
+// switchClauses builds the clause fan-out shared by switch and type switch.
+// extract returns a clause's body and whether it is the default clause,
+// appending any case expressions to the clause block.
+func (b *builder) switchClauses(sw ast.Stmt, clauses []ast.Stmt, extract func(ast.Stmt, *Block) ([]ast.Stmt, bool)) {
+	cond := b.cur
+	cond.Branch = sw
+	after := b.newBlock()
+	blocks := make([]*Block, len(clauses))
+	bodies := make([][]ast.Stmt, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(cond, blocks[i])
+		body, isDefault := extract(c, blocks[i])
+		bodies[i] = body
+		if isDefault {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(cond, after)
+	}
+	b.push(after, nil)
+	savedNext := b.nextCase
+	for i := range clauses {
+		if i+1 < len(clauses) {
+			b.nextCase = blocks[i+1]
+		} else {
+			b.nextCase = nil
+		}
+		b.cur = blocks[i]
+		for _, st := range bodies[i] {
+			b.stmt(st)
+		}
+		b.edge(b.cur, after)
+	}
+	b.nextCase = savedNext
+	b.pop()
+	b.cur = after
+}

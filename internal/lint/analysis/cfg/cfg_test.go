@@ -1,0 +1,310 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses src as a file containing one function and returns its CFG.
+func build(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return New(fd.Body)
+		}
+	}
+	t.Fatal("fixture has no function")
+	return nil
+}
+
+// blockWith returns the first block whose nodes contain a node matching
+// pred.
+func blockWith(t *testing.T, g *CFG, pred func(ast.Node) bool) *Block {
+	t.Helper()
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			found := false
+			ast.Inspect(n, func(nn ast.Node) bool {
+				if nn != nil && pred(nn) {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	t.Fatal("no block matched")
+	return nil
+}
+
+// branchBlock returns the first block whose Branch statement matches pred.
+func branchBlock(t *testing.T, g *CFG, pred func(ast.Stmt) bool) *Block {
+	t.Helper()
+	for _, blk := range g.Blocks {
+		if blk.Branch != nil && pred(blk.Branch) {
+			return blk
+		}
+	}
+	t.Fatal("no block's Branch matched")
+	return nil
+}
+
+func callNamed(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func TestIfBranchOrder(t *testing.T) {
+	g := build(t, `
+func f(ok bool) {
+	if ok {
+		a()
+	} else {
+		b()
+	}
+	c()
+}`)
+	cond := branchBlock(t, g, func(s ast.Stmt) bool {
+		_, ok := s.(*ast.IfStmt)
+		return ok
+	})
+	if len(cond.Succs) != 2 {
+		t.Fatalf("if block has %d successors, want 2", len(cond.Succs))
+	}
+	thenBlk := blockWith(t, g, callNamed("a"))
+	elseBlk := blockWith(t, g, callNamed("b"))
+	if cond.Succs[0] != thenBlk {
+		t.Error("Succs[0] of an if block must be the then branch")
+	}
+	if cond.Succs[1] != elseBlk {
+		t.Error("Succs[1] of an if block must be the else branch")
+	}
+	after := blockWith(t, g, callNamed("c"))
+	for _, blk := range []*Block{thenBlk, elseBlk} {
+		if len(blk.Succs) != 1 || blk.Succs[0] != after {
+			t.Error("both branches must rejoin at the statement after the if")
+		}
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	g := build(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		body()
+	}
+	after()
+}`)
+	body := blockWith(t, g, callNamed("body"))
+	after := blockWith(t, g, callNamed("after"))
+	// The body must lead back (via the post statement) to a block that can
+	// reach both the body and the after block: the loop condition.
+	seen := map[*Block]bool{}
+	stack := []*Block{body}
+	reachesBoth := false
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		hasBody, hasAfter := false, false
+		for _, s := range blk.Succs {
+			if s == body {
+				hasBody = true
+			}
+			if s == after {
+				hasAfter = true
+			}
+		}
+		if hasBody && hasAfter {
+			reachesBoth = true
+			break
+		}
+		stack = append(stack, blk.Succs...)
+	}
+	if !reachesBoth {
+		t.Error("loop body must flow back to the condition, which branches to body and after")
+	}
+}
+
+func TestCondlessForHasNoFallThrough(t *testing.T) {
+	g := build(t, `
+func f() {
+	for {
+		body()
+	}
+}`)
+	body := blockWith(t, g, callNamed("body"))
+	for _, s := range body.Succs {
+		if s == g.Exit {
+			t.Error("a cond-less for loop must not fall through to Exit")
+		}
+	}
+}
+
+func TestBreakReachesAfter(t *testing.T) {
+	g := build(t, `
+func f(ok bool) {
+	for {
+		if ok {
+			break
+		}
+		body()
+	}
+	after()
+}`)
+	after := blockWith(t, g, callNamed("after"))
+	cond := branchBlock(t, g, func(s ast.Stmt) bool {
+		_, isIf := s.(*ast.IfStmt)
+		return isIf
+	})
+	// The break lives on the then edge; following it must reach after.
+	seen := map[*Block]bool{}
+	stack := []*Block{cond.Succs[0]}
+	found := false
+	for len(stack) > 0 && !found {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		if blk == after {
+			found = true
+		}
+		stack = append(stack, blk.Succs...)
+	}
+	if !found {
+		t.Error("break must jump to the block after the loop")
+	}
+}
+
+func TestReturnEdgesToExit(t *testing.T) {
+	g := build(t, `
+func f(ok bool) int {
+	if ok {
+		return 1
+	}
+	return 2
+}`)
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); !ok {
+				continue
+			}
+			if i != len(blk.Nodes)-1 {
+				t.Error("a return must be the last node of its block")
+			}
+			if len(blk.Succs) != 1 || blk.Succs[0] != g.Exit {
+				t.Error("a return block's only successor must be Exit")
+			}
+		}
+	}
+}
+
+func TestSwitchFanOut(t *testing.T) {
+	g := build(t, `
+func f(n int) {
+	switch n {
+	case 1:
+		a()
+	case 2:
+		b()
+	default:
+		c()
+	}
+	after()
+}`)
+	head := branchBlock(t, g, func(s ast.Stmt) bool {
+		_, ok := s.(*ast.SwitchStmt)
+		return ok
+	})
+	if len(head.Succs) != 3 {
+		t.Fatalf("switch head has %d successors, want 3 (two cases and a default)", len(head.Succs))
+	}
+	after := blockWith(t, g, callNamed("after"))
+	for _, name := range []string{"a", "b", "c"} {
+		blk := blockWith(t, g, callNamed(name))
+		if len(blk.Succs) != 1 || blk.Succs[0] != after {
+			t.Errorf("case %s must rejoin at the statement after the switch", name)
+		}
+	}
+}
+
+func TestSelectFanOut(t *testing.T) {
+	g := build(t, `
+func f(ch chan int, quit chan struct{}) {
+	for {
+		select {
+		case <-quit:
+			return
+		case v := <-ch:
+			use(v)
+		}
+	}
+}`)
+	head := branchBlock(t, g, func(s ast.Stmt) bool {
+		_, ok := s.(*ast.SelectStmt)
+		return ok
+	})
+	if len(head.Succs) != 2 {
+		t.Fatalf("select head has %d successors, want 2", len(head.Succs))
+	}
+	ret := blockWith(t, g, func(n ast.Node) bool {
+		_, ok := n.(*ast.ReturnStmt)
+		return ok
+	})
+	if len(ret.Succs) != 1 || ret.Succs[0] != g.Exit {
+		t.Error("the quit case's return must edge to Exit")
+	}
+}
+
+func TestInspectSkipsFuncLits(t *testing.T) {
+	g := build(t, `
+func f() {
+	x := func() { inner() }
+	outer()
+	x()
+}`)
+	sawInner, sawOuter := false, false
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			Inspect(n, func(nn ast.Node) bool {
+				if call, ok := nn.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						switch id.Name {
+						case "inner":
+							sawInner = true
+						case "outer":
+							sawOuter = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if sawInner {
+		t.Error("Inspect must not descend into function literals")
+	}
+	if !sawOuter {
+		t.Error("Inspect must visit ordinary calls")
+	}
+}

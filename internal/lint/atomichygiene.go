@@ -1,0 +1,358 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"dewrite/internal/lint/analysis"
+)
+
+// atomicHygienePkgs names the packages (by import-path base) where mixed
+// atomic/plain access is checked: the concurrent serving and sharding layer.
+var atomicHygienePkgs = map[string]bool{
+	"shard":         true,
+	"monitor":       true,
+	"dewrite-serve": true,
+	"snapshot":      true,
+}
+
+// AtomicHygiene enforces the all-or-nothing contract on atomic state.
+var AtomicHygiene = &analysis.Analyzer{
+	Name: "atomichygiene",
+	Doc: "fields accessed via sync/atomic must be atomic at every site, with 32-bit-safe layout\n\n" +
+		"The serving layer shares counters between shard owners, connection\n" +
+		"goroutines, and the metrics scraper without locks; that is only sound\n" +
+		"if every access to such a field goes through sync/atomic. This\n" +
+		"analyzer finds each variable whose address is ever passed to a\n" +
+		"sync/atomic function (directly, or element-wise as &x.f[i]) and flags\n" +
+		"every remaining plain read, write, or escaping address elsewhere in\n" +
+		"the package. Typed atomics (atomic.Uint64, atomic.Bool, ...) must\n" +
+		"never be copied by value. Plain 64-bit atomic fields must sit at an\n" +
+		"8-byte offset under 32-bit (GOARCH=386) struct layout, where the\n" +
+		"compiler only guarantees 4-byte alignment; typed atomics are exempt\n" +
+		"(they carry align64) and slice elements are exempt (allocations are\n" +
+		"8-byte aligned).",
+	Run: runAtomicHygiene,
+}
+
+func runAtomicHygiene(pass *analysis.Pass) (interface{}, error) {
+	if !atomicHygienePkgs[pathBase(pass.Pkg.Path())] {
+		return nil, nil
+	}
+
+	// Pass 1: find every variable used atomically. direct holds variables
+	// whose own address feeds sync/atomic; elem holds slice/array fields
+	// whose elements do.
+	direct := map[*types.Var]token.Pos{}
+	elem := map[*types.Var]token.Pos{}
+	// exempt marks the address-of expressions that ARE the atomic accesses,
+	// so pass 2 does not flag them.
+	exempt := map[ast.Expr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFunc(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				switch operand := ast.Unparen(un.X).(type) {
+				case *ast.IndexExpr:
+					if v := varOf(pass, ast.Unparen(operand.X)); v != nil {
+						if _, seen := elem[v]; !seen {
+							elem[v] = un.Pos()
+						}
+						exempt[ast.Unparen(operand.X)] = true
+					}
+				default:
+					if v := varOf(pass, operand); v != nil {
+						if _, seen := direct[v]; !seen {
+							direct[v] = un.Pos()
+						}
+						exempt[operand] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag every non-atomic use of those variables, and every
+	// by-value copy of a typed atomic.
+	for _, f := range pass.Files {
+		walkWithParents(f, func(n ast.Node, parents []ast.Node) {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return
+			}
+			checkTypedAtomicCopy(pass, e, parents)
+			v := varOf(pass, e)
+			if v == nil || exempt[e] {
+				return
+			}
+			if pos, ok := direct[v]; ok {
+				if !insideFieldList(parents) {
+					pass.Reportf(e.Pos(), "%s is accessed with sync/atomic (e.g. at %s) but read or written plainly here; mixed access races",
+						v.Name(), pass.Fset.Position(pos))
+				}
+			}
+			if pos, ok := elem[v]; ok {
+				reportElemMisuse(pass, e, v, pos, parents)
+			}
+		})
+	}
+
+	// Pass 3: 64-bit alignment of atomic fields under 32-bit struct layout.
+	checkAtomicAlignment(pass, direct, elem)
+	return nil, nil
+}
+
+// isAtomicFunc reports whether call invokes a sync/atomic package-level
+// function (AddUint64, LoadInt64, CompareAndSwapPointer, ...). Methods on
+// typed atomics are not address-taking call sites and return false.
+func isAtomicFunc(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return fn.Type().(*types.Signature).Recv() == nil
+}
+
+// varOf resolves e to the struct field or package-level variable it denotes,
+// or nil. Local variables are excluded: a local captured by one goroutine
+// is not shared state the way a field is, and flagging locals would punish
+// ordinary single-threaded code.
+func varOf(pass *analysis.Pass, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		v, ok := pass.ObjectOf(e.Sel).(*types.Var)
+		if ok && v.IsField() {
+			return v
+		}
+	case *ast.Ident:
+		v, ok := pass.ObjectOf(e).(*types.Var)
+		if ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	}
+	return nil
+}
+
+// insideFieldList reports whether the node sits in a struct type or
+// composite-literal key position rather than an executable expression.
+func insideFieldList(parents []ast.Node) bool {
+	for _, p := range parents {
+		switch p.(type) {
+		case *ast.Field, *ast.FieldList:
+			return true
+		}
+	}
+	return false
+}
+
+// nearestParent returns the closest enclosing node, skipping parentheses.
+func nearestParent(parents []ast.Node) ast.Node {
+	for i := len(parents) - 1; i >= 0; i-- {
+		if _, ok := parents[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return parents[i]
+	}
+	return nil
+}
+
+// reportElemMisuse flags uses of a slice/array field whose elements are
+// atomic. Safe uses: the exempted atomic address-takes, len/cap, and
+// index-only range loops. Everything that can read or write an element —
+// plain indexing, two-variable range, passing the slice along — races with
+// the atomic sites.
+func reportElemMisuse(pass *analysis.Pass, e ast.Expr, v *types.Var, atomicPos token.Pos, parents []ast.Node) {
+	parent := nearestParent(parents)
+	switch p := parent.(type) {
+	case *ast.IndexExpr:
+		if p.X != e {
+			return // e is the index expression, not the indexed slice
+		}
+		// &v[i] inside an atomic call was exempted in pass 1; any other
+		// element access is plain.
+		pass.Reportf(e.Pos(), "elements of %s are accessed with sync/atomic (e.g. at %s) but indexed plainly here; mixed access races",
+			v.Name(), pass.Fset.Position(atomicPos))
+	case *ast.RangeStmt:
+		if p.X != e {
+			return
+		}
+		if p.Value != nil {
+			pass.Reportf(e.Pos(), "ranging over the values of %s reads its elements without sync/atomic; range over indexes only",
+				v.Name())
+		}
+	case *ast.CallExpr:
+		if fn, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+			switch fn.Name {
+			case "len", "cap":
+				return // slice-header reads don't touch elements
+			}
+		}
+		pass.Reportf(e.Pos(), "%s escapes to a call here but its elements are accessed with sync/atomic (e.g. at %s); the callee's accesses race",
+			v.Name(), pass.Fset.Position(atomicPos))
+	case *ast.SelectorExpr, *ast.UnaryExpr, *ast.Field, *ast.FieldList, *ast.KeyValueExpr, nil:
+		// Selector chains resolving the field itself, exempted &-takes,
+		// type positions, and constructor initialization.
+	case *ast.AssignStmt:
+		// Replacing the whole slice header while readers index it
+		// atomically is a data race on the header itself.
+		for _, lhs := range p.Lhs {
+			if lhs == e {
+				pass.Reportf(e.Pos(), "replacing the slice header of %s races with its sync/atomic element accesses (e.g. at %s); allocate once at construction",
+					v.Name(), pass.Fset.Position(atomicPos))
+				return
+			}
+		}
+	}
+}
+
+// checkTypedAtomicCopy flags by-value uses of sync/atomic typed values
+// (atomic.Bool, atomic.Uint64, atomic.Pointer[T], ...): copying one detaches
+// it from the shared cell, and go vet's copylocks only catches a subset.
+func checkTypedAtomicCopy(pass *analysis.Pass, e ast.Expr, parents []ast.Node) {
+	switch e.(type) {
+	case *ast.SelectorExpr, *ast.Ident, *ast.StarExpr:
+	default:
+		return
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		// Declarations name the value without copying it.
+		if pass.TypesInfo.Defs[id] != nil {
+			return
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || !tv.IsValue() {
+		return
+	}
+	if !isTypedAtomic(tv.Type) {
+		return
+	}
+	switch p := nearestParent(parents).(type) {
+	case *ast.SelectorExpr:
+		if p.X == e {
+			return // method call or field access through the value, not a copy
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return // taking the address shares, not copies
+		}
+	case *ast.Field, *ast.FieldList, nil:
+		return
+	}
+	pass.Reportf(e.Pos(), "%s is a typed atomic (%s) used by value here; copying detaches it from the shared cell — take its address or call its methods",
+		renderExpr(pass.Fset, e), tv.Type)
+}
+
+// isTypedAtomic reports whether t is a named type from sync/atomic (not a
+// pointer to one — pointers share the cell and are fine to copy).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// checkAtomicAlignment verifies that every plain 64-bit field reached by
+// sync/atomic sits at an 8-byte offset under GOARCH=386 struct layout,
+// where sync/atomic's alignment guarantee ("the first word in an allocated
+// struct") is all the hardware gives. Slice-element atomics are exempt
+// (allocations are 8-byte aligned); typed atomics are exempt (align64).
+func checkAtomicAlignment(pass *analysis.Pass, direct, elem map[*types.Var]token.Pos) {
+	sizes := types.SizesFor("gc", "386")
+	if sizes == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				obj := pass.ObjectOf(ts.Name)
+				if obj == nil {
+					continue
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				reportMisaligned(pass, ts, st, sizes, direct, elem)
+			}
+		}
+	}
+}
+
+func reportMisaligned(pass *analysis.Pass, ts *ast.TypeSpec, st *types.Struct, sizes types.Sizes, direct, elem map[*types.Var]token.Pos) {
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offsets := sizes.Offsetsof(fields)
+	var bad []int
+	for i, fv := range fields {
+		needsAlign := false
+		if _, ok := direct[fv]; ok && is64BitBasic(fv.Type()) {
+			needsAlign = true
+		}
+		if _, ok := elem[fv]; ok {
+			// Array elements inherit the field's offset; slices are exempt.
+			if arr, isArr := fv.Type().Underlying().(*types.Array); isArr && is64BitBasic(arr.Elem()) {
+				needsAlign = true
+			}
+		}
+		if needsAlign && offsets[i]%8 != 0 {
+			bad = append(bad, i)
+		}
+	}
+	sort.Ints(bad)
+	for _, i := range bad {
+		fv := fields[i]
+		pass.Reportf(fv.Pos(), "64-bit atomic field %s sits at offset %d in %s on 32-bit targets; sync/atomic requires 8-byte alignment — move it to the front or use a typed atomic",
+			fv.Name(), offsets[i], ts.Name.Name)
+	}
+}
+
+func is64BitBasic(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64, types.Float64:
+		return true
+	}
+	return false
+}
+
+// walkWithParents visits every node of f with the stack of enclosing nodes
+// (outermost first, the direct parent last).
+func walkWithParents(f *ast.File, visit func(n ast.Node, parents []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

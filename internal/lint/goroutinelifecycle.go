@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dewrite/internal/lint/analysis"
+)
+
+// goroutineLifecyclePkgs gates the check to the long-running processes: the
+// serving daemon and the monitoring surface. Short-lived CLIs may leak a
+// goroutine at exit without consequence; a daemon may not.
+var goroutineLifecyclePkgs = map[string]bool{
+	"dewrite-serve": true,
+	"monitor":       true,
+}
+
+// GoroutineLifecycle requires every spawned goroutine to have a visible
+// shutdown path.
+var GoroutineLifecycle = &analysis.Analyzer{
+	Name: "goroutinelifecycle",
+	Doc: "every go statement in the daemon and monitor must be tied to a shutdown path\n\n" +
+		"A goroutine with no quit-channel select, channel receive, context,\n" +
+		"or WaitGroup.Done is invisible to Close: it outlives the server,\n" +
+		"holds references past snapshot recovery, and turns chaos-soak runs\n" +
+		"flaky. The analyzer inspects the spawned function body (following\n" +
+		"one level of package-local calls) for any of those shutdown\n" +
+		"signals — ranging over a channel counts, since closing the channel\n" +
+		"ends the loop. Goroutines running functions from other packages are\n" +
+		"flagged too: the spawning site cannot prove they stop.",
+	Run: runGoroutineLifecycle,
+}
+
+func runGoroutineLifecycle(pass *analysis.Pass) (interface{}, error) {
+	if !goroutineLifecyclePkgs[pathBase(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, fn := range pass.Funcs() {
+		decls[fn.Obj] = fn.Decl
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				if !hasShutdownPath(pass, decls, lit.Body, 1) {
+					pass.Reportf(gs.Pos(), "goroutine has no visible shutdown path (no quit-channel select, channel receive, context, or WaitGroup.Done reachable from its body)")
+				}
+				return true
+			}
+			callee := pass.StaticCallee(gs.Call)
+			decl := decls[callee]
+			if decl == nil {
+				pass.Reportf(gs.Pos(), "goroutine runs %s, which this package cannot see into; tie its lifetime to a quit channel, context, or WaitGroup at the spawn site",
+					renderExpr(pass.Fset, gs.Call.Fun))
+				return true
+			}
+			if !hasShutdownPath(pass, decls, decl.Body, 1) {
+				pass.Reportf(gs.Pos(), "goroutine runs %s, which has no shutdown path (no quit-channel select, channel receive, context, or WaitGroup.Done)",
+					callee.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// hasShutdownPath reports whether body contains evidence that the goroutine
+// terminates on demand: a select (quit channels and contexts are consumed
+// through one), a channel receive, a range over a channel (closing it ends
+// the loop), or a WaitGroup.Done call (including in a defer or nested
+// closure, which still runs on this goroutine). When the body itself shows
+// nothing, package-local callees are searched depth more levels down.
+func hasShutdownPath(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt, depth int) bool {
+	found := false
+	var callees []*types.Func
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isWaitGroupDone(pass, n) {
+				found = true
+				return false
+			}
+			if callee := pass.StaticCallee(n); callee != nil {
+				callees = append(callees, callee)
+			}
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+	if depth == 0 {
+		return false
+	}
+	for _, callee := range callees {
+		if decl := decls[callee]; decl != nil && decl.Body != body {
+			if hasShutdownPath(pass, decls, decl.Body, depth-1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isWaitGroupDone matches wg.Done() for a sync.WaitGroup receiver.
+func isWaitGroupDone(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

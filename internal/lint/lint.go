@@ -1,8 +1,11 @@
 // Package lint is the dewrite-vet analyzer suite: custom static checks that
 // mechanically enforce the simulator's cross-cutting invariants — seeded
-// determinism, the sync.Pool recycle contract, nil-safe instrumentation, and
-// frozen report schemas. cmd/dewrite-vet drives the suite from CI; see
-// DESIGN.md section 10 for the rationale behind each invariant.
+// determinism, the sync.Pool recycle contract, nil-safe instrumentation,
+// frozen report schemas — and the serving layer's concurrency contracts:
+// all-or-nothing atomic field access, lock ordering and balanced unlocks,
+// goroutine shutdown paths, and books-balance accounting on every response
+// path. cmd/dewrite-vet drives the suite from CI; see DESIGN.md sections 10
+// and 15 for the rationale behind each invariant.
 //
 // A justified violation is silenced in place with a directive comment on the
 // offending line or the line directly above:
@@ -26,7 +29,10 @@ import (
 
 // Analyzers returns the full dewrite-vet suite in stable order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Determinism, PoolRecycle, NilSafe, ReportCompat}
+	return []*analysis.Analyzer{
+		Determinism, PoolRecycle, NilSafe, ReportCompat,
+		AtomicHygiene, LockDiscipline, GoroutineLifecycle, BooksBalance,
+	}
 }
 
 // ByName returns the named analyzer, or nil.

@@ -52,6 +52,37 @@ func TestReportCompatFixtures(t *testing.T) {
 	)
 }
 
+func TestAtomicHygieneFixtures(t *testing.T) {
+	analysistest.Run(t, "../..", lint.AtomicHygiene,
+		"testdata/src/atomichygiene/shard",
+		"testdata/src/atomichygiene/monitor",
+		"testdata/src/atomichygiene/other",
+	)
+}
+
+func TestLockDisciplineFixtures(t *testing.T) {
+	analysistest.Run(t, "../..", lint.LockDiscipline,
+		"testdata/src/lockdiscipline/dewrite-serve",
+		"testdata/src/lockdiscipline/shard",
+		"testdata/src/lockdiscipline/other",
+	)
+}
+
+func TestGoroutineLifecycleFixtures(t *testing.T) {
+	analysistest.Run(t, "../..", lint.GoroutineLifecycle,
+		"testdata/src/goroutinelifecycle/dewrite-serve",
+		"testdata/src/goroutinelifecycle/monitor",
+		"testdata/src/goroutinelifecycle/other",
+	)
+}
+
+func TestBooksBalanceFixtures(t *testing.T) {
+	analysistest.Run(t, "../..", lint.BooksBalance,
+		"testdata/src/booksbalance/dewrite-serve",
+		"testdata/src/booksbalance/other",
+	)
+}
+
 // TestRepoClean pins the tentpole invariant: the full dewrite-vet suite over
 // the real repository reports zero diagnostics. Any new violation must be
 // fixed or carry a justified //dewrite:allow before it lands.

@@ -1,0 +1,644 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"dewrite/internal/lint/analysis"
+	"dewrite/internal/lint/analysis/cfg"
+)
+
+// lockDisciplinePkgs gates the check to the packages that share mutexes
+// across goroutines: the epoch barrier and connection bookkeeping in the
+// daemon, the striped directory in shard, the registry in monitor, and the
+// snapshot store.
+var lockDisciplinePkgs = map[string]bool{
+	"shard":         true,
+	"monitor":       true,
+	"dewrite-serve": true,
+	"snapshot":      true,
+}
+
+// LockDiscipline runs a forward dataflow over each function's control-flow
+// graph tracking which mutexes are held, and propagates per-function
+// acquisition/blocking summaries through the package-local call graph.
+var LockDiscipline = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "lock ordering, balanced unlock on every path, and no blocking work under the epoch write lock\n\n" +
+		"Four contracts, checked over each function's CFG with held-lock sets\n" +
+		"propagated through package-local calls:\n" +
+		"  1. no lock-order cycles — if one path acquires B while holding A,\n" +
+		"     no path may acquire A while holding B;\n" +
+		"  2. no re-lock of a mutex path already held (self-deadlock, including\n" +
+		"     read-lock upgrades and recursive RLock);\n" +
+		"  3. every early return releases what it acquired, unless a defer\n" +
+		"     guarantees the unlock;\n" +
+		"  4. while any RWMutex is write-locked (the epoch barrier), no\n" +
+		"     blocking channel send, network I/O, time.Sleep, or SaveState-\n" +
+		"     style state serialization may run — writers stall every reader\n" +
+		"     behind the barrier. Sends inside a select with a default clause\n" +
+		"     are non-blocking and exempt.\n" +
+		"Merging control-flow paths intersects the held sets, so the checks\n" +
+		"only fire on facts that hold on every path into a statement.",
+	Run: runLockDiscipline,
+}
+
+// renderExpr renders an expression as source text, for diagnostics and for
+// the syntactic lock-path identity.
+func renderExpr(fset *token.FileSet, e ast.Expr) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return "<expr>"
+	}
+	return b.String()
+}
+
+// A lockOp is one Lock/Unlock/RLock/RUnlock call, classified.
+type lockOp struct {
+	path    string // syntactic receiver path: "s.epochMu", "st.mu"
+	class   string // type-level identity: "Server.epochMu", "stripe.mu"
+	rw      bool   // receiver is a sync.RWMutex
+	write   bool   // Lock (as opposed to RLock)
+	acquire bool   // Lock/RLock (as opposed to Unlock/RUnlock)
+}
+
+// A heldLock is one entry of the dataflow fact: this mutex path is locked.
+type heldLock struct {
+	class string
+	rw    bool
+	write bool
+	line  int // where it was acquired, for diagnostics
+}
+
+// lockState is the dataflow fact at a program point.
+type lockState struct {
+	held   map[string]heldLock
+	defers map[string]bool // paths with a guaranteed deferred unlock
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]heldLock{}, defers: map[string]bool{}}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.defers {
+		c.defers[k] = true
+	}
+	return c
+}
+
+// meet intersects other into s (conservative: a fact survives a merge only
+// if it holds on every incoming path) and reports whether s changed.
+func (s *lockState) meet(other *lockState) bool {
+	changed := false
+	for k, v := range s.held {
+		o, ok := other.held[k]
+		if !ok {
+			delete(s.held, k)
+			changed = true
+			continue
+		}
+		if v.write && !o.write {
+			v.write = false
+			s.held[k] = v
+			changed = true
+		}
+	}
+	for k := range s.defers {
+		if !other.defers[k] {
+			delete(s.defers, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s *lockState) sortedHeldPaths() []string {
+	paths := make([]string, 0, len(s.held))
+	for p := range s.held {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// writeHeld returns the path of a write-locked RWMutex, or "".
+func (s *lockState) writeHeld() (string, heldLock) {
+	for _, p := range s.sortedHeldPaths() {
+		if h := s.held[p]; h.rw && h.write {
+			return p, h
+		}
+	}
+	return "", heldLock{}
+}
+
+// lockSummary is the per-function fact propagated through the call graph.
+type lockSummary struct {
+	acquires map[string]uint8 // lock class -> mode bits
+	blocking map[string]bool  // set of blocking kinds
+}
+
+const (
+	modeRead  uint8 = 1 << iota // may RLock
+	modeWrite                   // may Lock
+)
+
+type lockAnalysis struct {
+	pass             *analysis.Pass
+	summaries        map[*types.Func]*lockSummary
+	decls            map[*types.Func]*ast.FuncDecl
+	nonBlockingSends map[*ast.SendStmt]bool
+	edges            map[[2]string]token.Pos // [held, acquired] -> first site
+}
+
+func runLockDiscipline(pass *analysis.Pass) (interface{}, error) {
+	if !lockDisciplinePkgs[pathBase(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	a := &lockAnalysis{
+		pass:             pass,
+		summaries:        map[*types.Func]*lockSummary{},
+		decls:            map[*types.Func]*ast.FuncDecl{},
+		nonBlockingSends: map[*ast.SendStmt]bool{},
+		edges:            map[[2]string]token.Pos{},
+	}
+	a.findNonBlockingSends()
+
+	funcs := pass.Funcs()
+	for _, fn := range funcs {
+		a.decls[fn.Obj] = fn.Decl
+		a.summaries[fn.Obj] = &lockSummary{
+			acquires: map[string]uint8{},
+			blocking: map[string]bool{},
+		}
+	}
+	analysis.Fixpoint(funcs, a.summarize)
+
+	for _, fn := range funcs {
+		a.analyzeBody(fn.Decl.Body)
+	}
+	// Function literals run on their own control flow (goroutines, defers,
+	// callbacks): each gets its own balanced-lock analysis.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				a.analyzeBody(lit.Body)
+			}
+			return true
+		})
+	}
+	a.reportCycles()
+	return nil, nil
+}
+
+// findNonBlockingSends records every send that sits in a select with a
+// default clause: those cannot block.
+func (a *lockAnalysis) findNonBlockingSends() {
+	for _, f := range a.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			hasDefault := false
+			for _, c := range sel.Body.List {
+				if c.(*ast.CommClause).Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				return true
+			}
+			for _, c := range sel.Body.List {
+				if send, ok := c.(*ast.CommClause).Comm.(*ast.SendStmt); ok {
+					a.nonBlockingSends[send] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// summarize is the Fixpoint step: recompute fn's acquires/blocking summary
+// from its body plus current callee summaries; report whether it grew.
+func (a *lockAnalysis) summarize(fn analysis.FuncInfo) bool {
+	sum := a.summaries[fn.Obj]
+	changed := false
+	addAcquire := func(class string, mode uint8) {
+		if sum.acquires[class]&mode != mode {
+			sum.acquires[class] |= mode
+			changed = true
+		}
+	}
+	addBlocking := func(kind string) {
+		if !sum.blocking[kind] {
+			sum.blocking[kind] = true
+			changed = true
+		}
+	}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // the goroutine's effects are not on the caller's path
+		case *ast.SendStmt:
+			if !a.nonBlockingSends[n] {
+				addBlocking("a blocking channel send")
+			}
+		case *ast.CallExpr:
+			if op := a.classifyLock(n); op != nil {
+				if op.acquire {
+					mode := modeRead
+					if op.write {
+						mode = modeWrite
+					}
+					addAcquire(op.class, mode)
+				}
+				return true
+			}
+			if kind := a.directBlockingKind(n); kind != "" {
+				addBlocking(kind)
+			}
+			if callee := a.pass.StaticCallee(n); callee != nil {
+				if csum := a.summaries[callee]; csum != nil {
+					for class, mode := range csum.acquires {
+						addAcquire(class, mode)
+					}
+					for kind := range csum.blocking {
+						addBlocking(kind)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// classifyLock matches a Lock/Unlock/RLock/RUnlock call on a sync.Mutex or
+// sync.RWMutex and returns its classification, or nil.
+func (a *lockAnalysis) classifyLock(call *ast.CallExpr) *lockOp {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	method := sel.Sel.Name
+	switch method {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil
+	}
+	t := a.pass.TypeOf(sel.X)
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return nil
+	}
+	rw := obj.Name() == "RWMutex"
+	if !rw && obj.Name() != "Mutex" {
+		return nil
+	}
+	return &lockOp{
+		path:    renderExpr(a.pass.Fset, sel.X),
+		class:   a.lockClass(sel.X),
+		rw:      rw,
+		write:   method == "Lock",
+		acquire: method == "Lock" || method == "RLock",
+	}
+}
+
+// lockClass maps a mutex expression to its type-level identity, so that
+// "s.epochMu" in one method and "srv.epochMu" in another order against each
+// other: both are "Server.epochMu".
+func (a *lockAnalysis) lockClass(recv ast.Expr) string {
+	switch recv := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		return typeShortName(a.pass.TypeOf(recv.X)) + "." + recv.Sel.Name
+	case *ast.Ident:
+		if obj := a.pass.ObjectOf(recv); obj != nil && obj.Pkg() != nil &&
+			obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Name() + "." + recv.Name
+		}
+		return recv.Name
+	default:
+		return renderExpr(a.pass.Fset, recv)
+	}
+}
+
+func typeShortName(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// directBlockingKind classifies calls that may block the caller outright:
+// state serialization, network I/O, and sleeps.
+func (a *lockAnalysis) directBlockingKind(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if sel.Sel.Name == "SaveState" {
+		if _, ok := a.pass.ObjectOf(sel.Sel).(*types.Func); ok {
+			return "state serialization (SaveState)"
+		}
+	}
+	if fn, ok := a.pass.ObjectOf(sel.Sel).(*types.Func); ok && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	}
+	if t := a.pass.TypeOf(sel.X); t != nil {
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "net" {
+				return "network I/O"
+			}
+		}
+	}
+	return ""
+}
+
+// analyzeBody runs the held-locks dataflow over one function body to a
+// fixpoint, then replays each reachable block once against its final
+// in-state to emit diagnostics.
+func (a *lockAnalysis) analyzeBody(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	in := make(map[*cfg.Block]*lockState, len(g.Blocks))
+	in[g.Entry] = newLockState()
+	work := []*cfg.Block{g.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		out := in[blk].clone()
+		a.transfer(blk, out, false)
+		for _, succ := range blk.Succs {
+			if cur, ok := in[succ]; !ok {
+				in[succ] = out.clone()
+				work = append(work, succ)
+			} else if cur.meet(out) {
+				work = append(work, succ)
+			}
+		}
+	}
+	for _, blk := range g.Blocks {
+		st, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		out := st.clone()
+		a.transfer(blk, out, true)
+		// Falling off the end of the function with a lock held and no
+		// deferred unlock leaks it; explicit returns are checked in
+		// transfer at their own positions.
+		if !a.endsInJump(blk) && succContains(blk, g.Exit) {
+			for _, p := range out.sortedHeldPaths() {
+				if !out.defers[p] {
+					a.pass.Reportf(body.End(), "function ends with %s locked (acquired at line %d) and no deferred unlock", p, out.held[p].line)
+				}
+			}
+		}
+	}
+}
+
+func (a *lockAnalysis) endsInJump(blk *cfg.Block) bool {
+	if len(blk.Nodes) == 0 {
+		return false
+	}
+	switch blk.Nodes[len(blk.Nodes)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	}
+	return false
+}
+
+func succContains(blk *cfg.Block, target *cfg.Block) bool {
+	for _, s := range blk.Succs {
+		if s == target {
+			return true
+		}
+	}
+	return false
+}
+
+// transfer applies one block's statements to st in execution order. With
+// report set it also emits diagnostics and records lock-order edges.
+func (a *lockAnalysis) transfer(blk *cfg.Block, st *lockState, report bool) {
+	for _, n := range blk.Nodes {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, r := range ret.Results {
+				a.scanNode(r, st, report)
+			}
+			if report {
+				for _, p := range st.sortedHeldPaths() {
+					if !st.defers[p] {
+						a.pass.Reportf(ret.Pos(), "return leaves %s locked (acquired at line %d)", p, st.held[p].line)
+					}
+				}
+			}
+			continue
+		}
+		a.scanNode(n, st, report)
+	}
+}
+
+// scanNode walks one statement or expression applying lock events to st.
+// Function literals, go statements, and deferred calls are not on this
+// path and are skipped (defers register unlocks instead of running them).
+func (a *lockAnalysis) scanNode(root ast.Node, st *lockState, report bool) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			a.registerDefer(n, st)
+			return false
+		case *ast.SendStmt:
+			if report && !a.nonBlockingSends[n] {
+				if p, h := st.writeHeld(); p != "" {
+					a.pass.Reportf(n.Arrow, "channel send while %s is write-locked (since line %d): a blocked send stalls the barrier and every reader behind it", p, h.line)
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			a.applyCall(n, st, report)
+			return true
+		}
+		return true
+	})
+}
+
+func (a *lockAnalysis) applyCall(call *ast.CallExpr, st *lockState, report bool) {
+	if op := a.classifyLock(call); op != nil {
+		if !op.acquire {
+			delete(st.held, op.path)
+			return
+		}
+		line := a.pass.Fset.Position(call.Pos()).Line
+		if prev, ok := st.held[op.path]; ok {
+			if report {
+				a.pass.Reportf(call.Pos(), "%s is locked again on the same path (already held since line %d): self-deadlock", op.path, prev.line)
+			}
+		}
+		if report {
+			for _, p := range st.sortedHeldPaths() {
+				if h := st.held[p]; h.class != op.class {
+					a.addEdge(h.class, op.class, call.Pos())
+				}
+			}
+		}
+		st.held[op.path] = heldLock{class: op.class, rw: op.rw, write: op.write, line: line}
+		return
+	}
+	if !report {
+		return
+	}
+	if kind := a.directBlockingKind(call); kind != "" {
+		if p, h := st.writeHeld(); p != "" {
+			a.pass.Reportf(call.Pos(), "%s while %s is write-locked (since line %d): blocking work under the barrier stalls every reader", kind, p, h.line)
+		}
+		return
+	}
+	callee := a.pass.StaticCallee(call)
+	if callee == nil {
+		return
+	}
+	sum := a.summaries[callee]
+	if sum == nil {
+		return
+	}
+	if len(sum.blocking) > 0 {
+		if p, h := st.writeHeld(); p != "" {
+			a.pass.Reportf(call.Pos(), "call to %s may perform %s while %s is write-locked (since line %d)", callee.Name(), joinKinds(sum.blocking), p, h.line)
+		}
+	}
+	classes := make([]string, 0, len(sum.acquires))
+	for class := range sum.acquires {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		mode := sum.acquires[class]
+		for _, p := range st.sortedHeldPaths() {
+			h := st.held[p]
+			if h.class == class {
+				if h.write || mode&modeWrite != 0 {
+					a.pass.Reportf(call.Pos(), "call to %s may lock %s, which is already held as %s (self-deadlock)", callee.Name(), class, p)
+				}
+				continue
+			}
+			a.addEdge(h.class, class, call.Pos())
+		}
+	}
+}
+
+// registerDefer records deferred unlocks: a direct deferred Unlock/RUnlock,
+// or one inside a deferred closure.
+func (a *lockAnalysis) registerDefer(d *ast.DeferStmt, st *lockState) {
+	if op := a.classifyLock(d.Call); op != nil {
+		if !op.acquire {
+			st.defers[op.path] = true
+		}
+		return
+	}
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op := a.classifyLock(call); op != nil && !op.acquire {
+					st.defers[op.path] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (a *lockAnalysis) addEdge(from, to string, pos token.Pos) {
+	key := [2]string{from, to}
+	if prev, ok := a.edges[key]; !ok || pos < prev {
+		a.edges[key] = pos
+	}
+}
+
+// reportCycles finds lock-order edges that sit on a cycle of the class-level
+// acquisition graph and reports each one at its acquisition site.
+func (a *lockAnalysis) reportCycles() {
+	adj := map[string][]string{}
+	for key := range a.edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	keys := make([][2]string, 0, len(a.edges))
+	for key := range a.edges {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		if reaches(adj, key[1], key[0]) {
+			a.pass.Reportf(a.edges[key], "acquiring %s while %s is held creates a lock-order cycle: elsewhere %s is acquired while %s is held", key[1], key[0], key[0], key[1])
+		}
+	}
+}
+
+// reaches reports whether to is reachable from from in the edge graph.
+func reaches(adj map[string][]string, from, to string) bool {
+	seen := map[string]bool{}
+	stack := []string{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, adj[n]...)
+	}
+	return false
+}
+
+func joinKinds(kinds map[string]bool) string {
+	out := make([]string, 0, len(kinds))
+	for k := range kinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, "; ")
+}

@@ -1,0 +1,51 @@
+// Package monitor is the clean atomichygiene fixture: every pattern here is
+// the sanctioned way to use atomic state, mirroring the real registry's
+// histogram counts. No diagnostics expected.
+package monitor
+
+import "sync/atomic"
+
+// histogram puts its 64-bit atomic fields first, so 386 layout keeps them
+// 8-byte aligned, and the flag last.
+type histogram struct {
+	sum     uint64
+	counts  []uint64
+	enabled bool
+}
+
+// newHistogram allocates the element slice once, at construction: the
+// composite literal and make are exempt by design.
+func newHistogram(buckets int) *histogram {
+	return &histogram{counts: make([]uint64, buckets), enabled: true}
+}
+
+// observe is all-atomic.
+func (h *histogram) observe(bucket int, v uint64) {
+	atomic.AddUint64(&h.sum, v)
+	atomic.AddUint64(&h.counts[bucket], 1)
+}
+
+// total reads the shared state the same way it is written.
+func (h *histogram) total() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += atomic.LoadUint64(&h.counts[i])
+	}
+	total += atomic.LoadUint64(&h.sum)
+	return total
+}
+
+// buckets reads only the slice header, which no writer mutates.
+func (h *histogram) buckets() int {
+	return len(h.counts)
+}
+
+// ready holds a typed atomic and only ever touches it through methods or by
+// address.
+type ready struct {
+	flag atomic.Bool
+}
+
+func (r *ready) set()               { r.flag.Store(true) }
+func (r *ready) get() bool          { return r.flag.Load() }
+func (r *ready) cell() *atomic.Bool { return &r.flag }

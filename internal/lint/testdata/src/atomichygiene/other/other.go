@@ -1,0 +1,18 @@
+// Package other sits outside the atomichygiene gate: the same mixed access
+// that fires in shard is silently ignored here.
+package other
+
+import "sync/atomic"
+
+type counters struct {
+	enabled bool
+	hits    uint64
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) load() uint64 {
+	return c.hits
+}

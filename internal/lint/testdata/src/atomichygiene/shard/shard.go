@@ -1,0 +1,96 @@
+// Package shard is an atomichygiene fixture modeled on the striped
+// directory: counters shared lock-free between owner goroutines and the
+// scraper, where every access must go through sync/atomic.
+package shard
+
+import "sync/atomic"
+
+// counters mixes a flag with a 64-bit atomic: under GOARCH=386 layout the
+// bool pushes hits to offset 4, where sync/atomic faults on some hardware.
+type counters struct {
+	enabled bool
+	hits    uint64 // want `64-bit atomic field hits sits at offset 4 in counters on 32-bit targets`
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// load reads the field plainly even though bump touches it atomically.
+func (c *counters) load() uint64 {
+	return c.hits // want `hits is accessed with sync/atomic \(e\.g\. at .*\) but read or written plainly here; mixed access races`
+}
+
+// reset writes the field plainly: same mixed-access race on the write side.
+func (c *counters) reset() {
+	c.hits = 0 // want `hits is accessed with sync/atomic \(e\.g\. at .*\) but read or written plainly here; mixed access races`
+}
+
+// seed demonstrates suppression: the justified plain write carries a
+// directive instead of a want comment, so a broken suppression path would
+// surface as an unexpected diagnostic.
+func (c *counters) seed(n uint64) {
+	//dewrite:allow atomichygiene construction-time seeding happens before any goroutine starts
+	c.hits = n
+}
+
+// stripes mirrors the directory's per-stripe publish counters: the elements
+// are atomic, so the slice may only be indexed through sync/atomic.
+type stripes struct {
+	pubs []uint64
+}
+
+func newStripes(n int) *stripes {
+	return &stripes{pubs: make([]uint64, n)}
+}
+
+func (s *stripes) publish(i int) {
+	atomic.AddUint64(&s.pubs[i], 1)
+}
+
+// peek indexes an atomic element plainly.
+func (s *stripes) peek(i int) uint64 {
+	return s.pubs[i] // want `elements of pubs are accessed with sync/atomic \(e\.g\. at .*\) but indexed plainly here; mixed access races`
+}
+
+// sum ranges over the values, reading every element without sync/atomic.
+func (s *stripes) sum() uint64 {
+	var total uint64
+	for _, v := range s.pubs { // want `ranging over the values of pubs reads its elements without sync/atomic; range over indexes only`
+		total += v
+	}
+	return total
+}
+
+// leak hands the slice to a callee whose element accesses the analyzer
+// cannot see.
+func (s *stripes) leak() []uint64 {
+	return clonePubs(s.pubs) // want `pubs escapes to a call here but its elements are accessed with sync/atomic \(e\.g\. at .*\); the callee's accesses race`
+}
+
+// grow replaces the slice header while readers index it atomically.
+func (s *stripes) grow(n int) {
+	s.pubs = make([]uint64, n) // want `replacing the slice header of pubs races with its sync/atomic element accesses \(e\.g\. at .*\); allocate once at construction`
+}
+
+func clonePubs(in []uint64) []uint64 {
+	out := make([]uint64, len(in))
+	copy(out, in)
+	return out
+}
+
+// gauge wraps a typed atomic; the type carries align64 and needs no layout
+// care, but it must never travel by value.
+type gauge struct {
+	val atomic.Uint64
+}
+
+// snapshot copies the typed atomic out of the shared cell.
+func (g *gauge) snapshot() atomic.Uint64 {
+	return g.val // want `g\.val is a typed atomic \(sync/atomic\.Uint64\) used by value here; copying detaches it from the shared cell`
+}
+
+// set is the sound way to touch the cell: through its methods.
+func (g *gauge) set(n uint64) {
+	g.val.Store(n)
+}

@@ -1,0 +1,138 @@
+// Command dewrite-serve (fixture) mirrors the daemon's connection loop just
+// enough for the books invariant: frames are decoded with readRequest,
+// responses flushed through a buffered writer, and every flushed response
+// must land in exactly one of the requests or sheds counter families.
+package main
+
+type conn struct{}
+
+func (c *conn) Flush() error { return nil }
+
+type counter struct{ n uint64 }
+
+func (c *counter) Inc() { c.n++ }
+
+type metrics struct {
+	requests counter
+	sheds    counter
+}
+
+func readRequest(c *conn) (byte, error)        { return 0, nil }
+func writeResponse(c *conn, status byte) error { return nil }
+
+// serveGood is the compliant loop: one increment between the flush and the
+// next frame decode, on every path.
+func serveGood(c *conn, m *metrics) {
+	for {
+		op, err := readRequest(c)
+		if err != nil {
+			return
+		}
+		if err := writeResponse(c, op); err != nil {
+			return
+		}
+		if err := c.Flush(); err != nil {
+			return
+		}
+		m.requests.Inc()
+	}
+}
+
+// serveLossy skips the increment when shedding: the shed response reaches
+// the client but never reaches the books.
+func serveLossy(c *conn, m *metrics, shed bool) {
+	for {
+		op, err := readRequest(c)
+		if err != nil {
+			return
+		}
+		if err := writeResponse(c, op); err != nil {
+			return
+		}
+		if err := c.Flush(); err != nil { // want `a path from this flushed response reaches the next frame decode without incrementing serve_requests_total or serve_shed_total: the books lose a response`
+			return
+		}
+		if !shed {
+			m.requests.Inc()
+		}
+	}
+}
+
+// serveDouble counts the same response in both families.
+func serveDouble(c *conn, m *metrics) {
+	for {
+		op, err := readRequest(c)
+		if err != nil {
+			return
+		}
+		if err := writeResponse(c, op); err != nil {
+			return
+		}
+		if err := c.Flush(); err != nil { // want `a path from this flushed response reaches the next frame decode with 2 books increments: the response is double-counted`
+			return
+		}
+		m.requests.Inc()
+		m.sheds.Inc()
+	}
+}
+
+// serveOnce flushes and falls off the end of the function without counting.
+func serveOnce(c *conn, m *metrics) {
+	op, err := readRequest(c)
+	if err != nil {
+		return
+	}
+	if err := writeResponse(c, op); err != nil {
+		return
+	}
+	if err := c.Flush(); err != nil { // want `a path from this flushed response reaches function exit without incrementing serve_requests_total or serve_shed_total: the books lose a response`
+		return
+	}
+}
+
+// observe increments exactly once on every one of its own paths, so callers
+// satisfy the books through its fixpoint summary.
+func observe(m *metrics, ok bool) {
+	if ok {
+		m.requests.Inc()
+	} else {
+		m.sheds.Inc()
+	}
+}
+
+// serveViaHelper counts through the package-local helper: clean.
+func serveViaHelper(c *conn, m *metrics, ok bool) {
+	for {
+		op, err := readRequest(c)
+		if err != nil {
+			return
+		}
+		if err := writeResponse(c, op); err != nil {
+			return
+		}
+		if err := c.Flush(); err != nil {
+			return
+		}
+		observe(m, ok)
+	}
+}
+
+// serveSuppressed demonstrates suppression: the lossy path is acknowledged
+// with a directive instead of a fix.
+func serveSuppressed(c *conn, m *metrics) {
+	for {
+		op, err := readRequest(c)
+		if err != nil {
+			return
+		}
+		if err := writeResponse(c, op); err != nil {
+			return
+		}
+		//dewrite:allow booksbalance fixture demonstrates suppressing a known-lossy path
+		if err := c.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func main() {}

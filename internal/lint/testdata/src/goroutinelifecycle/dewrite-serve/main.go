@@ -1,0 +1,89 @@
+// Command dewrite-serve (fixture) spawns goroutines the way the daemon
+// does: owners on quit channels, drainers ranging over mailboxes — and a few
+// leaks the analyzer must catch.
+package main
+
+import (
+	"net/http"
+	"sync"
+)
+
+type server struct {
+	quit chan struct{}
+	reqs chan int
+	wg   sync.WaitGroup
+	http *http.Server
+}
+
+// start leaks two goroutines and hands a third to another package.
+func (s *server) start() {
+	go s.pump() // want `goroutine runs pump, which has no shutdown path \(no quit-channel select, channel receive, context, or WaitGroup\.Done\)`
+	go func() { // want `goroutine has no visible shutdown path \(no quit-channel select, channel receive, context, or WaitGroup\.Done reachable from its body\)`
+		for {
+			s.tick()
+		}
+	}()
+	go s.http.ListenAndServe() // want `goroutine runs s\.http\.ListenAndServe, which this package cannot see into; tie its lifetime to a quit channel, context, or WaitGroup at the spawn site`
+}
+
+// pump spins forever with no way out.
+func (s *server) pump() {
+	for {
+		s.tick()
+	}
+}
+
+func (s *server) tick() {}
+
+// run shows the sanctioned shapes: a quit-channel select, a range over a
+// closable mailbox, a WaitGroup-tracked worker, and a shutdown path found
+// one package-local call down.
+func (s *server) run() {
+	go func() {
+		for {
+			select {
+			case <-s.quit:
+				return
+			case req := <-s.reqs:
+				_ = req
+			}
+		}
+	}()
+	go s.drain()
+	go func() {
+		defer s.wg.Done()
+		s.tick()
+	}()
+	go s.loop()
+}
+
+// drain ends when the mailbox closes.
+func (s *server) drain() {
+	for range s.reqs {
+	}
+}
+
+// loop's shutdown evidence lives in its callee, one level down.
+func (s *server) loop() {
+	for s.waitQuit() {
+		s.tick()
+	}
+}
+
+func (s *server) waitQuit() bool {
+	select {
+	case <-s.quit:
+		return false
+	default:
+		return true
+	}
+}
+
+// startTicker is the justified exception: the directive stands in for the
+// real daemon's process-lifetime goroutines.
+func (s *server) startTicker() {
+	//dewrite:allow goroutinelifecycle the fixture ticker dies with the process by design
+	go s.pump()
+}
+
+func main() {}

@@ -1,0 +1,37 @@
+// Package monitor is the clean goroutinelifecycle fixture: every goroutine
+// the metrics surface spawns is tied to a shutdown signal. No diagnostics
+// expected.
+package monitor
+
+import "sync"
+
+type sampler struct {
+	quit    chan struct{}
+	samples chan uint64
+	wg      sync.WaitGroup
+}
+
+func (s *sampler) start() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case <-s.quit:
+				return
+			case v := <-s.samples:
+				s.record(v)
+			}
+		}
+	}()
+	go s.fold()
+}
+
+// fold ends when the samples channel closes.
+func (s *sampler) fold() {
+	for v := range s.samples {
+		s.record(v)
+	}
+}
+
+func (s *sampler) record(uint64) {}

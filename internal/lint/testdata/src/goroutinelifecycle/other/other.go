@@ -1,0 +1,14 @@
+// Package other sits outside the goroutinelifecycle gate: a short-lived CLI
+// may leak a goroutine at exit, so the same spin loop that fires in the
+// daemon is ignored here.
+package other
+
+type job struct{ n int }
+
+func (j *job) start() {
+	go func() {
+		for {
+			j.n++
+		}
+	}()
+}

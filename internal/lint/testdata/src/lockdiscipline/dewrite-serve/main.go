@@ -1,0 +1,125 @@
+// Command dewrite-serve (fixture) models the daemon's epoch barrier: an
+// RWMutex whose write side must stay free of blocking work, plus connection
+// bookkeeping under a plain mutex.
+package main
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type store struct{}
+
+func (st *store) SaveState() error { return nil }
+
+type server struct {
+	epochMu sync.RWMutex
+	connMu  sync.Mutex
+	st      *store
+	events  chan int
+	conn    net.Conn
+}
+
+// advance commits the cardinal sin: a blocking channel send while the epoch
+// write lock is held stalls the barrier and every reader behind it.
+func (s *server) advance() {
+	s.epochMu.Lock()
+	s.events <- 1 // want `channel send while s\.epochMu is write-locked \(since line \d+\): a blocked send stalls the barrier and every reader behind it`
+	s.epochMu.Unlock()
+}
+
+// persist serializes state; on its own it is fine, but its summary marks it
+// blocking for every caller.
+func (s *server) persist() error {
+	return s.st.SaveState()
+}
+
+// checkpoint reaches SaveState through a package-local call while holding
+// the write lock: the one-level summary carries the blocking fact up.
+func (s *server) checkpoint() {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	_ = s.persist() // want `call to persist may perform state serialization \(SaveState\) while s\.epochMu is write-locked \(since line \d+\)`
+}
+
+// nap sleeps under the barrier.
+func (s *server) nap() {
+	s.epochMu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while s\.epochMu is write-locked \(since line \d+\): blocking work under the barrier stalls every reader`
+	s.epochMu.Unlock()
+}
+
+// flushUnderBarrier performs network I/O while writers have the barrier.
+func (s *server) flushUnderBarrier(buf []byte) {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	_, _ = s.conn.Write(buf) // want `network I/O while s\.epochMu is write-locked \(since line \d+\): blocking work under the barrier stalls every reader`
+}
+
+// doubleLock re-acquires a mutex already held on the same path.
+func (s *server) doubleLock() {
+	s.connMu.Lock()
+	s.connMu.Lock() // want `s\.connMu is locked again on the same path \(already held since line \d+\): self-deadlock`
+	s.connMu.Unlock()
+	s.connMu.Unlock()
+}
+
+// leaky returns early with the mutex still held and no deferred unlock.
+func (s *server) leaky(ok bool) error {
+	s.connMu.Lock()
+	if ok {
+		return nil // want `return leaves s\.connMu locked \(acquired at line \d+\)`
+	}
+	s.connMu.Unlock()
+	return nil
+}
+
+// fallsOff reaches the end of the function with the lock held.
+func (s *server) fallsOff() {
+	s.connMu.Lock()
+} // want `function ends with s\.connMu locked \(acquired at line \d+\) and no deferred unlock`
+
+// snapshotAtBarrier is the justified exception: the suppression directive
+// stands in for the real daemon's barrier-time snapshot.
+func (s *server) snapshotAtBarrier() error {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	//dewrite:allow lockdiscipline the fixture snapshot serializes at the barrier by design
+	return s.st.SaveState()
+}
+
+// serveOne is the sanctioned read-side pattern: RLock with a deferred
+// RUnlock, and only a non-blocking send inside.
+func (s *server) serveOne() {
+	s.epochMu.RLock()
+	defer s.epochMu.RUnlock()
+	select {
+	case s.events <- 1:
+	default:
+	}
+}
+
+// tryNotify shows that a send in a select with a default clause is exempt
+// even under the write lock: it cannot block.
+func (s *server) tryNotify() {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	select {
+	case s.events <- 1:
+	default:
+	}
+}
+
+// balanced releases on every path, no defer needed.
+func (s *server) balanced(ok bool) error {
+	s.connMu.Lock()
+	if ok {
+		s.connMu.Unlock()
+		return nil
+	}
+	s.connMu.Unlock()
+	return nil
+}
+
+func main() {}

@@ -1,0 +1,19 @@
+// Package other sits outside the lockdiscipline gate: the early-return leak
+// that fires in the gated packages is silently ignored here.
+package other
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) leaky(ok bool) int {
+	b.mu.Lock()
+	if ok {
+		return b.n
+	}
+	b.mu.Unlock()
+	return 0
+}

@@ -1,0 +1,57 @@
+// Package shard is a lockdiscipline fixture for lock ordering: two mutexes
+// acquired in opposite orders on different paths form a cycle, while the
+// striped pattern (one mutex per stripe, never nested) stays clean.
+package shard
+
+import "sync"
+
+type directory struct {
+	mapMu sync.Mutex
+	pubMu sync.Mutex
+}
+
+// fold nests pubMu inside mapMu.
+func (d *directory) fold() {
+	d.mapMu.Lock()
+	d.pubMu.Lock() // want `acquiring directory\.pubMu while directory\.mapMu is held creates a lock-order cycle: elsewhere directory\.mapMu is acquired while directory\.pubMu is held`
+	d.pubMu.Unlock()
+	d.mapMu.Unlock()
+}
+
+// publish nests them the other way around: with fold, that is a deadlock
+// waiting for contention.
+func (d *directory) publish() {
+	d.pubMu.Lock()
+	d.mapMu.Lock() // want `acquiring directory\.mapMu while directory\.pubMu is held creates a lock-order cycle: elsewhere directory\.pubMu is acquired while directory\.mapMu is held`
+	d.mapMu.Unlock()
+	d.pubMu.Unlock()
+}
+
+// striped is the clean sharded pattern: each stripe has its own mutex and
+// no two are ever held together.
+type stripe struct {
+	mu sync.Mutex
+	n  int
+}
+
+type striped struct {
+	stripes [8]stripe
+}
+
+func (s *striped) bump(i int) {
+	st := &s.stripes[i]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.n++
+}
+
+func (s *striped) total() int {
+	var total int
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		total += st.n
+		st.mu.Unlock()
+	}
+	return total
+}

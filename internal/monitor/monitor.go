@@ -366,6 +366,7 @@ func ServeWith(addr string, reg *Registry, opts ServeOpts) (*Server, error) {
 		writePrometheus(w, reg)
 	})
 	s := &Server{reg: reg, http: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}, ln: ln}
+	//dewrite:allow goroutinelifecycle http.Serve returns when Close closes the listener; the shutdown path lives in net/http, one package deeper than the analyzer can see
 	go s.http.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return s, nil
 }
